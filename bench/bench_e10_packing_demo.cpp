@@ -1,0 +1,81 @@
+// E10 — the lower-bound framework of Section 3.4, executed on toy instances.
+//
+// Regenerates:
+//   (a) the Lemma 3.9 identity: max-prover acceptance == Pr[M_A cap M_B
+//       non-empty], verified by two independent exhaustive computations on
+//       dumbbells with an XOR-constraint toy protocol;
+//   (b) the response-set distributions mu_A(F) and their pairwise L1
+//       distances — the quantities whose 2/3-separation (Lemma 3.11) feeds
+//       the packing bound 5^(2^(2^L)) (Lemma 3.12).
+#include <cstdio>
+#include <vector>
+
+#include "bench/table.hpp"
+#include "graph/builders.hpp"
+#include "graph/generators.hpp"
+#include "lb/packing.hpp"
+#include "lb/simple_protocol.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E10", "Simple-protocol machinery demo (Section 3.4)");
+
+  // A small family of side graphs on 3 vertices (all structures).
+  std::vector<std::pair<const char*, graph::Graph>> sides;
+  sides.emplace_back("empty", graph::Graph(3));
+  sides.emplace_back("1-edge", graph::Graph::fromEdges(3, {{0, 1}}));
+  sides.emplace_back("path", graph::pathGraph(3));
+  sides.emplace_back("triangle", graph::cycleGraph(3));
+
+  graph::DumbbellLayout layout = graph::dumbbellLayout(3);
+  lb::SimpleProtocolAnalyzer analyzer(lb::parityToyProtocol(), layout);
+
+  std::printf("\n(a) Lemma 3.9 identity on G(F_A, F_B): best prover vs intersection\n");
+  std::printf("%-10s %-10s  %14s  %14s\n", "F_A", "F_B", "best prover",
+              "Pr[MA cap MB]");
+  bench::printRule();
+  for (const auto& [nameA, fa] : sides) {
+    for (const auto& [nameB, fb] : sides) {
+      graph::Graph dumbbell = graph::dumbbell(fa, fb);
+      double best = analyzer.bestProverAcceptance(dumbbell);
+      double intersect = analyzer.intersectionProbability(dumbbell);
+      std::printf("%-10s %-10s  %14.4f  %14.4f%s\n", nameA, nameB, best, intersect,
+                  std::abs(best - intersect) < 1e-12 ? "" : "   MISMATCH!");
+    }
+  }
+
+  std::printf("\n(b) L1 distances between response-set distributions mu_A(F)\n");
+  std::vector<lb::ResponseSetDistribution> distributions;
+  for (const auto& [name, f] : sides) {
+    distributions.push_back(
+        analyzer.responseSetDistribution(graph::dumbbell(f, f), true));
+  }
+  std::printf("%-10s", "");
+  for (const auto& [name, f] : sides) std::printf("  %-9s", name);
+  std::printf("\n");
+  bench::printRule();
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    std::printf("%-10s", sides[i].first);
+    for (std::size_t j = 0; j < sides.size(); ++j) {
+      std::printf("  %-9.3f", lb::SimpleProtocolAnalyzer::l1Distance(distributions[i],
+                                                                     distributions[j]));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(c) Packing capacity vs family size (where the bound bites)\n");
+  std::printf("%4s  %22s  %20s\n", "L", "log2 5^(2^(2^L))", "needs log2|F| above");
+  bench::printRule();
+  for (std::size_t L : {1u, 2u, 3u, 4u}) {
+    double capacity = lb::packingCapacityLog2(L);
+    std::printf("%4zu  %22.1f  %20.1f\n", L, capacity, capacity);
+  }
+  std::printf(
+      "\nShape check: (a) the two columns agree exactly — the reduction from\n"
+      "prover strategies to response-set intersections (Lemmas 3.8-3.9) is\n"
+      "an identity, not an approximation; (b) distinct side graphs induce\n"
+      "distinguishable response-set distributions; (c) a correct protocol\n"
+      "must push |F| below the capacity column => L = Omega(log log n).\n");
+  return 0;
+}

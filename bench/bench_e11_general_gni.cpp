@@ -1,0 +1,87 @@
+// E11 (extension) — general-input GNI via automorphism compensation.
+//
+// The paper restricts its GNI presentation to asymmetric graphs and notes
+// the fix of [15]: have the prover exhibit an automorphism of sigma(G_b)
+// along with it, making |S| = 2 n! vs n! for ALL inputs. This bench
+// regenerates the per-repetition gap on SYMMETRIC instances — where the
+// basic protocol's counting demonstrably collapses — plus the amplified
+// acceptance and the cost overhead of the compensation.
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/gni_amam.hpp"
+#include "core/gni_general.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E11", "General-input GNI (automorphism compensation)");
+
+  util::Rng setupRng(9000);
+  core::GniGeneralParams genParams = core::GniGeneralParams::choose(6, setupRng);
+  core::GniParams basicParams = core::GniParams::choose(6, setupRng);
+  core::GniGeneralProtocol generalProtocol(genParams);
+  core::GniAmamProtocol basicProtocol(basicParams);
+
+  std::printf("\n(a) Per-repetition hit rates on SYMMETRIC instances (150 trials)\n");
+  {
+    util::Rng rng(9100);
+    core::GniInstance yes = core::gniGeneralYesInstance(6, rng);
+    core::GniInstance no = core::gniGeneralNoInstance(6, rng);
+    std::printf("  |Aut(g0)| = %llu (symmetric), instance pair non-isomorphic: %s\n",
+                static_cast<unsigned long long>(graph::countAutomorphisms(yes.g0)),
+                graph::areIsomorphic(yes.g0, yes.g1) ? "no?!" : "yes");
+
+    core::AcceptanceStats genYes = generalProtocol.estimatePerRoundHit(yes, 150, rng);
+    core::AcceptanceStats genNo = generalProtocol.estimatePerRoundHit(no, 150, rng);
+    std::printf("  compensated protocol:  YES %s   NO %s\n",
+                bench::formatRate(genYes).c_str(), bench::formatRate(genNo).c_str());
+
+    // The BASIC protocol on the same symmetric instances: its candidate set
+    // shrinks by |Aut| on each symmetric side, so its YES hit rate drops
+    // toward the NO band — the failure mode the compensation repairs.
+    core::AcceptanceStats basicYes = basicProtocol.estimatePerRoundHit(yes, 150, rng);
+    core::AcceptanceStats basicNo = basicProtocol.estimatePerRoundHit(no, 150, rng);
+    std::printf("  basic protocol:        YES %s   NO %s\n",
+                bench::formatRate(basicYes).c_str(), bench::formatRate(basicNo).c_str());
+    std::printf("  -> basic YES rate %.3f has fallen BELOW its calibrated YES bound\n"
+                "     %.3f (|S| shrank by |Aut| on the symmetric side): the amplified\n"
+                "     threshold test loses completeness; compensation repairs it.\n",
+                basicYes.rate(), basicParams.perRoundYesLb);
+  }
+
+  std::printf("\n(b) Amplified acceptance on symmetric instances (8 runs per cell)\n");
+  {
+    util::Rng rng(9200);
+    core::GniInstance yes = core::gniGeneralYesInstance(6, rng);
+    core::GniInstance no = core::gniGeneralNoInstance(6, rng);
+    core::AcceptanceStats yesStats = generalProtocol.estimateAcceptance(
+        yes, [&] { return std::make_unique<core::HonestGniGeneralProver>(genParams); }, 8,
+        rng);
+    core::AcceptanceStats noStats = generalProtocol.estimateAcceptance(
+        no, [&] { return std::make_unique<core::HonestGniGeneralProver>(genParams); }, 8,
+        rng);
+    std::printf("  non-isomorphic: %s  (target > 2/3)\n", bench::formatRate(yesStats).c_str());
+    std::printf("  isomorphic:     %s  (target < 1/3)\n", bench::formatRate(noStats).c_str());
+  }
+
+  std::printf("\n(c) Cost of compensation (k = %zu), max bits per node\n",
+              genParams.repetitions);
+  std::printf("%6s  %14s  %14s  %10s\n", "n", "basic GNI", "general GNI", "overhead");
+  bench::printRule();
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    std::size_t basic = core::GniAmamProtocol::costModel(n, genParams.repetitions).totalPerNode();
+    std::size_t general =
+        core::GniGeneralProtocol::costModel(n, genParams.repetitions).totalPerNode();
+    std::printf("%6zu  %14zu  %14zu  %9.2fx\n", n, basic, general,
+                static_cast<double>(general) / static_cast<double>(basic));
+  }
+  std::printf(
+      "\nShape check: compensation preserves the 2x candidate gap on inputs\n"
+      "where the basic counting collapses, at a constant-factor cost — still\n"
+      "O(n log n) per node (Theorem 1.5 for unrestricted GNI).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E12 (extension) — Symmetry of an INPUT graph.
+//
+// Definition 4's discussion separates the network from graphs handed to the
+// nodes as inputs. This bench regenerates the acceptance and cost tables
+// for the dMAM protocol on input graphs, where the prover must additionally
+// CLAIM the rho-images of each node's input neighbors (their edges are not
+// links) and the claims are verified with one extra fingerprint pair.
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/sym_input.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E12", "Symmetry of an input graph (extension)");
+
+  std::printf("\n(a) Acceptance (300 trials per soundness cell)\n");
+  std::printf("%6s  %26s  %26s  %26s\n", "n", "honest, symmetric input",
+              "fake rho, rigid input", "claim liar, symmetric");
+  bench::printRule();
+  for (std::size_t n : {8u, 12u, 16u}) {
+    util::Rng rng(12000 + n);
+    core::SymInputProtocol protocol(hash::makeProtocol1Family(n, rng));
+
+    core::SymInputInstance symInstance{graph::randomConnected(n, n / 2, rng),
+                                       graph::randomSymmetricConnected(n, rng)};
+    core::AcceptanceStats honest = protocol.estimateAcceptance(
+        symInstance,
+        [&] { return std::make_unique<core::HonestSymInputProver>(protocol.family()); },
+        100, rng);
+
+    core::SymInputInstance rigidInstance{graph::randomConnected(n, n / 2, rng),
+                                         graph::randomRigidConnected(n, rng)};
+    int seed = 0;
+    core::AcceptanceStats fake = protocol.estimateAcceptance(
+        rigidInstance,
+        [&] {
+          return std::make_unique<core::CheatingSymInputProver>(
+              protocol.family(),
+              core::CheatingSymInputProver::Strategy::kFakeRhoHonestClaims, seed++);
+        },
+        300, rng);
+
+    core::AcceptanceStats liar = protocol.estimateAcceptance(
+        symInstance,
+        [&] {
+          return std::make_unique<core::CheatingSymInputProver>(
+              protocol.family(), core::CheatingSymInputProver::Strategy::kClaimLiar,
+              seed++);
+        },
+        300, rng);
+
+    std::printf("%6zu  %26s  %26s  %26s\n", n, bench::formatRate(honest).c_str(),
+                bench::formatRate(fake).c_str(), bench::formatRate(liar).c_str());
+  }
+
+  std::printf("\n(b) Cost, max bits per node (model; Delta = max input degree)\n");
+  std::printf("%6s  %14s  %14s  %14s\n", "n", "Delta = 4", "Delta = 16",
+              "Delta = n-1");
+  bench::printRule();
+  for (std::size_t n : {32u, 128u, 512u, 2048u}) {
+    std::printf("%6zu  %14zu  %14zu  %14zu\n", n,
+                core::SymInputProtocol::costModel(n, 4).totalPerNode(),
+                core::SymInputProtocol::costModel(n, 16).totalPerNode(),
+                core::SymInputProtocol::costModel(n, n - 1).totalPerNode());
+  }
+  std::printf(
+      "\nShape check: O((Delta + 1) log n) per node — bounded-degree inputs\n"
+      "keep Protocol 1's O(log n); even Delta = n-1 stays below the\n"
+      "quadratic non-interactive baseline. The claim-consistency fingerprint\n"
+      "pair is what makes lying about invisible neighbors impossible.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E1 — Theorem 1.1: Sym in dMAM[O(log n)] (Protocol 1).
+//
+// Regenerates:
+//   (a) acceptance table: honest prover on symmetric graphs (completeness)
+//       vs the optimal committed cheater on rigid graphs (soundness), with
+//       Wilson intervals;
+//   (b) cost table: measured max per-node bits of real executions, the
+//       structural cost model, and the Theta(n^2) LCP baseline — the
+//       exponential gap interaction buys.
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "pls/sym_lcp.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E1", "Protocol 1: Sym in dMAM[O(log n)] (Theorem 1.1)");
+
+  std::printf("\n(a) Acceptance (2/3 vs 1/3 thresholds; trials per cell: 400)\n");
+  std::printf("%6s  %26s  %26s\n", "n", "honest on symmetric", "cheater on rigid");
+  bench::printRule();
+  for (std::size_t n : {8u, 12u, 16u, 24u, 32u}) {
+    util::Rng rng(1000 + n);
+    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+
+    graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
+    core::AcceptanceStats honest = protocol.estimateAcceptance(
+        symmetric,
+        [&] { return std::make_unique<core::HonestSymDmamProver>(protocol.family()); },
+        400, rng);
+
+    graph::Graph rigid = graph::randomRigidConnected(n, rng);
+    int seed = 0;
+    core::AcceptanceStats cheater = protocol.estimateAcceptance(
+        rigid,
+        [&] {
+          return std::make_unique<core::CheatingRhoProver>(
+              protocol.family(), core::CheatingRhoProver::Strategy::kRandomPermutation,
+              seed++);
+        },
+        400, rng);
+
+    std::printf("%6zu  %26s  %26s\n", n, bench::formatRate(honest).c_str(),
+                bench::formatRate(cheater).c_str());
+  }
+
+  std::printf("\n(b) Communication cost, max bits per node\n");
+  std::printf("%6s  %14s  %12s  %14s  %10s\n", "n", "measured", "model",
+              "LCP baseline", "LCP/model");
+  bench::printRule();
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    std::size_t model = core::SymDmamProtocol::costModel(n).totalPerNode();
+    std::size_t lcp = pls::SymLcp::adviceBitsPerNode(n);
+    std::string measured = "-";
+    if (n <= 256) {
+      util::Rng rng(2000 + n);
+      core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+      graph::Graph g = graph::randomSymmetricConnected(n, rng);
+      core::HonestSymDmamProver prover(protocol.family());
+      measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());
+    }
+    std::printf("%6zu  %14s  %12zu  %14zu  %9.1fx\n", n, measured.c_str(), model, lcp,
+                static_cast<double>(lcp) / static_cast<double>(model));
+  }
+  std::printf(
+      "\nShape check (paper): per-node cost grows additively with log n while\n"
+      "the non-interactive baseline grows quadratically.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E3 — Theorem 1.3: Sym in dAM[O(n log n)] (Protocol 2).
+//
+// Regenerates: acceptance of the dAM protocol with the paper's huge hash
+// prime p in [10 n^(n+2), 100 n^(n+2)] (completeness, and soundness against
+// the seed-adaptive collision searcher), and the Theta(n log n) cost curve.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/sym_dam.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E3", "Protocol 2: Sym in dAM[O(n log n)] (Theorem 1.3)");
+
+  std::printf("\n(a) Acceptance with paper parameters\n");
+  std::printf("%6s  %10s  %26s  %26s\n", "n", "log2(p)", "honest on symmetric",
+              "adaptive cheater on rigid");
+  bench::printRule();
+  for (std::size_t n : {6u, 8u, 10u, 12u}) {
+    util::Rng rng(4000 + n);
+    core::SymDamProtocol protocol(hash::makeProtocol2Family(n, rng));
+
+    graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
+    core::AcceptanceStats honest = protocol.estimateAcceptance(
+        symmetric,
+        [&] { return std::make_unique<core::HonestSymDamProver>(protocol.family()); },
+        100, rng);
+
+    graph::Graph rigid = graph::randomRigidConnected(n, rng);
+    int seed = 0;
+    core::AcceptanceStats cheater = protocol.estimateAcceptance(
+        rigid,
+        [&] {
+          return std::make_unique<core::AdaptiveCollisionProver>(protocol.family(), 1000,
+                                                                 seed++);
+        },
+        60, rng);
+
+    std::printf("%6zu  %10zu  %26s  %26s\n", n, protocol.family().seedBits(),
+                bench::formatRate(honest).c_str(), bench::formatRate(cheater).c_str());
+  }
+
+  std::printf("\n(b) Cost curve, max bits per node (structural model)\n");
+  std::printf("%6s  %12s  %16s  %16s\n", "n", "bits/node", "bits/(n log2 n)",
+              "measured (run)");
+  bench::printRule();
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    std::size_t model = core::SymDamProtocol::costModel(n).totalPerNode();
+    double normalized = static_cast<double>(model) /
+                        (static_cast<double>(n) * std::log2(static_cast<double>(n)));
+    std::string measured = "-";
+    if (n <= 16) {
+      util::Rng rng(4100 + n);
+      core::SymDamProtocol protocol(hash::makeProtocol2Family(n, rng));
+      graph::Graph g = graph::randomSymmetricConnected(n, rng);
+      core::HonestSymDamProver prover(protocol.family());
+      measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());
+    }
+    std::printf("%6zu  %12zu  %16.2f  %16s\n", n, model, normalized, measured.c_str());
+  }
+  std::printf(
+      "\nShape check (paper): the normalized column is flat => Theta(n log n),\n"
+      "and no seed-adaptive adversary beats the union-bound-sized hash.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E4 — Theorem 1.4: the Omega(log log n) lower bound for dAM Sym protocols.
+//
+// Regenerates:
+//   (a) the exact census of the rigid family F(n) for small n (the lower
+//       bound needs |F| = Omega(2^(n^2)/n!); the census verifies the family
+//       is as large as claimed where it can be counted exactly);
+//   (b) the packing inequality curve: the smallest protocol length L not
+//       excluded by 5^(2^(2^(4L))) >= |F(n)| — the paper's log log n.
+// Set DIP_CENSUS7=1 to include the n = 7 sweep (2^21 graphs, ~1 minute).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/table.hpp"
+#include "lb/census.hpp"
+#include "lb/packing.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E4", "Lower bound machinery (Theorem 1.4)");
+
+  std::printf("\n(a) Exact census of the rigid family F(n)\n");
+  std::printf("%4s  %14s  %14s  %12s  %12s\n", "n", "labeled graphs", "labeled rigid",
+              "|F(n)|", "iso classes");
+  bench::printRule();
+  std::size_t censusMax = std::getenv("DIP_CENSUS7") ? 7 : 6;
+  for (std::size_t n = 2; n <= censusMax; ++n) {
+    lb::CensusResult census = lb::exhaustiveCensus(n);
+    std::printf("%4zu  %14llu  %14llu  %12llu  %12llu\n", n,
+                static_cast<unsigned long long>(census.labeledGraphs),
+                static_cast<unsigned long long>(census.labeledRigid),
+                static_cast<unsigned long long>(census.rigidClasses),
+                static_cast<unsigned long long>(census.isoClasses));
+  }
+  std::printf("  (expected: |F| = 0 for n <= 5, 8 at n = 6, 152 at n = 7 — the\n"
+              "   family becomes an overwhelming fraction of all graphs as n grows)\n");
+
+  std::printf("\n(b) Packing-inequality lower-bound curve\n");
+  std::printf("    (exact |F|: 8 at n = 6, 152 at n = 7; asymptotic bound beyond)\n");
+  std::printf("%10s  %16s  %18s\n", "n", "log2 |F(n)|", "lower bound (bits)");
+  bench::printRule();
+  for (std::size_t n : {8u, 16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u, 1u << 20}) {
+    double logF = lb::log2FamilyLowerBound(n);
+    std::printf("%10zu  %16.1f  %18.3f\n", n, logF, lb::lowerBoundBits(logF));
+  }
+  std::printf(
+      "\nShape check (paper): the bound column grows with log log n — doubling\n"
+      "n repeatedly adds vanishing increments, but the bound never stops\n"
+      "growing. Combined with E1: Theta(log n) upper vs Omega(log log n)\n"
+      "lower, the paper's open gap.\n");
+  return 0;
+}

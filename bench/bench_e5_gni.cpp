@@ -1,0 +1,78 @@
+// E5 — Theorem 1.5: GNI in dAMAM[O(n log n)] (distributed Goldwasser-Sipser).
+//
+// Regenerates:
+//   (a) the per-repetition preimage-hit gap (the 2q vs q separation that
+//       drives the protocol), with the theory bounds alongside;
+//   (b) amplified end-to-end acceptance (completeness > 2/3, soundness < 1/3);
+//   (c) the Theta(n log n) cost curve vs the Theta(n^2) full-information
+//       baseline.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/gni_amam.hpp"
+#include "pls/gni_fullinfo.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E5", "GNI in dAMAM[O(n log n)] (Theorem 1.5)");
+
+  util::Rng setupRng(5000);
+  core::GniParams params = core::GniParams::choose(6, setupRng);
+  std::printf("\nParameters at n = 6: ell = %zu, k = %zu repetitions, threshold = %zu\n",
+              params.ell, params.repetitions, params.threshold);
+  std::printf("Theory: per-round YES >= %.3f, per-round NO <= %.3f (q = n!/2^ell)\n",
+              params.perRoundYesLb, params.perRoundNoUb);
+
+  core::GniAmamProtocol protocol(params);
+
+  std::printf("\n(a) Per-repetition preimage-hit rate (240 trials per cell)\n");
+  {
+    util::Rng rng(5100);
+    core::GniInstance yes = core::gniYesInstance(6, rng);
+    core::GniInstance no = core::gniNoInstance(6, rng);
+    core::AcceptanceStats yesStats = protocol.estimatePerRoundHit(yes, 240, rng);
+    core::AcceptanceStats noStats = protocol.estimatePerRoundHit(no, 240, rng);
+    std::printf("  non-isomorphic (|S| = 2 n!): %s\n", bench::formatRate(yesStats).c_str());
+    std::printf("  isomorphic     (|S| =   n!): %s\n", bench::formatRate(noStats).c_str());
+    std::printf("  measured ratio: %.2fx (theory: ~2x, shrunk by collisions)\n",
+                yesStats.rate() / (noStats.rate() > 0 ? noStats.rate() : 1.0));
+  }
+
+  std::printf("\n(b) Amplified protocol acceptance (%zu repetitions; 15 runs per cell)\n",
+              params.repetitions);
+  {
+    util::Rng rng(5200);
+    core::GniInstance yes = core::gniYesInstance(6, rng);
+    core::GniInstance no = core::gniNoInstance(6, rng);
+    core::AcceptanceStats yesStats = protocol.estimateAcceptance(
+        yes, [&] { return std::make_unique<core::HonestGniProver>(params); }, 15, rng);
+    core::AcceptanceStats noStats = protocol.estimateAcceptance(
+        no, [&] { return std::make_unique<core::HonestGniProver>(params); }, 15, rng);
+    std::printf("  non-isomorphic: %s  (must be > 2/3)\n", bench::formatRate(yesStats).c_str());
+    std::printf("  isomorphic:     %s  (must be < 1/3)\n", bench::formatRate(noStats).c_str());
+  }
+
+  std::printf("\n(c) Cost curve (k = %zu), max bits per node\n", params.repetitions);
+  std::printf("%6s  %14s  %18s  %16s  %8s\n", "n", "dAMAM model", "per rep /(n log n)",
+              "full-info base", "gap");
+  bench::printRule();
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    std::size_t cost = core::GniAmamProtocol::costModel(n, params.repetitions).totalPerNode();
+    double perRepNorm =
+        static_cast<double>(cost) / static_cast<double>(params.repetitions) /
+        (static_cast<double>(n) * std::log2(static_cast<double>(n)));
+    std::size_t baseline = pls::GniFullInfo::adviceBitsPerNode(n);
+    std::printf("%6zu  %14zu  %18.2f  %16zu  %7.2fx\n", n, cost, perRepNorm, baseline,
+                static_cast<double>(baseline) / static_cast<double>(cost));
+  }
+  std::printf(
+      "\nShape check (paper): per-repetition cost is Theta(n log n) (flat\n"
+      "normalized column); the interactive protocol overtakes the only\n"
+      "non-interactive alternative as n grows, and the YES/NO hit-rate gap\n"
+      "matches the Goldwasser-Sipser set-size argument.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E7 — soundness internals of Protocol 1: the cheating-strategy sweep.
+//
+// Regenerates: acceptance rate of each cheating-prover strategy on rigid
+// graphs, showing which lies are caught deterministically (structure lies)
+// and which survive only with the hash-collision probability (<= 1/(10n)).
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+int main() {
+  bench::printHeader("E7", "Protocol 1 cheating-strategy sweep");
+
+  std::printf("\n%6s  %-22s  %26s  %12s\n", "n", "strategy", "acceptance", "bound");
+  bench::printRule();
+  for (std::size_t n : {8u, 16u}) {
+    util::Rng rng(7000 + n);
+    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    graph::Graph rigid = graph::randomRigidConnected(n, rng);
+    double bound = protocol.family().collisionBound();
+
+    struct Row {
+      const char* name;
+      core::CheatingRhoProver::Strategy strategy;
+    };
+    for (const Row& row : {Row{"random permutation",
+                               core::CheatingRhoProver::Strategy::kRandomPermutation},
+                           Row{"same-degree transposition",
+                               core::CheatingRhoProver::Strategy::kTransposition},
+                           Row{"identity (trivial rho)",
+                               core::CheatingRhoProver::Strategy::kIdentity}}) {
+      int seed = 0;
+      core::AcceptanceStats stats = protocol.estimateAcceptance(
+          rigid,
+          [&] {
+            return std::make_unique<core::CheatingRhoProver>(protocol.family(),
+                                                             row.strategy, seed++);
+          },
+          500, rng);
+      std::printf("%6zu  %-22s  %26s  %12.5f\n", n, row.name,
+                  bench::formatRate(stats).c_str(), bound);
+    }
+
+    // Hash-chain liar on a SYMMETRIC graph: the graph is a YES instance,
+    // but the corrupted chain must still be caught (deterministically).
+    graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
+    int seed = 0;
+    core::AcceptanceStats liar = protocol.estimateAcceptance(
+        symmetric,
+        [&] {
+          return std::make_unique<core::HashChainLiarProver>(protocol.family(), seed++);
+        },
+        200, rng);
+    std::printf("%6zu  %-22s  %26s  %12s\n", n, "chain-value liar*",
+                bench::formatRate(liar).c_str(), "0 (exact)");
+  }
+  std::printf(
+      "\n* the chain liar corrupts one subtree sum on a symmetric (YES)\n"
+      "  instance — local verification catches it every time.\n"
+      "Shape check (paper, Theorem 3.4): committed-rho cheaters succeed only\n"
+      "via hash collisions, bounded by n^2/p <= 1/(10 n); structural lies\n"
+      "never succeed.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E8 — ablation: why the dAM protocol needs the n^(n+2)-sized hash field.
+//
+// Regenerates: the adaptive-adversary success table for Protocol 2 run with
+// (i) the paper's hash (p ~ n^(n+2)) and (ii) Protocol 1's short hash
+// (p ~ n^3). With the short hash, a prover that sees the seed before
+// committing finds a colliding mapping and breaks soundness — which is
+// exactly why Protocol 1 needs its commit-then-challenge (dMAM) order, and
+// Protocol 2 needs its union-bound-sized field.
+#include <cstdio>
+#include <memory>
+
+#include "bench/table.hpp"
+#include "core/sym_dam.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+namespace {
+
+void runRow(const char* label, core::SymDamProtocol& protocol, const graph::Graph& rigid,
+            std::size_t searchBudget, std::size_t trials, util::Rng& rng) {
+  int seed = 0;
+  std::size_t searchHits = 0;
+  core::AcceptanceStats stats;
+  stats.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    core::AdaptiveCollisionProver prover(protocol.family(), searchBudget, seed++);
+    if (protocol.run(rigid, prover, rng).accepted) ++stats.accepts;
+    if (prover.lastSearchSucceeded()) ++searchHits;
+  }
+  std::printf("%-12s  %10zu  %10zu  %26s  %10.2f\n", label,
+              protocol.family().seedBits(), searchBudget,
+              bench::formatRate(stats).c_str(),
+              static_cast<double>(searchHits) / trials);
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("E8", "Ablation: adaptive adversary vs hash size (dAM)");
+
+  const std::size_t n = 6;
+  util::Rng rng(8000);
+  graph::Graph rigid = graph::randomRigidConnected(n, rng);
+
+  std::printf("\nNon-symmetric graph, n = %zu; adversary sees the seed first\n", n);
+  std::printf("%-12s  %10s  %10s  %26s  %10s\n", "hash", "seed bits", "budget",
+              "acceptance (soundness!)", "collision");
+  bench::printRule();
+
+  {
+    util::Rng setup(8001);
+    core::SymDamProtocol paperProtocol(hash::makeProtocol2Family(n, setup));
+    runRow("paper n^(n+2)", paperProtocol, rigid, 20000, 25, rng);
+  }
+  {
+    util::Rng setup(8002);
+    core::SymDamProtocol shortProtocol(hash::makeProtocol1Family(n, setup));
+    runRow("short n^3", shortProtocol, rigid, 20000, 25, rng);
+    runRow("short n^3", shortProtocol, rigid, 1000, 25, rng);
+    runRow("short n^3", shortProtocol, rigid, 1, 200, rng);
+  }
+
+  std::printf(
+      "\nShape check: with the short hash the seed-adaptive prover finds a\n"
+      "fingerprint collision for a large fraction of seeds (soundness far\n"
+      "above 1/3 — broken; it grows with the search budget);\n"
+      "with the paper's field it never does. A budget-1 adversary (morally a\n"
+      "committed prover, as in dMAM) is safe even with the short hash —\n"
+      "interaction order and seed length trade off exactly as the paper\n"
+      "argues in Sections 3.1-3.2.\n");
+  return 0;
+}

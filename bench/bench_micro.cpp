@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// substrate: big-integer arithmetic, hash evaluation, tree aggregation, and
+// the honest prover's searches. These gate how large the executable
+// experiments can go.
+#include <benchmark/benchmark.h>
+
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "hash/eps_api.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/biguint.hpp"
+#include "util/montgomery.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+
+using namespace dip;
+
+static void BM_BigUIntMulMod(benchmark::State& state) {
+  util::Rng rng(1);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = util::findPrimeWithBits(bits, rng);
+  util::BigUInt a = rng.nextBigBelow(m);
+  util::BigUInt b = rng.nextBigBelow(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::mulMod(a, b, m));
+  }
+}
+BENCHMARK(BM_BigUIntMulMod)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_BigUIntPowMod(benchmark::State& state) {
+  util::Rng rng(2);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = util::findPrimeWithBits(bits, rng);
+  util::BigUInt base = rng.nextBigBelow(m);
+  util::BigUInt exp = rng.nextBigBelow(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::powMod(base, exp, m));
+  }
+}
+BENCHMARK(BM_BigUIntPowMod)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_MontgomeryPowMod(benchmark::State& state) {
+  util::Rng rng(12);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = util::findPrimeWithBits(bits, rng);
+  util::MontgomeryContext ctx(m);
+  util::BigUInt base = rng.nextBigBelow(m);
+  util::BigUInt exp = rng.nextBigBelow(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.powMod(base, exp));
+  }
+}
+BENCHMARK(BM_MontgomeryPowMod)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_MillerRabin(benchmark::State& state) {
+  util::Rng rng(3);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt prime = util::findPrimeWithBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::isProbablePrime(prime, rng, 8));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(64)->Arg(256);
+
+static void BM_LinearHashRow(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  hash::LinearHashFamily family = hash::makeProtocol1Family(n, rng);
+  graph::Graph g = graph::randomConnected(n, n, rng);
+  util::BigUInt a = family.randomIndex(rng);
+  graph::Vertex v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.hashMatrixRow(a, v, g.closedRow(v), n));
+    v = static_cast<graph::Vertex>((v + 1) % n);
+  }
+}
+BENCHMARK(BM_LinearHashRow)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_EpsApiHashMatrix(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::size_t ell = util::factorial(n).bitLength() + 2;
+  hash::EpsApiHash h = hash::EpsApiHash::create(n, ell, rng);
+  graph::Graph g = graph::randomConnected(n, n, rng);
+  std::vector<util::DynBitset> rows;
+  for (graph::Vertex v = 0; v < n; ++v) rows.push_back(g.closedRow(v));
+  hash::EpsApiHash::Seed seed = h.randomSeed(rng);
+  hash::EpsApiHash::PowerTable table = h.preparePowers(seed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.hashRowsPrepared(seed, table, rows));
+  }
+}
+BENCHMARK(BM_EpsApiHashMatrix)->Arg(6)->Arg(8)->Arg(10);
+
+static void BM_AutomorphismSearchSymmetric(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::findNontrivialAutomorphism(g));
+  }
+}
+BENCHMARK(BM_AutomorphismSearchSymmetric)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_RigidityProof(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  graph::Graph g = graph::randomRigidConnected(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::isRigid(g));
+  }
+}
+BENCHMARK(BM_RigidityProof)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_Protocol1FullRun(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  core::HonestSymDmamProver prover(protocol.family());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.run(g, prover, rng).accepted);
+  }
+}
+BENCHMARK(BM_Protocol1FullRun)->Arg(16)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Shared table-printing helpers for the experiment benches. Every bench
+// regenerates one experiment of EXPERIMENTS.md as a fixed-width text table.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/result.hpp"
+#include "util/mathutil.hpp"
+
+namespace dip::bench {
+
+inline void printHeader(const std::string& experimentId, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experimentId.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void printRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// "0.842 [0.801, 0.876]" — point estimate with a Wilson 95% interval.
+inline std::string formatRate(const dip::core::AcceptanceStats& stats) {
+  auto interval = stats.interval();
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f [%.3f, %.3f]", interval.pointEstimate,
+                interval.low, interval.high);
+  return buffer;
+}
+
+}  // namespace dip::bench

@@ -1,0 +1,73 @@
+// Delegated computation with an untrusted cloud — the paper's motivating
+// scenario (Section 1): computationally limited devices delegate a graph
+// computation to a powerful service and must verify the answer.
+//
+// Here a sensor network asks a cloud service whether its topology is
+// symmetric. We audit three services: an honest one, a buggy one that
+// reports a wrong automorphism, and a malicious one that tampers with the
+// aggregation values. The dMAM protocol accepts the first and catches both
+// others — without any node ever seeing more than a few dozen bytes.
+//
+//   $ ./delegated_symmetry_audit
+#include <cstdio>
+#include <memory>
+
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dip;
+  util::Rng rng(77);
+  const std::size_t n = 20;
+
+  std::printf("scenario: %zu-node sensor network, cloud claims 'your topology is "
+              "symmetric'\n\n", n);
+
+  // Case 1: the topology IS symmetric; the honest cloud proves it.
+  {
+    graph::Graph network = graph::randomSymmetricConnected(n, rng);
+    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    core::HonestSymDmamProver honest(protocol.family());
+    std::size_t accepted = 0;
+    for (int audit = 0; audit < 50; ++audit) {
+      if (protocol.run(network, honest, rng).accepted) ++accepted;
+    }
+    std::printf("[honest cloud, symmetric topology]    audits passed: %zu/50\n", accepted);
+  }
+
+  // Case 2: the topology is NOT symmetric; a cloud bluffing with a fake
+  // automorphism is caught.
+  {
+    graph::Graph network = graph::randomRigidConnected(n, rng);
+    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    std::size_t accepted = 0;
+    for (int audit = 0; audit < 50; ++audit) {
+      core::CheatingRhoProver bluffing(protocol.family(),
+                                       core::CheatingRhoProver::Strategy::kTransposition,
+                                       static_cast<std::uint64_t>(audit));
+      if (protocol.run(network, bluffing, rng).accepted) ++accepted;
+    }
+    std::printf("[bluffing cloud, rigid topology]      audits passed: %zu/50  "
+                "(every pass would be a hash collision, prob <= 1/(10n))\n", accepted);
+  }
+
+  // Case 3: symmetric topology, but a buggy cloud corrupts one aggregation
+  // value — the local chain checks catch it deterministically.
+  {
+    graph::Graph network = graph::randomSymmetricConnected(n, rng);
+    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    std::size_t accepted = 0;
+    for (int audit = 0; audit < 50; ++audit) {
+      core::HashChainLiarProver buggy(protocol.family(), static_cast<std::uint64_t>(audit));
+      if (protocol.run(network, buggy, rng).accepted) ++accepted;
+    }
+    std::printf("[buggy cloud, corrupted aggregation]  audits passed: %zu/50  "
+                "(caught deterministically)\n", accepted);
+  }
+
+  std::printf("\nconclusion: the network never trusts the cloud — it trusts the\n"
+              "protocol. Per-node communication stays logarithmic in n.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Model zoo: the same claim verified under three trust models.
+//
+// A 14-node network wants certainty that its topology is symmetric. Three
+// verification technologies exist (Section 1.2 of the paper):
+//   1. LCP  — the prover leaves every node a full written proof;
+//   2. RPLS — same proof, but neighbors spot-check each other with
+//             fingerprints instead of re-reading everything;
+//   3. dMAM — nobody ever holds the proof: a short interactive challenge
+//             makes lying statistically impossible.
+//
+//   $ ./model_zoo
+#include <cstdio>
+
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "pls/sym_lcp.hpp"
+#include "pls/sym_rpls.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dip;
+  const std::size_t n = 14;
+  util::Rng rng(31337);
+  graph::Graph network = graph::randomSymmetricConnected(n, rng);
+  std::printf("claim: 'this %zu-node network is symmetric'\n\n", n);
+
+  // 1. LCP.
+  auto advice = pls::SymLcp::honestAdvice(network);
+  std::vector<pls::SymLcpAdvice> labels(n, *advice);
+  bool lcpOk = pls::SymLcp::accepts(network, labels);
+  std::printf("[LCP ] verdict: %-6s  advice: %5zu bits/node, neighbor exchange: %zu "
+              "bits/edge\n",
+              lcpOk ? "accept" : "reject", pls::SymLcp::adviceBitsPerNode(n),
+              pls::SymLcp::adviceBitsPerNode(n));
+
+  // 2. RPLS.
+  util::Rng setup(31338);
+  pls::SymRpls rpls = pls::makeSymRpls(n, setup);
+  bool rplsOk = rpls.accepts(network, labels, rng);
+  pls::SymRplsCosts rplsCosts = rpls.costs(n);
+  std::printf("[RPLS] verdict: %-6s  advice: %5zu bits/node, neighbor exchange: %zu "
+              "bits/edge\n",
+              rplsOk ? "accept" : "reject", rplsCosts.adviceBitsPerNode,
+              rplsCosts.verificationBitsPerEdge);
+
+  // 3. dMAM (Protocol 1).
+  core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  core::HonestSymDmamProver prover(protocol.family());
+  core::RunResult run = protocol.run(network, prover, rng);
+  std::printf("[dMAM] verdict: %-6s  prover exchange: %zu bits/node TOTAL "
+              "(interactive)\n\n",
+              run.accepted ? "accept" : "reject", run.transcript.maxPerNodeBits());
+
+  std::printf("all three agree; they differ in WHO pays:\n"
+              "  LCP  pays the prover channel AND the neighbor channel in full;\n"
+              "  RPLS keeps the written proof but spot-checks neighbors cheaply;\n"
+              "  dMAM replaces the written proof with %zu bits of interaction —\n"
+              "       the paper's contribution, exponentially below both.\n",
+              run.transcript.maxPerNodeBits());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The exponential separation, live (Theorem 1.2): the SAME language, decided
+// two ways —
+//   * as a locally checkable proof ("distributed NP"): every node must
+//     receive Theta(n^2) bits of advice;
+//   * as a one-round Arthur-Merlin interaction: O(log n) bits per node.
+// The language is Dumbbell Symmetry (Definition 5), whose LCP hardness is
+// inherited from Goos-Suomela's Omega(n^2) bound.
+//
+//   $ ./separation_demo [side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dsym_dam.hpp"
+#include "graph/builders.hpp"
+#include "graph/generators.hpp"
+#include "pls/sym_lcp.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dip;
+  std::size_t side = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 12;
+  const std::size_t radius = 2;
+  util::Rng rng(11);
+
+  graph::Graph f = graph::randomConnected(side, side / 2, rng);
+  graph::Graph g = graph::dsymInstance(f, radius);
+  graph::DSymLayout layout = graph::dsymLayout(side, radius);
+  std::printf("instance: dumbbell-symmetry graph, N = %zu vertices\n", layout.numVertices);
+  std::printf("membership (ground truth): %s\n\n",
+              graph::isDSymInstance(g, layout) ? "YES" : "NO");
+
+  // Route 1: distributed NP. The known-optimal scheme ships the whole
+  // adjacency matrix to every node.
+  std::size_t lcpBits = pls::SymLcp::adviceBitsPerNode(layout.numVertices);
+  std::printf("route 1 (no interaction): %zu bits of advice per node\n", lcpBits);
+
+  // Route 2: one Arthur-Merlin round.
+  util::BigUInt n3 = util::BigUInt::pow(util::BigUInt{layout.numVertices}, 3);
+  core::DSymDamProtocol protocol(
+      layout, hash::LinearHashFamily(
+                  util::findPrimeInRange(util::BigUInt{10} * n3,
+                                         util::BigUInt{100} * n3, rng),
+                  static_cast<std::uint64_t>(layout.numVertices) * layout.numVertices));
+  core::HonestDSymProver prover(layout, protocol.family());
+  core::RunResult result = protocol.run(g, prover, rng);
+  std::printf("route 2 (one AM round):   %zu bits per node, verdict: %s\n",
+              result.transcript.maxPerNodeBits(),
+              result.accepted ? "ACCEPT" : "reject");
+
+  std::printf("\nseparation at this size: %.1fx;  at side = 512 it is > 5000x —\n",
+              static_cast<double>(lcpBits) /
+                  static_cast<double>(result.transcript.maxPerNodeBits()));
+  std::printf("the gap is exponential (log n vs n^2) because the prover only\n"
+              "has to beat a hash that was chosen AFTER the instance was fixed.\n");
+  return result.accepted ? 0 : 1;
+}

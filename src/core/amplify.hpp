@@ -1,0 +1,58 @@
+// Soundness amplification by sequential repetition.
+//
+// The paper's correctness convention is the standard (2/3, 1/3) gap; any
+// protocol with one-sided completeness (the honest prover ALWAYS convinces
+// — true for Protocols 1, 2 and DSym, whose completeness is an algebraic
+// identity) amplifies by AND-composition: run t independent executions and
+// accept iff all accept. Completeness stays perfect; soundness error drops
+// to (soundness)^t, at t times the communication.
+//
+// runAmplified executes t independent runs with fresh verifier randomness
+// and merges the transcripts (costs add), so amplified cost reporting stays
+// exact.
+#pragma once
+
+#include <cstddef>
+
+#include "core/result.hpp"
+#include "util/rng.hpp"
+
+namespace dip::core {
+
+// Protocol must expose run(instance, prover, rng) -> RunResult. The same
+// prover object is reused across repetitions (provers here are stateless or
+// re-randomized internally); transcripts are summed into the result.
+template <typename Protocol, typename Instance, typename Prover>
+RunResult runAmplified(const Protocol& protocol, const Instance& instance, Prover& prover,
+                       std::size_t repetitions, util::Rng& rng) {
+  RunResult merged;
+  merged.accepted = true;
+  for (std::size_t t = 0; t < repetitions; ++t) {
+    RunResult single = protocol.run(instance, prover, rng);
+    if (t == 0) {
+      merged.transcript = single.transcript;
+    } else {
+      // Sum the per-node charges (round labels kept from the first run).
+      for (graph::Vertex v = 0; v < single.transcript.numNodes(); ++v) {
+        merged.transcript.chargeToProver(v, single.transcript.perNode()[v].bitsToProver);
+        merged.transcript.chargeFromProver(v,
+                                           single.transcript.perNode()[v].bitsFromProver);
+      }
+    }
+    if (!single.accepted) {
+      merged.accepted = false;
+      break;  // AND-composition: one rejection settles it.
+    }
+  }
+  return merged;
+}
+
+// The soundness error after t repetitions of a protocol with single-run
+// soundness error `singleRunError`.
+inline double amplifiedSoundness(double singleRunError, std::size_t repetitions) {
+  double error = 1.0;
+  for (std::size_t t = 0; t < repetitions; ++t) error *= singleRunError;
+  return error;
+}
+
+}  // namespace dip::core

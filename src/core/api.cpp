@@ -1,0 +1,82 @@
+#include "core/api.hpp"
+
+#include "core/amplify.hpp"
+#include "core/sym_dmam.hpp"
+#include "core/sym_input.hpp"
+#include "graph/isomorphism.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/rng.hpp"
+
+namespace dip::core {
+
+Decision decideSymmetry(const graph::Graph& network, const DecideOptions& options) {
+  Decision decision;
+  decision.rounds = 3;
+  if (graph::isRigid(network)) {
+    // The honest prover has no witness; in the live protocol it would send
+    // nothing convincing and every run rejects.
+    decision.proverHadWitness = false;
+    return decision;
+  }
+  decision.proverHadWitness = true;
+  util::Rng setup(options.seed ^ 0x53594d31u);
+  SymDmamProtocol protocol(hash::makeProtocol1Family(network.numVertices(), setup));
+  HonestSymDmamProver prover(protocol.family());
+  util::Rng rng(options.seed);
+  RunResult result = runAmplified(protocol, network, prover,
+                                  std::max<std::size_t>(1, options.repetitions), rng);
+  decision.accepted = result.accepted;
+  decision.maxBitsPerNode = result.transcript.maxPerNodeBits();
+  return decision;
+}
+
+Decision decideInputSymmetry(const graph::Graph& network, const graph::Graph& input,
+                             const DecideOptions& options) {
+  Decision decision;
+  decision.rounds = 3;
+  if (graph::isRigid(input)) {
+    decision.proverHadWitness = false;
+    return decision;
+  }
+  decision.proverHadWitness = true;
+  util::Rng setup(options.seed ^ 0x53594d32u);
+  SymInputProtocol protocol(hash::makeProtocol1Family(network.numVertices(), setup));
+  HonestSymInputProver prover(protocol.family());
+  SymInputInstance instance{network, input};
+  util::Rng rng(options.seed);
+  RunResult result = runAmplified(protocol, instance, prover,
+                                  std::max<std::size_t>(1, options.repetitions), rng);
+  decision.accepted = result.accepted;
+  decision.maxBitsPerNode = result.transcript.maxPerNodeBits();
+  return decision;
+}
+
+Decision decideNonIsomorphism(const graph::Graph& g0, const graph::Graph& g1,
+                              const DecideOptions& options) {
+  Decision decision;
+  decision.rounds = 4;
+  decision.proverHadWitness = true;  // The GS prover always participates.
+  const std::size_t n = g0.numVertices();
+  util::Rng setup(options.seed ^ 0x474e4931u);
+  util::Rng rng(options.seed);
+
+  if (graph::isRigid(g0) && graph::isRigid(g1)) {
+    GniParams params = GniParams::choose(n, setup);
+    GniAmamProtocol protocol(params);
+    HonestGniProver prover(params);
+    RunResult result = protocol.run(GniInstance{g0, g1}, prover, rng);
+    decision.accepted = result.accepted;
+    decision.maxBitsPerNode = result.transcript.maxPerNodeBits();
+    return decision;
+  }
+  // Symmetric inputs: the automorphism-compensated protocol.
+  GniGeneralParams params = GniGeneralParams::choose(n, setup);
+  GniGeneralProtocol protocol(params);
+  HonestGniGeneralProver prover(params);
+  RunResult result = protocol.run(GniInstance{g0, g1}, prover, rng);
+  decision.accepted = result.accepted;
+  decision.maxBitsPerNode = result.transcript.maxPerNodeBits();
+  return decision;
+}
+
+}  // namespace dip::core

@@ -1,0 +1,48 @@
+// Shared tree-aggregation helpers for prover-assisted fingerprint chains.
+//
+// Every protocol in the paper sums per-node hash contributions "up the
+// tree": the prover supplies each node its subtree sum, and each node
+// verifies it against its own piece plus its children's claimed sums — so
+// every lie is caught by a purely local equation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/spanning.hpp"
+#include "util/biguint.hpp"
+
+namespace dip::core {
+
+// Honest-prover side: exact subtree sums of `pieces` along the tree, mod
+// prime.
+inline std::vector<util::BigUInt> subtreeSums(const graph::Graph& g,
+                                              const net::SpanningTreeAdvice& tree,
+                                              const std::vector<util::BigUInt>& pieces,
+                                              const util::BigUInt& prime) {
+  std::vector<util::BigUInt> sums(g.numVertices());
+  for (graph::Vertex v : net::bottomUpOrder(tree)) {
+    util::BigUInt acc = pieces[v];
+    for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+      acc = util::addMod(acc, sums[child], prime);
+    }
+    sums[v] = acc;
+  }
+  return sums;
+}
+
+// Verifier side: does `claimed[v]` equal v's own piece plus its children's
+// claimed sums (all values range-checked against the prime)?
+inline bool chainLinkHolds(const util::BigUInt& ownPiece,
+                           const std::vector<graph::Vertex>& children,
+                           const std::vector<util::BigUInt>& claimed, graph::Vertex v,
+                           const util::BigUInt& prime) {
+  util::BigUInt expect = ownPiece;
+  for (graph::Vertex child : children) {
+    if (claimed[child] >= prime) return false;
+    expect = util::addMod(expect, claimed[child], prime);
+  }
+  return claimed[v] == expect;
+}
+
+}  // namespace dip::core

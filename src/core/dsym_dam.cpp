@@ -1,0 +1,146 @@
+#include "core/dsym_dam.hpp"
+
+#include <stdexcept>
+
+#include "net/spanning.hpp"
+#include "util/bitio.hpp"
+
+namespace dip::core {
+
+DSymDamProtocol::DSymDamProtocol(graph::DSymLayout layout, hash::LinearHashFamily family)
+    : layout_(layout), family_(std::move(family)) {
+  const std::uint64_t n = layout_.numVertices;
+  if (family_.dimension() != n * n) {
+    throw std::invalid_argument("DSymDamProtocol: family dimension mismatch");
+  }
+}
+
+bool DSymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
+                                   const DSymMessage& msg,
+                                   const util::BigUInt& ownChallenge) const {
+  const std::size_t n = g.numVertices();
+  const util::BigUInt& p = family_.prime();
+  if (n != layout_.numVertices) return false;
+
+  // Structural conditions (2)-(3): purely local, no prover input.
+  if (!graph::dsymLocalStructureOk(g, layout_, v)) return false;
+
+  // Broadcast consistency.
+  const util::BigUInt& index = msg.indexPerNode[v];
+  graph::Vertex root = msg.rootPerNode[v];
+  if (root >= n || index >= p) return false;
+  bool consistent = true;
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (!(msg.indexPerNode[u] == index) || msg.rootPerNode[u] != root) {
+      consistent = false;
+    }
+  });
+  if (!consistent) return false;
+
+  // Spanning-tree local checks.
+  net::SpanningTreeAdvice tree{root, msg.parent, msg.dist};
+  if (!net::verifyTreeLocally(g, tree, v)) return false;
+
+  // Chain verification with the FIXED sigma (computed locally from the
+  // public layout; no commitment round needed).
+  graph::Permutation sigma = graph::dsymSigma(layout_);
+  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  util::BigUInt expectB = family_.hashMatrixRow(
+      index, sigma[v], graph::Graph::imageOf(g.closedRow(v), sigma), n);
+  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+    if (msg.a[child] >= p || msg.b[child] >= p) return false;
+    expectA = util::addMod(expectA, msg.a[child], p);
+    expectB = util::addMod(expectB, msg.b[child], p);
+  }
+  if (!(msg.a[v] == expectA) || !(msg.b[v] == expectB)) return false;
+
+  // Root checks: fingerprints equal, index echo matches own challenge.
+  // (No rho_r != r check: sigma is non-trivial by construction.)
+  if (v == root) {
+    if (!(msg.a[v] == msg.b[v])) return false;
+    if (!(index == ownChallenge)) return false;
+  }
+  return true;
+}
+
+RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
+                               util::Rng& rng) const {
+  const std::size_t n = g.numVertices();
+  if (n != layout_.numVertices) {
+    throw std::invalid_argument("DSymDamProtocol: graph size does not match layout");
+  }
+  const unsigned idBits = util::bitsFor(n);
+  const std::size_t seedBits = family_.seedBits();
+  const std::size_t valueBits = family_.valueBits();
+
+  RunResult result;
+  result.transcript = net::Transcript(n);
+  net::Transcript& transcript = result.transcript;
+
+  transcript.beginRound("A: hash indices");
+  std::vector<util::BigUInt> challenges;
+  challenges.reserve(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(v);
+    challenges.push_back(family_.randomIndex(nodeRng));
+    transcript.chargeToProver(v, seedBits);
+  }
+
+  transcript.beginRound("M: index/root/tree/chains");
+  DSymMessage msg = prover.respond(g, challenges);
+  if (msg.indexPerNode.size() != n || msg.rootPerNode.size() != n ||
+      msg.parent.size() != n || msg.dist.size() != n || msg.a.size() != n ||
+      msg.b.size() != n) {
+    throw std::runtime_error("DSymProver: malformed message");
+  }
+  transcript.chargeBroadcastFromProver(seedBits + idBits);  // Index + root.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 2 * idBits + 2 * valueBits);
+  }
+
+  result.accepted = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!nodeDecision(g, v, msg, challenges[v])) {
+      result.accepted = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CostBreakdown DSymDamProtocol::costModel(const graph::DSymLayout& layout) {
+  const std::size_t n = layout.numVertices;
+  const unsigned idBits = util::bitsFor(n);
+  util::BigUInt pHi = util::BigUInt{100} * util::BigUInt::pow(util::BigUInt{n}, 3);
+  const std::size_t hashBits = pHi.bitLength();
+  CostBreakdown cost;
+  cost.bitsToProverPerNode = hashBits;
+  cost.bitsFromProverPerNode = hashBits + idBits   // Index + root broadcast.
+                               + 2 * idBits        // t_v, d_v.
+                               + 2 * hashBits;     // a_v, b_v.
+  return cost;
+}
+
+HonestDSymProver::HonestDSymProver(const graph::DSymLayout& layout,
+                                   const hash::LinearHashFamily& family)
+    : layout_(layout), family_(family) {}
+
+DSymMessage HonestDSymProver::respond(const graph::Graph& g,
+                                      const std::vector<util::BigUInt>& challenges) {
+  const std::size_t n = g.numVertices();
+  const graph::Vertex root = 0;
+  net::SpanningTreeAdvice tree = net::buildBfsTree(g, root);
+  const util::BigUInt& index = challenges[root];
+  ChainValues chains =
+      aggregateChains(g, family_, index, graph::dsymSigma(layout_), tree);
+  DSymMessage msg;
+  msg.indexPerNode.assign(n, index);
+  msg.rootPerNode.assign(n, root);
+  msg.parent = tree.parent;
+  msg.dist = tree.dist;
+  msg.a = std::move(chains.a);
+  msg.b = std::move(chains.b);
+  return msg;
+}
+
+}  // namespace dip::core

@@ -1,0 +1,570 @@
+#include "core/gni_general.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/chain_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/bitio.hpp"
+#include "util/mathutil.hpp"
+#include "util/primes.hpp"
+
+namespace dip::core {
+
+namespace {
+
+// Pads an n-bit row to the hash's 2n-bit row width.
+util::DynBitset padRow(const util::DynBitset& row, std::size_t width) {
+  util::DynBitset padded(width);
+  row.forEachSet([&](std::size_t i) { padded.set(i); });
+  return padded;
+}
+
+// The GS inner-hash piece node v vouches for: H's row sigma(v) plus alpha's
+// permutation-matrix row at index n + sigma(v).
+util::BigUInt gsPairPiece(const hash::EpsApiHash& gsHash, std::size_t n,
+                          const hash::EpsApiHash::Seed& seed, graph::Vertex sv,
+                          graph::Vertex av, const util::DynBitset& hRow) {
+  util::BigUInt piece = gsHash.innerRow(seed, sv, padRow(hRow, 2 * n));
+  util::DynBitset alphaRow(2 * n);
+  alphaRow.set(av);
+  return gsHash.combine(piece, gsHash.innerRow(seed, n + sv, alphaRow));
+}
+
+// Exhaustive preimage search over S = {(sigma(G_b), alpha)}.
+struct GeneralHit {
+  graph::Permutation sigma;
+  graph::Permutation alpha;
+  std::uint8_t b = 0;
+};
+std::optional<GeneralHit> searchGeneralPreimage(
+    const GniInstance& instance, const hash::EpsApiHash& gsHash, std::size_t n,
+    const hash::EpsApiHash::Seed& seed, const util::BigUInt& y,
+    const std::vector<graph::Permutation>& aut0,
+    const std::vector<graph::Permutation>& aut1) {
+  hash::EpsApiHash::PowerTable table = gsHash.preparePowers(seed);
+  const util::BigUInt& bigP = gsHash.fieldPrime();
+  const std::size_t width = 2 * n;
+
+  for (std::uint8_t b = 0; b < 2; ++b) {
+    const graph::Graph& gb = (b == 0) ? instance.g0 : instance.g1;
+    const std::vector<graph::Permutation>& aut = (b == 0) ? aut0 : aut1;
+    graph::Permutation sigma = graph::identityPermutation(n);
+    do {
+      // H = sigma(G_b); its row part of the inner hash is shared by every
+      // alpha, so compute it once per sigma.
+      util::BigUInt hPart;
+      for (graph::Vertex v = 0; v < n; ++v) {
+        util::DynBitset row = padRow(graph::Graph::imageOf(gb.closedRow(v), sigma), width);
+        hPart = util::addMod(hPart, gsHash.innerRowPrepared(table, sigma[v], row), bigP);
+      }
+      for (const graph::Permutation& beta : aut) {
+        // alpha = sigma . beta . sigma^{-1} is an automorphism of H.
+        graph::Permutation alpha = graph::compose(sigma, graph::compose(beta,
+                                                          graph::inverse(sigma)));
+        util::BigUInt full = hPart;
+        for (graph::Vertex u = 0; u < n; ++u) {
+          full = util::addMod(full, table.powers[(n + u) * width + alpha[u]], bigP);
+        }
+        if (gsHash.outer(seed, full) == y) return GeneralHit{sigma, alpha, b};
+      }
+    } while (std::next_permutation(sigma.begin(), sigma.end()));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+GniGeneralParams GniGeneralParams::choose(std::size_t n, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("GniGeneralParams: n < 2");
+  GniGeneralParams params;
+  params.n = n;
+  util::BigUInt nFactorial = util::factorial(n);
+  params.ell = nFactorial.bitLength() + 2;  // 2^ell in [4 n!, 8 n!).
+  params.gsHash = hash::EpsApiHash::create(2 * n, params.ell, rng);
+
+  std::size_t checkBits = 3 * util::bitsFor(n) + 24;
+  params.checkFamily = hash::LinearHashFamily(
+      util::findPrimeWithBits(checkBits, rng), static_cast<std::uint64_t>(n) * n);
+
+  const double q = std::exp2(nFactorial.log2() - static_cast<double>(params.ell));
+  const double fs = std::exp2(static_cast<double>(params.ell) -
+                              params.gsHash.fieldPrime().log2());
+  const double m = 4.0 * static_cast<double>(n) * static_cast<double>(n);
+  const double pairFactor = (m + 1.0) * fs + 1.0 + 3.0 * fs;
+  params.perRoundYesLb = 2.0 * q - 2.0 * q * q * pairFactor;
+  params.perRoundNoUb = q + 6.0 * m / params.checkFamily.prime().toDouble() + 1e-9;
+
+  for (std::size_t k = 16; k <= 16384; k *= 2) {
+    std::size_t tau = static_cast<std::size_t>(
+        static_cast<double>(k) * (params.perRoundYesLb + params.perRoundNoUb) / 2.0);
+    if (tau == 0) tau = 1;
+    if (util::binomialTailGE(k, params.perRoundYesLb, tau) > 0.70 &&
+        util::binomialTailGE(k, params.perRoundNoUb, tau) < 0.30) {
+      params.repetitions = k;
+      params.threshold = tau;
+      break;
+    }
+  }
+  if (params.repetitions == 0) {
+    throw std::runtime_error("GniGeneralParams: amplification search failed");
+  }
+  return params;
+}
+
+GniGeneralProtocol::GniGeneralProtocol(GniGeneralParams params)
+    : params_(std::move(params)) {}
+
+bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex v,
+                                      const GniGenFirstMessage& first,
+                                      const GniGenSecondMessage& second,
+                                      const std::vector<GniChallenge>& ownChallenges,
+                                      const util::BigUInt& ownCheckChallenge) const {
+  const std::size_t n = instance.g0.numVertices();
+  const std::size_t k = params_.repetitions;
+  const util::BigUInt& bigP = params_.gsHash.fieldPrime();
+  const util::BigUInt& checkP = params_.checkFamily.prime();
+  const util::BigUInt yBound = util::BigUInt{1} << params_.ell;
+  const GniGenM1PerNode& m1 = first.perNode[v];
+  const GniGenM2PerNode& m2 = second.perNode[v];
+
+  // Shape checks.
+  if (m1.echo.size() != k || m1.claimed.size() != k || m1.b.size() != k ||
+      m1.s.size() != k || m1.a.size() != k || m1.sClaims.size() != k ||
+      m1.aClaims.size() != k) {
+    return false;
+  }
+  if (m2.h.size() != k || m2.identity.size() != k || m2.permS.size() != k ||
+      m2.permA.size() != k || m2.autL.size() != k || m2.autR.size() != k ||
+      m2.consSC.size() != k || m2.consST.size() != k || m2.consAC.size() != k ||
+      m2.consAT.size() != k) {
+    return false;
+  }
+  if (m1.root != 0) return false;
+
+  // Broadcast consistency.
+  bool consistent = true;
+  instance.g0.row(v).forEachSet([&](std::size_t u) {
+    const GniGenM1PerNode& other = first.perNode[u];
+    if (other.root != m1.root || other.echo != m1.echo || other.claimed != m1.claimed ||
+        other.b != m1.b || !(second.perNode[u].checkSeed == m2.checkSeed)) {
+      consistent = false;
+    }
+  });
+  if (!consistent || m2.checkSeed >= checkP) return false;
+
+  // Tree check (root fixed at 0).
+  if (v == 0) {
+    if (m1.dist != 0) return false;
+  } else {
+    if (m1.parent >= n || !instance.g0.hasEdge(v, m1.parent)) return false;
+    if (m1.dist < 1 || first.perNode[m1.parent].dist != m1.dist - 1) return false;
+  }
+  std::vector<graph::Vertex> children;
+  instance.g0.row(v).forEachSet([&](std::size_t u) {
+    if (first.perNode[u].parent == v && u != 0) {
+      children.push_back(static_cast<graph::Vertex>(u));
+    }
+  });
+
+  const std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
+
+  std::size_t claimedCount = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!m1.claimed[j]) continue;
+    ++claimedCount;
+    if (m1.b[j] > 1) return false;
+
+    const GniChallenge& challenge = m1.echo[j];
+    if (challenge.seed.a >= bigP || challenge.seed.alpha >= bigP ||
+        challenge.seed.beta >= bigP || challenge.y >= yBound) {
+      return false;
+    }
+    graph::Vertex sv = m1.s[j];
+    graph::Vertex av = m1.a[j];
+    if (sv >= n || av >= n) return false;
+
+    // Assemble H's row sigma(v) and its alpha-image from the visible
+    // commitments (neighbors for b = 0, prover claims for b = 1).
+    util::DynBitset hRow(n);
+    util::DynBitset alphaHRow(n);
+    if (m1.b[j] == 0) {
+      bool ok = true;
+      instance.g0.closedRow(v).forEachSet([&](std::size_t u) {
+        graph::Vertex su = first.perNode[u].s[j];
+        graph::Vertex au = first.perNode[u].a[j];
+        if (su >= n || au >= n) {
+          ok = false;
+        } else {
+          hRow.set(su);
+          alphaHRow.set(au);
+        }
+      });
+      if (!ok) return false;
+    } else {
+      const auto& sClaims = m1.sClaims[j];
+      const auto& aClaims = m1.aClaims[j];
+      if (sClaims.size() != closed1.size() || aClaims.size() != closed1.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < closed1.size(); ++i) {
+        if (sClaims[i] >= n || aClaims[i] >= n) return false;
+        if (closed1[i] == v && (sClaims[i] != sv || aClaims[i] != av)) return false;
+        hRow.set(sClaims[i]);
+        alphaHRow.set(aClaims[i]);
+      }
+    }
+
+    // (i) GS hash of the pair (H, alpha).
+    util::BigUInt gsPiece =
+        gsPairPiece(params_.gsHash, n, challenge.seed, sv, av, hRow);
+    if (m2.h[j] >= bigP ||
+        !chainLinkHolds(gsPiece, children,
+                        [&] {
+                          std::vector<util::BigUInt> column(n);
+                          for (graph::Vertex u = 0; u < n; ++u) {
+                            column[u] = second.perNode[u].h[j];
+                          }
+                          return column;
+                        }(),
+                        v, bigP)) {
+      return false;
+    }
+
+    // (ii)-(vi) check-family chains. Gather each column once.
+    auto column = [&](std::vector<util::BigUInt> GniGenM2PerNode::* field) {
+      std::vector<util::BigUInt> out(n);
+      for (graph::Vertex u = 0; u < n; ++u) out[u] = (second.perNode[u].*field)[j];
+      return out;
+    };
+    const auto& cf = params_.checkFamily;
+    util::BigUInt idPiece = cf.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
+    util::BigUInt permSPiece = cf.hashMatrixEntry(m2.checkSeed, sv, sv, 1, n);
+    util::BigUInt permAPiece = cf.hashMatrixEntry(m2.checkSeed, av, av, 1, n);
+    util::BigUInt autLPiece = cf.hashMatrixRow(m2.checkSeed, sv, hRow, n);
+    util::BigUInt autRPiece = cf.hashMatrixRow(m2.checkSeed, av, alphaHRow, n);
+    if (!chainLinkHolds(idPiece, children, column(&GniGenM2PerNode::identity), v, checkP) ||
+        !chainLinkHolds(permSPiece, children, column(&GniGenM2PerNode::permS), v, checkP) ||
+        !chainLinkHolds(permAPiece, children, column(&GniGenM2PerNode::permA), v, checkP) ||
+        !chainLinkHolds(autLPiece, children, column(&GniGenM2PerNode::autL), v, checkP) ||
+        !chainLinkHolds(autRPiece, children, column(&GniGenM2PerNode::autR), v, checkP)) {
+      return false;
+    }
+
+    if (m1.b[j] == 1) {
+      util::BigUInt consSCPiece, consACPiece;
+      for (std::size_t i = 0; i < closed1.size(); ++i) {
+        consSCPiece = util::addMod(
+            consSCPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.sClaims[j][i], 1, n),
+            checkP);
+        consACPiece = util::addMod(
+            consACPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.aClaims[j][i], 1, n),
+            checkP);
+      }
+      util::BigUInt consSTPiece =
+          cf.hashMatrixEntry(m2.checkSeed, v, sv, closed1.size(), n);
+      util::BigUInt consATPiece =
+          cf.hashMatrixEntry(m2.checkSeed, v, av, closed1.size(), n);
+      if (!chainLinkHolds(consSCPiece, children, column(&GniGenM2PerNode::consSC), v, checkP) ||
+          !chainLinkHolds(consSTPiece, children, column(&GniGenM2PerNode::consST), v, checkP) ||
+          !chainLinkHolds(consACPiece, children, column(&GniGenM2PerNode::consAC), v, checkP) ||
+          !chainLinkHolds(consATPiece, children, column(&GniGenM2PerNode::consAT), v, checkP)) {
+        return false;
+      }
+    }
+
+    // Root-only equalities.
+    if (v == 0) {
+      if (!(params_.gsHash.outer(challenge.seed, m2.h[j]) == challenge.y)) return false;
+      if (!(m2.identity[j] == m2.permS[j])) return false;   // sigma is a permutation.
+      if (!(m2.identity[j] == m2.permA[j])) return false;   // alpha is a permutation.
+      if (!(m2.autL[j] == m2.autR[j])) return false;        // alpha in Aut(H).
+      if (m1.b[j] == 1) {
+        if (!(m2.consSC[j] == m2.consST[j])) return false;
+        if (!(m2.consAC[j] == m2.consAT[j])) return false;
+      }
+      if (!(challenge == ownChallenges[j])) return false;
+    }
+  }
+
+  if (v == 0 && !(m2.checkSeed == ownCheckChallenge)) return false;
+  return claimedCount >= params_.threshold;
+}
+
+RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver& prover,
+                                  util::Rng& rng) const {
+  const std::size_t n = instance.g0.numVertices();
+  if (n != params_.n || instance.g1.numVertices() != n) {
+    throw std::invalid_argument("GniGeneralProtocol: size mismatch");
+  }
+  const std::size_t k = params_.repetitions;
+  const unsigned idBits = util::bitsFor(n);
+  const std::size_t seedBlockBits = params_.gsHash.seedBits() + params_.ell;
+  const std::size_t innerBits = params_.gsHash.innerValueBits();
+  const std::size_t checkBits = params_.checkFamily.seedBits();
+
+  RunResult result;
+  result.transcript = net::Transcript(n);
+  net::Transcript& transcript = result.transcript;
+
+  transcript.beginRound("A1: GS seeds + targets");
+  std::vector<std::vector<GniChallenge>> challenges(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(v);
+    for (std::size_t j = 0; j < k; ++j) {
+      GniChallenge challenge;
+      challenge.seed = params_.gsHash.randomSeed(nodeRng);
+      challenge.y = nodeRng.nextBigBits(params_.ell);
+      challenges[v].push_back(std::move(challenge));
+    }
+    transcript.chargeToProver(v, k * seedBlockBits);
+  }
+
+  transcript.beginRound("M1: echo + (sigma, alpha) commitments");
+  GniGenFirstMessage first = prover.firstMessage(instance, challenges);
+  if (first.perNode.size() != n) throw std::runtime_error("malformed general GNI M1");
+  transcript.chargeBroadcastFromProver(idBits + k * seedBlockBits + 2 * k);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    std::size_t claimBits = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (first.perNode[v].claimed[j] && first.perNode[v].b[j] == 1) {
+        claimBits += (first.perNode[v].sClaims[j].size() +
+                      first.perNode[v].aClaims[j].size()) *
+                     idBits;
+      }
+    }
+    transcript.chargeFromProver(v, 2 * idBits + 2 * k * idBits + claimBits);
+  }
+
+  transcript.beginRound("A2: check indices");
+  std::vector<util::BigUInt> checkChallenges;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(0x20000u + v);
+    checkChallenges.push_back(params_.checkFamily.randomIndex(nodeRng));
+    transcript.chargeToProver(v, checkBits);
+  }
+
+  transcript.beginRound("M2: check echo + chains");
+  GniGenSecondMessage second =
+      prover.secondMessage(instance, challenges, first, checkChallenges);
+  if (second.perNode.size() != n) throw std::runtime_error("malformed general GNI M2");
+  transcript.chargeBroadcastFromProver(checkBits);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    std::size_t bits = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!first.perNode[v].claimed[j]) continue;
+      bits += innerBits + 5 * checkBits;  // h + identity/permS/permA/autL/autR.
+      if (first.perNode[v].b[j] == 1) bits += 4 * checkBits;
+    }
+    transcript.chargeFromProver(v, bits);
+  }
+
+  result.accepted = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!nodeDecision(instance, v, first, second, challenges[v], checkChallenges[v])) {
+      result.accepted = false;
+      break;
+    }
+  }
+  return result;
+}
+
+AcceptanceStats GniGeneralProtocol::estimatePerRoundHit(const GniInstance& instance,
+                                                        std::size_t trials,
+                                                        util::Rng& rng) const {
+  auto aut0 = graph::allAutomorphisms(instance.g0);
+  auto aut1 = graph::allAutomorphisms(instance.g1);
+  AcceptanceStats stats;
+  stats.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    hash::EpsApiHash::Seed seed = params_.gsHash.randomSeed(rng);
+    util::BigUInt y = rng.nextBigBits(params_.ell);
+    if (searchGeneralPreimage(instance, params_.gsHash, params_.n, seed, y, aut0, aut1)) {
+      ++stats.accepts;
+    }
+  }
+  return stats;
+}
+
+CostBreakdown GniGeneralProtocol::costModel(std::size_t n, std::size_t repetitions) {
+  const unsigned idBits = util::bitsFor(n);
+  double log2Fact = 0.0;
+  for (std::size_t i = 2; i <= n; ++i) log2Fact += std::log2(static_cast<double>(i));
+  const std::size_t ell = static_cast<std::size_t>(log2Fact) + 3;
+  const std::size_t fieldBits = ell + 2 * util::bitsFor(2 * n) + 8;
+  const std::size_t seedBlockBits = 3 * fieldBits + ell;
+  const std::size_t checkBits = 3 * util::bitsFor(n) + 24;
+  const std::size_t k = repetitions;
+
+  CostBreakdown cost;
+  cost.bitsToProverPerNode = k * seedBlockBits + checkBits;
+  cost.bitsFromProverPerNode = idBits + k * seedBlockBits + 2 * k  // M1 broadcast.
+                               + 2 * idBits + 2 * k * idBits       // Tree + s + a.
+                               + 2 * k * n * idBits                // Claims (worst case).
+                               + checkBits                         // M2 broadcast.
+                               + k * (fieldBits + 9 * checkBits);  // Chains.
+  return cost;
+}
+
+// ---- Honest prover ----
+
+HonestGniGeneralProver::HonestGniGeneralProver(const GniGeneralParams& params)
+    : params_(params) {}
+
+GniGenFirstMessage HonestGniGeneralProver::firstMessage(
+    const GniInstance& instance,
+    const std::vector<std::vector<GniChallenge>>& challenges) {
+  const std::size_t n = instance.g0.numVertices();
+  const std::size_t k = params_.repetitions;
+  const std::vector<GniChallenge>& rootChallenges = challenges[0];
+  auto aut0 = graph::allAutomorphisms(instance.g0);
+  auto aut1 = graph::allAutomorphisms(instance.g1);
+
+  lastFound_.assign(k, std::nullopt);
+  std::vector<std::uint8_t> claimed(k, 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    auto hit = searchGeneralPreimage(instance, params_.gsHash, n,
+                                     rootChallenges[j].seed, rootChallenges[j].y, aut0,
+                                     aut1);
+    if (hit) {
+      claimed[j] = 1;
+      lastFound_[j] = Found{std::move(hit->sigma), std::move(hit->alpha), hit->b};
+    }
+  }
+
+  net::SpanningTreeAdvice tree = net::buildBfsTree(instance.g0, 0);
+  GniGenFirstMessage first;
+  first.perNode.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    GniGenM1PerNode& m1 = first.perNode[v];
+    m1.root = 0;
+    m1.parent = tree.parent[v];
+    m1.dist = tree.dist[v];
+    m1.echo = rootChallenges;
+    m1.claimed = claimed;
+    m1.b.assign(k, 0);
+    m1.s.assign(k, 0);
+    m1.a.assign(k, 0);
+    m1.sClaims.resize(k);
+    m1.aClaims.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!lastFound_[j]) continue;
+      const Found& found = *lastFound_[j];
+      m1.b[j] = found.b;
+      m1.s[j] = found.sigma[v];
+      m1.a[j] = found.alpha[found.sigma[v]];
+      if (found.b == 1) {
+        for (graph::Vertex u : instance.g1.closedNeighbors(v)) {
+          m1.sClaims[j].push_back(found.sigma[u]);
+          m1.aClaims[j].push_back(found.alpha[found.sigma[u]]);
+        }
+      }
+    }
+  }
+  return first;
+}
+
+GniGenSecondMessage HonestGniGeneralProver::secondMessage(
+    const GniInstance& instance, const std::vector<std::vector<GniChallenge>>& challenges,
+    const GniGenFirstMessage& /*first*/, const std::vector<util::BigUInt>& checkChallenges) {
+  const std::size_t n = instance.g0.numVertices();
+  const std::size_t k = params_.repetitions;
+  const util::BigUInt& bigP = params_.gsHash.fieldPrime();
+  const util::BigUInt& checkP = params_.checkFamily.prime();
+  const util::BigUInt& checkSeed = checkChallenges[0];
+  const auto& cf = params_.checkFamily;
+  net::SpanningTreeAdvice tree = net::buildBfsTree(instance.g0, 0);
+
+  GniGenSecondMessage second;
+  second.perNode.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    GniGenM2PerNode& m2 = second.perNode[v];
+    m2.checkSeed = checkSeed;
+    for (auto field : {&GniGenM2PerNode::h, &GniGenM2PerNode::identity,
+                       &GniGenM2PerNode::permS, &GniGenM2PerNode::permA,
+                       &GniGenM2PerNode::autL, &GniGenM2PerNode::autR,
+                       &GniGenM2PerNode::consSC, &GniGenM2PerNode::consST,
+                       &GniGenM2PerNode::consAC, &GniGenM2PerNode::consAT}) {
+      (m2.*field).assign(k, util::BigUInt{});
+    }
+  }
+
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!lastFound_[j]) continue;
+    const Found& found = *lastFound_[j];
+    const graph::Graph& gb = (found.b == 0) ? instance.g0 : instance.g1;
+    const GniChallenge& challenge = challenges[0][j];
+
+    std::vector<util::BigUInt> gsPieces(n), idPieces(n), permSPieces(n), permAPieces(n),
+        autLPieces(n), autRPieces(n), consSCPieces(n), consSTPieces(n), consACPieces(n),
+        consATPieces(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      graph::Vertex sv = found.sigma[v];
+      graph::Vertex av = found.alpha[sv];
+      util::DynBitset hRow = graph::Graph::imageOf(gb.closedRow(v), found.sigma);
+      util::DynBitset alphaHRow = graph::Graph::imageOf(hRow, found.alpha);
+
+      gsPieces[v] = gsPairPiece(params_.gsHash, n, challenge.seed, sv, av, hRow);
+      idPieces[v] = cf.hashMatrixEntry(checkSeed, v, v, 1, n);
+      permSPieces[v] = cf.hashMatrixEntry(checkSeed, sv, sv, 1, n);
+      permAPieces[v] = cf.hashMatrixEntry(checkSeed, av, av, 1, n);
+      autLPieces[v] = cf.hashMatrixRow(checkSeed, sv, hRow, n);
+      autRPieces[v] = cf.hashMatrixRow(checkSeed, av, alphaHRow, n);
+      if (found.b == 1) {
+        std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
+        util::BigUInt accS, accA;
+        for (graph::Vertex u : closed1) {
+          accS = util::addMod(
+              accS, cf.hashMatrixEntry(checkSeed, u, found.sigma[u], 1, n), checkP);
+          accA = util::addMod(
+              accA, cf.hashMatrixEntry(checkSeed, u, found.alpha[found.sigma[u]], 1, n),
+              checkP);
+        }
+        consSCPieces[v] = accS;
+        consACPieces[v] = accA;
+        consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closed1.size(), n);
+        consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closed1.size(), n);
+      }
+    }
+
+    auto assign = [&](std::vector<util::BigUInt> GniGenM2PerNode::* field,
+                      const std::vector<util::BigUInt>& pieces, const util::BigUInt& prime) {
+      auto sums = subtreeSums(instance.g0, tree, pieces, prime);
+      for (graph::Vertex v = 0; v < n; ++v) (second.perNode[v].*field)[j] = sums[v];
+    };
+    assign(&GniGenM2PerNode::h, gsPieces, bigP);
+    assign(&GniGenM2PerNode::identity, idPieces, checkP);
+    assign(&GniGenM2PerNode::permS, permSPieces, checkP);
+    assign(&GniGenM2PerNode::permA, permAPieces, checkP);
+    assign(&GniGenM2PerNode::autL, autLPieces, checkP);
+    assign(&GniGenM2PerNode::autR, autRPieces, checkP);
+    if (found.b == 1) {
+      assign(&GniGenM2PerNode::consSC, consSCPieces, checkP);
+      assign(&GniGenM2PerNode::consST, consSTPieces, checkP);
+      assign(&GniGenM2PerNode::consAC, consACPieces, checkP);
+      assign(&GniGenM2PerNode::consAT, consATPieces, checkP);
+    }
+  }
+  return second;
+}
+
+// ---- Instance generators ----
+
+GniInstance gniGeneralYesInstance(std::size_t n, util::Rng& rng) {
+  // A symmetric g0 (the case the basic protocol cannot count) against a
+  // rigid, non-isomorphic g1.
+  graph::Graph g0 = graph::randomSymmetricConnected(n, rng);
+  graph::Graph g1 = graph::randomRigidConnected(n, rng);
+  // Different automorphism counts already guarantee non-isomorphism.
+  return GniInstance{std::move(g0), std::move(g1)};
+}
+
+GniInstance gniGeneralNoInstance(std::size_t n, util::Rng& rng) {
+  graph::Graph g0 = graph::randomSymmetricConnected(n, rng);
+  graph::Graph g1 = graph::randomIsomorphicCopy(g0, rng);
+  return GniInstance{std::move(g0), std::move(g1)};
+}
+
+}  // namespace dip::core

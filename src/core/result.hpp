@@ -1,0 +1,36 @@
+// Shared result types for protocol executions.
+#pragma once
+
+#include <cstddef>
+
+#include "net/transcript.hpp"
+#include "util/mathutil.hpp"
+
+namespace dip::core {
+
+// Outcome of one protocol execution against one prover.
+struct RunResult {
+  bool accepted = false;           // All nodes accepted.
+  net::Transcript transcript{0};   // Exact bit accounting for the run.
+};
+
+// Empirical acceptance statistics over repeated independent executions.
+struct AcceptanceStats {
+  std::size_t accepts = 0;
+  std::size_t trials = 0;
+  util::WilsonInterval interval() const { return util::wilson95(accepts, trials); }
+  double rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(accepts) / static_cast<double>(trials);
+  }
+};
+
+// Structural message-size breakdown of a protocol for a given instance
+// size, independent of any actual execution (message schedules do not
+// depend on the prover's search, so cost curves extend to large n).
+struct CostBreakdown {
+  std::size_t bitsToProverPerNode = 0;    // Challenge bits (charged, as the paper does).
+  std::size_t bitsFromProverPerNode = 0;  // Response bits (max over nodes).
+  std::size_t totalPerNode() const { return bitsToProverPerNode + bitsFromProverPerNode; }
+};
+
+}  // namespace dip::core

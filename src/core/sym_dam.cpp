@@ -1,0 +1,243 @@
+#include "core/sym_dam.hpp"
+
+#include <stdexcept>
+
+#include "graph/isomorphism.hpp"
+#include "util/bitio.hpp"
+
+namespace dip::core {
+
+util::BigUInt mappedMatrixFingerprint(const graph::Graph& g,
+                                      const hash::LinearHashFamily& family,
+                                      const util::BigUInt& index,
+                                      const std::vector<graph::Vertex>& sigma) {
+  const std::size_t n = g.numVertices();
+  util::BigUInt acc;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::BigUInt term = family.hashMatrixRow(
+        index, sigma[v], graph::Graph::imageOf(g.closedRow(v), sigma), n);
+    acc = util::addMod(acc, term, family.prime());
+  }
+  return acc;
+}
+
+SymDamProtocol::SymDamProtocol(hash::LinearHashFamily family)
+    : family_(std::move(family)) {}
+
+bool SymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
+                                  const SymDamMessage& msg,
+                                  const util::BigUInt& ownChallenge) const {
+  const std::size_t n = g.numVertices();
+  const util::BigUInt& p = family_.prime();
+
+  // Broadcast consistency (rho, index, root) against all neighbors.
+  const std::vector<graph::Vertex>& rho = msg.rhoPerNode[v];
+  const util::BigUInt& index = msg.indexPerNode[v];
+  graph::Vertex root = msg.rootPerNode[v];
+  if (rho.size() != n || root >= n || index >= p) return false;
+  for (graph::Vertex u : rho) {
+    if (u >= n) return false;
+  }
+  bool consistent = true;
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (msg.rhoPerNode[u] != rho || !(msg.indexPerNode[u] == index) ||
+        msg.rootPerNode[u] != root) {
+      consistent = false;
+    }
+  });
+  if (!consistent) return false;
+
+  // Line 1: spanning-tree local checks.
+  net::SpanningTreeAdvice tree{root, msg.parent, msg.dist};
+  if (!net::verifyTreeLocally(g, tree, v)) return false;
+
+  // Lines 2-3: chain verification. rho is fully known here, so the node
+  // evaluates rho(N(v)) itself.
+  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  util::BigUInt expectB = family_.hashMatrixRow(
+      index, rho[v], graph::Graph::imageOf(g.closedRow(v), rho), n);
+  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+    if (msg.a[child] >= p || msg.b[child] >= p) return false;
+    expectA = util::addMod(expectA, msg.a[child], p);
+    expectB = util::addMod(expectB, msg.b[child], p);
+  }
+  if (!(msg.a[v] == expectA) || !(msg.b[v] == expectB)) return false;
+
+  // Line 4: root-only checks.
+  if (v == root) {
+    if (!(msg.a[v] == msg.b[v])) return false;
+    if (rho[v] == v) return false;
+    if (!(index == ownChallenge)) return false;
+  }
+  return true;
+}
+
+RunResult SymDamProtocol::run(const graph::Graph& g, SymDamProver& prover,
+                              util::Rng& rng) const {
+  const std::size_t n = g.numVertices();
+  if (n == 0) throw std::invalid_argument("SymDamProtocol: empty graph");
+  const unsigned idBits = util::bitsFor(n);
+  const std::size_t seedBits = family_.seedBits();
+  const std::size_t valueBits = family_.valueBits();
+
+  RunResult result;
+  result.transcript = net::Transcript(n);
+  net::Transcript& transcript = result.transcript;
+
+  // A: challenges first (this is what makes it Arthur-Merlin).
+  transcript.beginRound("A: hash indices");
+  std::vector<util::BigUInt> challenges;
+  challenges.reserve(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(v);
+    challenges.push_back(family_.randomIndex(nodeRng));
+    transcript.chargeToProver(v, seedBits);
+  }
+
+  // M: the prover's single response.
+  transcript.beginRound("M: rho/index/root/tree/chains");
+  SymDamMessage msg = prover.respond(g, challenges);
+  if (msg.rhoPerNode.size() != n || msg.indexPerNode.size() != n ||
+      msg.rootPerNode.size() != n || msg.parent.size() != n || msg.dist.size() != n ||
+      msg.a.size() != n || msg.b.size() != n) {
+    throw std::runtime_error("SymDamProver: malformed message");
+  }
+  transcript.chargeBroadcastFromProver(n * idBits   // Full rho.
+                                       + seedBits   // Index echo.
+                                       + idBits);   // Root.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 2 * idBits        // t_v, d_v.
+                                       + 2 * valueBits);  // a_v, b_v.
+  }
+
+  result.accepted = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!nodeDecision(g, v, msg, challenges[v])) {
+      result.accepted = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CostBreakdown SymDamProtocol::costModel(std::size_t n) {
+  const unsigned idBits = util::bitsFor(n);
+  // p in [10 n^(n+2), 100 n^(n+2)] => about (n+2) log2(n) + 7 bits.
+  util::BigUInt pHi =
+      util::BigUInt{100} * util::BigUInt::pow(util::BigUInt{n}, n + 2);
+  const std::size_t hashBits = pHi.bitLength();
+  CostBreakdown cost;
+  cost.bitsToProverPerNode = hashBits;
+  cost.bitsFromProverPerNode = n * idBits       // Full rho broadcast.
+                               + hashBits       // Index echo.
+                               + idBits         // Root.
+                               + 2 * idBits     // t_v, d_v.
+                               + 2 * hashBits;  // a_v, b_v.
+  return cost;
+}
+
+// ---- Honest prover ----
+
+HonestSymDamProver::HonestSymDamProver(const hash::LinearHashFamily& family)
+    : family_(family) {}
+
+SymDamMessage HonestSymDamProver::respond(const graph::Graph& g,
+                                          const std::vector<util::BigUInt>& challenges) {
+  auto rho = graph::findNontrivialAutomorphism(g);
+  if (!rho) throw std::invalid_argument("HonestSymDamProver: graph is not symmetric");
+  const std::size_t n = g.numVertices();
+  graph::Vertex root = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if ((*rho)[v] != v) {
+      root = v;
+      break;
+    }
+  }
+  net::SpanningTreeAdvice tree = net::buildBfsTree(g, root);
+  const util::BigUInt& index = challenges[root];
+  ChainValues chains = aggregateChains(g, family_, index, *rho, tree);
+
+  SymDamMessage msg;
+  msg.rhoPerNode.assign(n, *rho);
+  msg.indexPerNode.assign(n, index);
+  msg.rootPerNode.assign(n, root);
+  msg.parent = tree.parent;
+  msg.dist = tree.dist;
+  msg.a = std::move(chains.a);
+  msg.b = std::move(chains.b);
+  return msg;
+}
+
+// ---- Adaptive cheater ----
+
+AdaptiveCollisionProver::AdaptiveCollisionProver(const hash::LinearHashFamily& family,
+                                                 std::size_t searchBudget,
+                                                 std::uint64_t seed)
+    : family_(family), searchBudget_(searchBudget), rng_(seed) {}
+
+SymDamMessage AdaptiveCollisionProver::respond(
+    const graph::Graph& g, const std::vector<util::BigUInt>& challenges) {
+  const std::size_t n = g.numVertices();
+  lastSearchSucceeded_ = false;
+
+  // The cheater may pick any root; the index echoed must match that root's
+  // challenge. Try root 0's challenge (any fixed choice is equivalent: the
+  // challenge is already visible).
+  // Strategy: for each candidate mapping sigma (non-identity), the forced
+  // root value b_r equals fingerprint(sigma), and a_r equals
+  // fingerprint(identity); search for a collision.
+  std::vector<graph::Vertex> best;
+  graph::Vertex bestRoot = 0;
+  util::BigUInt index;
+
+  // Precompute per-root targets lazily: fingerprint depends on the index,
+  // which depends on the chosen root's challenge. Use root candidates in
+  // order; for each root, run a slice of the budget.
+  const std::size_t rootsToTry = std::min<std::size_t>(n, 4);
+  const std::size_t perRootBudget = searchBudget_ / rootsToTry + 1;
+  for (std::size_t rootIdx = 0; rootIdx < rootsToTry && !lastSearchSucceeded_; ++rootIdx) {
+    graph::Vertex root = static_cast<graph::Vertex>(rootIdx);
+    const util::BigUInt& candidateIndex = challenges[root];
+    util::BigUInt candidateTarget =
+        mappedMatrixFingerprint(g, family_, candidateIndex,
+                                graph::identityPermutation(n));
+    for (std::size_t attempt = 0; attempt < perRootBudget; ++attempt) {
+      // Random mapping V -> V (not necessarily a permutation — Theorem 3.5
+      // union-bounds over all n^n mappings, so the adversary may use any).
+      std::vector<graph::Vertex> sigma(n);
+      for (auto& s : sigma) s = static_cast<graph::Vertex>(rng_.nextBelow(n));
+      if (sigma[root] == root) sigma[root] = static_cast<graph::Vertex>((root + 1) % n);
+      if (graph::isIdentity(sigma)) continue;
+      util::BigUInt fp = mappedMatrixFingerprint(g, family_, candidateIndex, sigma);
+      if (fp == candidateTarget) {
+        best = sigma;
+        bestRoot = root;
+        index = candidateIndex;
+        lastSearchSucceeded_ = true;
+        break;
+      }
+    }
+  }
+
+  if (!lastSearchSucceeded_) {
+    // Doomed: play a transposition and hope (the root equality will fail).
+    best = graph::identityPermutation(n);
+    std::swap(best[0], best[n - 1]);
+    bestRoot = 0;
+    index = challenges[bestRoot];
+  }
+
+  net::SpanningTreeAdvice tree = net::buildBfsTree(g, bestRoot);
+  ChainValues chains = aggregateChains(g, family_, index, best, tree);
+  SymDamMessage msg;
+  msg.rhoPerNode.assign(n, best);
+  msg.indexPerNode.assign(n, index);
+  msg.rootPerNode.assign(n, bestRoot);
+  msg.parent = tree.parent;
+  msg.dist = tree.dist;
+  msg.a = std::move(chains.a);
+  msg.b = std::move(chains.b);
+  return msg;
+}
+
+}  // namespace dip::core

@@ -1,0 +1,297 @@
+#include "core/sym_dmam.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/bitio.hpp"
+
+namespace dip::core {
+
+namespace {
+
+// rho(N(v)) for the chain: the characteristic vector of the images, under
+// the rho values visible in v's closed neighborhood, of v's closed
+// neighborhood. Out-of-range rho values make the node reject (handled by
+// the caller); duplicates are fine (it is an image SET).
+util::DynBitset localImageOfClosedRow(const graph::Graph& g, graph::Vertex v,
+                                      const std::vector<graph::Vertex>& rho) {
+  util::DynBitset image(g.numVertices());
+  util::DynBitset closed = g.closedRow(v);
+  closed.forEachSet([&](std::size_t u) { image.set(rho[u]); });
+  return image;
+}
+
+bool rhoInRange(const graph::Graph& g, graph::Vertex v,
+                const std::vector<graph::Vertex>& rho) {
+  bool ok = rho[v] < g.numVertices();
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (rho[u] >= g.numVertices()) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+ChainValues aggregateChains(const graph::Graph& g, const hash::LinearHashFamily& family,
+                            const util::BigUInt& index,
+                            const std::vector<graph::Vertex>& rho,
+                            const net::SpanningTreeAdvice& tree) {
+  const std::size_t n = g.numVertices();
+  ChainValues values;
+  values.a.assign(n, util::BigUInt{});
+  values.b.assign(n, util::BigUInt{});
+  for (graph::Vertex v : net::bottomUpOrder(tree)) {
+    util::BigUInt a = family.hashMatrixRow(index, v, g.closedRow(v), n);
+    util::BigUInt b = family.hashMatrixRow(index, rho[v],
+                                           localImageOfClosedRow(g, v, rho), n);
+    for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+      a = util::addMod(a, values.a[child], family.prime());
+      b = util::addMod(b, values.b[child], family.prime());
+    }
+    values.a[v] = a;
+    values.b[v] = b;
+  }
+  return values;
+}
+
+SymDmamProtocol::SymDmamProtocol(hash::LinearHashFamily family)
+    : family_(std::move(family)) {}
+
+bool SymDmamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
+                                   const SymDmamFirstMessage& first,
+                                   const util::BigUInt& ownChallenge,
+                                   const SymDmamSecondMessage& second) const {
+  const std::size_t n = g.numVertices();
+  const util::BigUInt& p = family_.prime();
+
+  // Broadcast consistency: the claimed root and index must agree with every
+  // neighbor's copy.
+  graph::Vertex root = first.rootPerNode[v];
+  const util::BigUInt& index = second.indexPerNode[v];
+  bool consistent = root < n;
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (first.rootPerNode[u] != root || !(second.indexPerNode[u] == index)) {
+      consistent = false;
+    }
+  });
+  if (!consistent) return false;
+  if (index >= p) return false;
+
+  // Line 1: spanning-tree local checks.
+  net::SpanningTreeAdvice tree{root, first.parent, first.dist};
+  if (!net::verifyTreeLocally(g, tree, v)) return false;
+
+  // Lines 2-3: chain verification.
+  if (!rhoInRange(g, v, first.rho)) return false;
+  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  util::BigUInt expectB = family_.hashMatrixRow(
+      index, first.rho[v], localImageOfClosedRow(g, v, first.rho), n);
+  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+    if (second.a[child] >= p || second.b[child] >= p) return false;
+    expectA = util::addMod(expectA, second.a[child], p);
+    expectB = util::addMod(expectB, second.b[child], p);
+  }
+  if (!(second.a[v] == expectA) || !(second.b[v] == expectB)) return false;
+
+  // Line 4: root-only checks.
+  if (v == root) {
+    if (!(second.a[v] == second.b[v])) return false;
+    if (first.rho[v] == v) return false;
+    if (!(index == ownChallenge)) return false;
+  }
+  return true;
+}
+
+RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
+                               util::Rng& rng) const {
+  const std::size_t n = g.numVertices();
+  if (n == 0) throw std::invalid_argument("SymDmamProtocol: empty graph");
+  const unsigned idBits = util::bitsFor(n);
+  const std::size_t seedBits = family_.seedBits();
+  const std::size_t valueBits = family_.valueBits();
+
+  RunResult result;
+  result.transcript = net::Transcript(n);
+  net::Transcript& transcript = result.transcript;
+
+  // M1.
+  transcript.beginRound("M1: root/rho/tree");
+  SymDmamFirstMessage first = prover.firstMessage(g);
+  if (first.rootPerNode.size() != n || first.rho.size() != n ||
+      first.parent.size() != n || first.dist.size() != n) {
+    throw std::runtime_error("SymDmamProver: malformed first message");
+  }
+  transcript.chargeBroadcastFromProver(idBits);  // Root id.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 3 * idBits);  // rho_v, t_v, d_v.
+  }
+
+  // A: challenges.
+  transcript.beginRound("A: hash indices");
+  std::vector<util::BigUInt> challenges;
+  challenges.reserve(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(v);
+    challenges.push_back(family_.randomIndex(nodeRng));
+    transcript.chargeToProver(v, seedBits);
+  }
+
+  // M2.
+  transcript.beginRound("M2: index echo + chain values");
+  SymDmamSecondMessage second = prover.secondMessage(g, first, challenges);
+  if (second.indexPerNode.size() != n || second.a.size() != n || second.b.size() != n) {
+    throw std::runtime_error("SymDmamProver: malformed second message");
+  }
+  transcript.chargeBroadcastFromProver(seedBits);  // Index echo.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 2 * valueBits);  // a_v, b_v.
+  }
+
+  // Decisions.
+  result.accepted = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!nodeDecision(g, v, first, challenges[v], second)) {
+      result.accepted = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CostBreakdown SymDmamProtocol::costModel(std::size_t n) {
+  // p in [10 n^3, 100 n^3]  =>  seed/value bits <= log2(100 n^3).
+  const unsigned idBits = util::bitsFor(n);
+  util::BigUInt pHi = util::BigUInt{100} * util::BigUInt::pow(util::BigUInt{n}, 3);
+  const std::size_t hashBits = pHi.bitLength();
+  CostBreakdown cost;
+  cost.bitsToProverPerNode = hashBits;                       // i_v.
+  cost.bitsFromProverPerNode = idBits                        // Root broadcast.
+                               + 3 * idBits                  // rho_v, t_v, d_v.
+                               + hashBits                    // Index echo.
+                               + 2 * hashBits;               // a_v, b_v.
+  return cost;
+}
+
+// ---- Honest prover ----
+
+HonestSymDmamProver::HonestSymDmamProver(const hash::LinearHashFamily& family)
+    : family_(family) {}
+
+SymDmamFirstMessage HonestSymDmamProver::firstMessage(const graph::Graph& g) {
+  auto rho = graph::findNontrivialAutomorphism(g);
+  if (!rho) {
+    throw std::invalid_argument("HonestSymDmamProver: graph is not symmetric");
+  }
+  graph::Vertex root = 0;
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    if ((*rho)[v] != v) {
+      root = v;
+      break;
+    }
+  }
+  net::SpanningTreeAdvice tree = net::buildBfsTree(g, root);
+  SymDmamFirstMessage first;
+  first.rootPerNode.assign(g.numVertices(), root);
+  first.rho = *rho;
+  first.parent = tree.parent;
+  first.dist = tree.dist;
+  return first;
+}
+
+SymDmamSecondMessage HonestSymDmamProver::secondMessage(
+    const graph::Graph& g, const SymDmamFirstMessage& first,
+    const std::vector<util::BigUInt>& challenges) {
+  graph::Vertex root = first.rootPerNode[0];
+  net::SpanningTreeAdvice tree{root, first.parent, first.dist};
+  const util::BigUInt& index = challenges[root];
+  ChainValues chains = aggregateChains(g, family_, index, first.rho, tree);
+  SymDmamSecondMessage second;
+  second.indexPerNode.assign(g.numVertices(), index);
+  second.a = std::move(chains.a);
+  second.b = std::move(chains.b);
+  return second;
+}
+
+// ---- Cheating provers ----
+
+CheatingRhoProver::CheatingRhoProver(const hash::LinearHashFamily& family,
+                                     Strategy strategy, std::uint64_t seed)
+    : family_(family), strategy_(strategy), rng_(seed) {}
+
+SymDmamFirstMessage CheatingRhoProver::firstMessage(const graph::Graph& g) {
+  const std::size_t n = g.numVertices();
+  graph::Permutation rho;
+  switch (strategy_) {
+    case Strategy::kIdentity:
+      rho = graph::identityPermutation(n);
+      break;
+    case Strategy::kRandomPermutation: {
+      do {
+        rho = graph::randomPermutation(n, rng_);
+      } while (graph::isIdentity(rho));
+      break;
+    }
+    case Strategy::kTransposition: {
+      // Swap two same-degree vertices if possible (least detectable lie).
+      rho = graph::identityPermutation(n);
+      bool swapped = false;
+      for (graph::Vertex u = 0; u < n && !swapped; ++u) {
+        for (graph::Vertex w = u + 1; w < n && !swapped; ++w) {
+          if (g.degree(u) == g.degree(w)) {
+            std::swap(rho[u], rho[w]);
+            swapped = true;
+          }
+        }
+      }
+      if (!swapped) std::swap(rho[0], rho[n - 1]);
+      break;
+    }
+  }
+  graph::Vertex root = 0;
+  while (root < n && rho[root] == root) ++root;
+  if (root == n) root = 0;  // Identity strategy: doomed, pick any root.
+  net::SpanningTreeAdvice tree = net::buildBfsTree(g, root);
+  SymDmamFirstMessage first;
+  first.rootPerNode.assign(n, root);
+  first.rho = rho;
+  first.parent = tree.parent;
+  first.dist = tree.dist;
+  return first;
+}
+
+SymDmamSecondMessage CheatingRhoProver::secondMessage(
+    const graph::Graph& g, const SymDmamFirstMessage& first,
+    const std::vector<util::BigUInt>& challenges) {
+  // Past the commitment, honest play maximizes acceptance: the chain sums
+  // are forced by the local checks, so the only hope is a hash collision at
+  // the root.
+  graph::Vertex root = first.rootPerNode[0];
+  net::SpanningTreeAdvice tree{root, first.parent, first.dist};
+  const util::BigUInt& index = challenges[root];
+  ChainValues chains = aggregateChains(g, family_, index, first.rho, tree);
+  SymDmamSecondMessage second;
+  second.indexPerNode.assign(g.numVertices(), index);
+  second.a = std::move(chains.a);
+  second.b = std::move(chains.b);
+  return second;
+}
+
+HashChainLiarProver::HashChainLiarProver(const hash::LinearHashFamily& family,
+                                         std::uint64_t seed)
+    : family_(family), inner_(family), rng_(seed) {}
+
+SymDmamFirstMessage HashChainLiarProver::firstMessage(const graph::Graph& g) {
+  return inner_.firstMessage(g);
+}
+
+SymDmamSecondMessage HashChainLiarProver::secondMessage(
+    const graph::Graph& g, const SymDmamFirstMessage& first,
+    const std::vector<util::BigUInt>& challenges) {
+  SymDmamSecondMessage second = inner_.secondMessage(g, first, challenges);
+  graph::Vertex victim = static_cast<graph::Vertex>(rng_.nextBelow(g.numVertices()));
+  second.a[victim] = util::addMod(second.a[victim], util::BigUInt{1}, family_.prime());
+  return second;
+}
+
+}  // namespace dip::core

@@ -1,0 +1,291 @@
+#include "core/sym_input.hpp"
+
+#include <stdexcept>
+
+#include "core/chain_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "net/spanning.hpp"
+#include "util/bitio.hpp"
+
+namespace dip::core {
+
+namespace {
+
+// Per-node chain pieces for the three checks, given the committed rho and
+// (possibly lying) claims. Used by both the honest prover and the verifier.
+struct SymInputPieces {
+  util::BigUInt a, b, consC, consT;
+};
+
+SymInputPieces piecesFor(const SymInputInstance& instance,
+                         const hash::LinearHashFamily& family,
+                         const util::BigUInt& index, graph::Vertex v,
+                         graph::Vertex rhoV,
+                         const std::vector<graph::Vertex>& claims) {
+  const std::size_t n = instance.network.numVertices();
+  const util::BigUInt& p = family.prime();
+  std::vector<graph::Vertex> closedH = instance.input.closedNeighbors(v);
+
+  SymInputPieces pieces;
+  pieces.a = family.hashMatrixRow(index, v, instance.input.closedRow(v), n);
+  util::DynBitset claimedImages(n);
+  for (graph::Vertex image : claims) claimedImages.set(image);
+  pieces.b = family.hashMatrixRow(index, rhoV, claimedImages, n);
+  for (std::size_t i = 0; i < closedH.size(); ++i) {
+    pieces.consC = util::addMod(
+        pieces.consC, family.hashMatrixEntry(index, closedH[i], claims[i], 1, n), p);
+  }
+  pieces.consT = family.hashMatrixEntry(index, v, rhoV, closedH.size(), n);
+  return pieces;
+}
+
+}  // namespace
+
+SymInputProtocol::SymInputProtocol(hash::LinearHashFamily family)
+    : family_(std::move(family)) {}
+
+bool SymInputProtocol::nodeDecision(const SymInputInstance& instance, graph::Vertex v,
+                                    const SymInputFirstMessage& first,
+                                    const util::BigUInt& ownChallenge,
+                                    const SymInputSecondMessage& second) const {
+  const std::size_t n = instance.network.numVertices();
+  const util::BigUInt& p = family_.prime();
+
+  // Broadcast consistency (witness, index echo).
+  graph::Vertex witness = first.witnessPerNode[v];
+  const util::BigUInt& index = second.indexPerNode[v];
+  if (witness >= n || index >= p) return false;
+  bool consistent = true;
+  instance.network.row(v).forEachSet([&](std::size_t u) {
+    if (first.witnessPerNode[u] != witness ||
+        !(second.indexPerNode[u] == index)) {
+      consistent = false;
+    }
+  });
+  if (!consistent) return false;
+
+  // Tree checks over the NETWORK graph (root fixed at node 0).
+  if (v == 0) {
+    if (first.dist[v] != 0) return false;
+  } else {
+    graph::Vertex parent = first.parent[v];
+    if (parent >= n || !instance.network.hasEdge(v, parent)) return false;
+    if (first.dist[v] < 1 || first.dist[parent] != first.dist[v] - 1) return false;
+  }
+  std::vector<graph::Vertex> children;
+  instance.network.row(v).forEachSet([&](std::size_t u) {
+    if (first.parent[u] == v && u != 0) {
+      children.push_back(static_cast<graph::Vertex>(u));
+    }
+  });
+
+  // Commitment and claims shape.
+  graph::Vertex rhoV = first.rho[v];
+  if (rhoV >= n) return false;
+  std::vector<graph::Vertex> closedH = instance.input.closedNeighbors(v);
+  const std::vector<graph::Vertex>& claims = first.claims[v];
+  if (claims.size() != closedH.size()) return false;
+  for (std::size_t i = 0; i < closedH.size(); ++i) {
+    if (claims[i] >= n) return false;
+    if (closedH[i] == v && claims[i] != rhoV) return false;  // Self-claim check.
+  }
+
+  // The witness node enforces non-triviality.
+  if (v == witness && rhoV == v) return false;
+
+  // Chain checks for all four series.
+  SymInputPieces pieces = piecesFor(instance, family_, index, v, rhoV, claims);
+  if (!chainLinkHolds(pieces.a, children, second.a, v, p) ||
+      !chainLinkHolds(pieces.b, children, second.b, v, p) ||
+      !chainLinkHolds(pieces.consC, children, second.consC, v, p) ||
+      !chainLinkHolds(pieces.consT, children, second.consT, v, p)) {
+    return false;
+  }
+
+  // Root equalities and echo.
+  if (v == 0) {
+    if (!(second.a[v] == second.b[v])) return false;
+    if (!(second.consC[v] == second.consT[v])) return false;
+    if (!(index == ownChallenge)) return false;
+  }
+  return true;
+}
+
+RunResult SymInputProtocol::run(const SymInputInstance& instance, SymInputProver& prover,
+                                util::Rng& rng) const {
+  const std::size_t n = instance.network.numVertices();
+  if (instance.input.numVertices() != n) {
+    throw std::invalid_argument("SymInputProtocol: input size mismatch");
+  }
+  const unsigned idBits = util::bitsFor(n);
+  const std::size_t seedBits = family_.seedBits();
+  const std::size_t valueBits = family_.valueBits();
+
+  RunResult result;
+  result.transcript = net::Transcript(n);
+  net::Transcript& transcript = result.transcript;
+
+  transcript.beginRound("M1: rho/claims/tree");
+  SymInputFirstMessage first = prover.firstMessage(instance);
+  if (first.witnessPerNode.size() != n || first.rho.size() != n ||
+      first.parent.size() != n || first.dist.size() != n || first.claims.size() != n) {
+    throw std::runtime_error("SymInputProver: malformed first message");
+  }
+  transcript.chargeBroadcastFromProver(idBits);  // Witness.
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 3 * idBits + first.claims[v].size() * idBits);
+  }
+
+  transcript.beginRound("A: hash indices");
+  std::vector<util::BigUInt> challenges;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::Rng nodeRng = rng.split(v);
+    challenges.push_back(family_.randomIndex(nodeRng));
+    transcript.chargeToProver(v, seedBits);
+  }
+
+  transcript.beginRound("M2: index echo + chains");
+  SymInputSecondMessage second = prover.secondMessage(instance, first, challenges);
+  if (second.indexPerNode.size() != n || second.a.size() != n || second.b.size() != n ||
+      second.consC.size() != n || second.consT.size() != n) {
+    throw std::runtime_error("SymInputProver: malformed second message");
+  }
+  transcript.chargeBroadcastFromProver(seedBits);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    transcript.chargeFromProver(v, 4 * valueBits);
+  }
+
+  result.accepted = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!nodeDecision(instance, v, first, challenges[v], second)) {
+      result.accepted = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CostBreakdown SymInputProtocol::costModel(std::size_t n, std::size_t maxInputDegree) {
+  const unsigned idBits = util::bitsFor(n);
+  util::BigUInt pHi = util::BigUInt{100} * util::BigUInt::pow(util::BigUInt{n}, 3);
+  const std::size_t hashBits = pHi.bitLength();
+  CostBreakdown cost;
+  cost.bitsToProverPerNode = hashBits;
+  cost.bitsFromProverPerNode = idBits                                  // Witness.
+                               + 3 * idBits                            // rho, t, d.
+                               + (maxInputDegree + 1) * idBits         // Claims.
+                               + hashBits                              // Echo.
+                               + 4 * hashBits;                         // Chains.
+  return cost;
+}
+
+// ---- Honest prover ----
+
+namespace {
+
+SymInputFirstMessage buildFirstMessage(const SymInputInstance& instance,
+                                       const graph::Permutation& rho,
+                                       const graph::Permutation& claimMapping) {
+  const std::size_t n = instance.network.numVertices();
+  net::SpanningTreeAdvice tree = net::buildBfsTree(instance.network, 0);
+  SymInputFirstMessage first;
+  graph::Vertex witness = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (rho[v] != v) {
+      witness = v;
+      break;
+    }
+  }
+  first.witnessPerNode.assign(n, witness);
+  first.rho = rho;
+  first.parent = tree.parent;
+  first.dist = tree.dist;
+  first.claims.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    for (graph::Vertex u : instance.input.closedNeighbors(v)) {
+      // The self-claim must match the commitment even when lying elsewhere.
+      first.claims[v].push_back(u == v ? rho[v] : claimMapping[u]);
+    }
+  }
+  return first;
+}
+
+SymInputSecondMessage buildSecondMessage(const SymInputInstance& instance,
+                                         const hash::LinearHashFamily& family,
+                                         const SymInputFirstMessage& first,
+                                         const util::BigUInt& index) {
+  const std::size_t n = instance.network.numVertices();
+  net::SpanningTreeAdvice tree{0, first.parent, first.dist};
+  std::vector<util::BigUInt> aPieces(n), bPieces(n), cPieces(n), tPieces(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    SymInputPieces pieces =
+        piecesFor(instance, family, index, v, first.rho[v], first.claims[v]);
+    aPieces[v] = pieces.a;
+    bPieces[v] = pieces.b;
+    cPieces[v] = pieces.consC;
+    tPieces[v] = pieces.consT;
+  }
+  SymInputSecondMessage second;
+  second.indexPerNode.assign(n, index);
+  second.a = subtreeSums(instance.network, tree, aPieces, family.prime());
+  second.b = subtreeSums(instance.network, tree, bPieces, family.prime());
+  second.consC = subtreeSums(instance.network, tree, cPieces, family.prime());
+  second.consT = subtreeSums(instance.network, tree, tPieces, family.prime());
+  return second;
+}
+
+}  // namespace
+
+HonestSymInputProver::HonestSymInputProver(const hash::LinearHashFamily& family)
+    : family_(family) {}
+
+SymInputFirstMessage HonestSymInputProver::firstMessage(const SymInputInstance& instance) {
+  auto rho = graph::findNontrivialAutomorphism(instance.input);
+  if (!rho) {
+    throw std::invalid_argument("HonestSymInputProver: input graph is not symmetric");
+  }
+  return buildFirstMessage(instance, *rho, *rho);
+}
+
+SymInputSecondMessage HonestSymInputProver::secondMessage(
+    const SymInputInstance& instance, const SymInputFirstMessage& first,
+    const std::vector<util::BigUInt>& challenges) {
+  return buildSecondMessage(instance, family_, first, challenges[0]);
+}
+
+// ---- Cheating prover ----
+
+CheatingSymInputProver::CheatingSymInputProver(const hash::LinearHashFamily& family,
+                                               Strategy strategy, std::uint64_t seed)
+    : family_(family), strategy_(strategy), rng_(seed) {}
+
+SymInputFirstMessage CheatingSymInputProver::firstMessage(
+    const SymInputInstance& instance) {
+  const std::size_t n = instance.network.numVertices();
+  graph::Permutation rho;
+  do {
+    rho = graph::randomPermutation(n, rng_);
+  } while (graph::isIdentity(rho));
+
+  if (strategy_ == Strategy::kFakeRhoHonestClaims) {
+    trueRhoForClaims_ = rho;
+  } else {
+    // Claims follow a DIFFERENT mapping — ideally a real automorphism of
+    // the input, which would make the fingerprints match if the
+    // consistency check did not exist.
+    auto automorphism = graph::findNontrivialAutomorphism(instance.input);
+    trueRhoForClaims_ = automorphism ? *automorphism : graph::randomPermutation(n, rng_);
+  }
+  return buildFirstMessage(instance, rho, trueRhoForClaims_);
+}
+
+SymInputSecondMessage CheatingSymInputProver::secondMessage(
+    const SymInputInstance& instance, const SymInputFirstMessage& first,
+    const std::vector<util::BigUInt>& challenges) {
+  // Chains are forced by the local checks; play them consistently with the
+  // (possibly lying) first message and hope for a collision at the root.
+  return buildSecondMessage(instance, family_, first, challenges[0]);
+}
+
+}  // namespace dip::core

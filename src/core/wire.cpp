@@ -1,0 +1,215 @@
+#include "core/wire.hpp"
+
+#include <stdexcept>
+
+namespace dip::core::wire {
+
+namespace {
+
+unsigned idBitsFor(std::size_t n) { return util::bitsFor(n); }
+
+void requireConsistentBroadcast(bool consistent) {
+  if (!consistent) {
+    throw std::invalid_argument(
+        "wire: broadcast fields are inconsistent; wire formats encode the "
+        "honest message shape");
+  }
+}
+
+}  // namespace
+
+// ---- Protocol 1 ----
+
+EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n) {
+  const unsigned idBits = idBitsFor(n);
+  EncodedRound round;
+  bool consistent = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (message.rootPerNode[v] != message.rootPerNode[0]) consistent = false;
+  }
+  requireConsistentBroadcast(consistent);
+
+  round.broadcast.writeUInt(message.rootPerNode[0], idBits);
+  round.unicast.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    round.unicast[v].writeUInt(message.rho[v], idBits);
+    round.unicast[v].writeUInt(message.parent[v], idBits);
+    round.unicast[v].writeUInt(message.dist[v], idBits);
+  }
+  return round;
+}
+
+SymDmamFirstMessage decodeSymDmamFirst(const EncodedRound& round, std::size_t n) {
+  const unsigned idBits = idBitsFor(n);
+  SymDmamFirstMessage message;
+  util::BitReader broadcast(round.broadcast);
+  graph::Vertex root = static_cast<graph::Vertex>(broadcast.readUInt(idBits));
+  message.rootPerNode.assign(n, root);
+  message.rho.resize(n);
+  message.parent.resize(n);
+  message.dist.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::BitReader reader(round.unicast[v]);
+    message.rho[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
+    message.parent[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
+    message.dist[v] = static_cast<std::uint32_t>(reader.readUInt(idBits));
+  }
+  return message;
+}
+
+EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_t n,
+                                 const hash::LinearHashFamily& family) {
+  EncodedRound round;
+  bool consistent = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!(message.indexPerNode[v] == message.indexPerNode[0])) consistent = false;
+  }
+  requireConsistentBroadcast(consistent);
+
+  round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
+  round.unicast.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    round.unicast[v].writeBig(message.a[v], family.valueBits());
+    round.unicast[v].writeBig(message.b[v], family.valueBits());
+  }
+  return round;
+}
+
+SymDmamSecondMessage decodeSymDmamSecond(const EncodedRound& round, std::size_t n,
+                                         const hash::LinearHashFamily& family) {
+  SymDmamSecondMessage message;
+  util::BitReader broadcast(round.broadcast);
+  message.indexPerNode.assign(n, broadcast.readBig(family.seedBits()));
+  message.a.resize(n);
+  message.b.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::BitReader reader(round.unicast[v]);
+    message.a[v] = reader.readBig(family.valueBits());
+    message.b[v] = reader.readBig(family.valueBits());
+  }
+  return message;
+}
+
+// ---- Protocol 2 ----
+
+EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
+                          const hash::LinearHashFamily& family) {
+  const unsigned idBits = idBitsFor(n);
+  EncodedRound round;
+  bool consistent = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (message.rhoPerNode[v] != message.rhoPerNode[0] ||
+        !(message.indexPerNode[v] == message.indexPerNode[0]) ||
+        message.rootPerNode[v] != message.rootPerNode[0]) {
+      consistent = false;
+    }
+  }
+  requireConsistentBroadcast(consistent);
+
+  for (graph::Vertex image : message.rhoPerNode[0]) {
+    round.broadcast.writeUInt(image, idBits);
+  }
+  round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
+  round.broadcast.writeUInt(message.rootPerNode[0], idBits);
+  round.unicast.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    round.unicast[v].writeUInt(message.parent[v], idBits);
+    round.unicast[v].writeUInt(message.dist[v], idBits);
+    round.unicast[v].writeBig(message.a[v], family.valueBits());
+    round.unicast[v].writeBig(message.b[v], family.valueBits());
+  }
+  return round;
+}
+
+SymDamMessage decodeSymDam(const EncodedRound& round, std::size_t n,
+                           const hash::LinearHashFamily& family) {
+  const unsigned idBits = idBitsFor(n);
+  SymDamMessage message;
+  util::BitReader broadcast(round.broadcast);
+  std::vector<graph::Vertex> rho(n);
+  for (graph::Vertex& image : rho) {
+    image = static_cast<graph::Vertex>(broadcast.readUInt(idBits));
+  }
+  message.rhoPerNode.assign(n, rho);
+  message.indexPerNode.assign(n, broadcast.readBig(family.seedBits()));
+  message.rootPerNode.assign(
+      n, static_cast<graph::Vertex>(broadcast.readUInt(idBits)));
+  message.parent.resize(n);
+  message.dist.resize(n);
+  message.a.resize(n);
+  message.b.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::BitReader reader(round.unicast[v]);
+    message.parent[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
+    message.dist[v] = static_cast<std::uint32_t>(reader.readUInt(idBits));
+    message.a[v] = reader.readBig(family.valueBits());
+    message.b[v] = reader.readBig(family.valueBits());
+  }
+  return message;
+}
+
+// ---- DSym ----
+
+EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
+                        const hash::LinearHashFamily& family) {
+  const unsigned idBits = idBitsFor(n);
+  EncodedRound round;
+  bool consistent = true;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!(message.indexPerNode[v] == message.indexPerNode[0]) ||
+        message.rootPerNode[v] != message.rootPerNode[0]) {
+      consistent = false;
+    }
+  }
+  requireConsistentBroadcast(consistent);
+
+  round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
+  round.broadcast.writeUInt(message.rootPerNode[0], idBits);
+  round.unicast.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    round.unicast[v].writeUInt(message.parent[v], idBits);
+    round.unicast[v].writeUInt(message.dist[v], idBits);
+    round.unicast[v].writeBig(message.a[v], family.valueBits());
+    round.unicast[v].writeBig(message.b[v], family.valueBits());
+  }
+  return round;
+}
+
+DSymMessage decodeDSym(const EncodedRound& round, std::size_t n,
+                       const hash::LinearHashFamily& family) {
+  const unsigned idBits = idBitsFor(n);
+  DSymMessage message;
+  util::BitReader broadcast(round.broadcast);
+  message.indexPerNode.assign(n, broadcast.readBig(family.seedBits()));
+  message.rootPerNode.assign(
+      n, static_cast<graph::Vertex>(broadcast.readUInt(idBits)));
+  message.parent.resize(n);
+  message.dist.resize(n);
+  message.a.resize(n);
+  message.b.resize(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    util::BitReader reader(round.unicast[v]);
+    message.parent[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
+    message.dist[v] = static_cast<std::uint32_t>(reader.readUInt(idBits));
+    message.a[v] = reader.readBig(family.valueBits());
+    message.b[v] = reader.readBig(family.valueBits());
+  }
+  return message;
+}
+
+// ---- Challenges ----
+
+util::BitWriter encodeChallenge(const util::BigUInt& index,
+                                const hash::LinearHashFamily& family) {
+  util::BitWriter writer;
+  writer.writeBig(index, family.seedBits());
+  return writer;
+}
+
+util::BigUInt decodeChallenge(const util::BitWriter& encoded,
+                              const hash::LinearHashFamily& family) {
+  util::BitReader reader(encoded);
+  return reader.readBig(family.seedBits());
+}
+
+}  // namespace dip::core::wire

@@ -1,0 +1,138 @@
+#include "graph/builders.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dip::graph {
+
+DumbbellLayout dumbbellLayout(std::size_t sideSize) {
+  DumbbellLayout layout;
+  layout.sideSize = sideSize;
+  layout.vA = 0;
+  layout.vB = static_cast<Vertex>(sideSize);
+  layout.xA = static_cast<Vertex>(2 * sideSize);
+  layout.xB = static_cast<Vertex>(2 * sideSize + 1);
+  return layout;
+}
+
+Graph dumbbell(const Graph& fA, const Graph& fB) {
+  if (fA.numVertices() != fB.numVertices()) {
+    throw std::invalid_argument("dumbbell: side sizes differ");
+  }
+  const std::size_t k = fA.numVertices();
+  DumbbellLayout layout = dumbbellLayout(k);
+  Graph g(2 * k + 2);
+  for (Vertex v = 0; v < k; ++v) {
+    fA.row(v).forEachSet([&](std::size_t u) {
+      if (u > v) g.addEdge(v, static_cast<Vertex>(u));
+    });
+    fB.row(v).forEachSet([&](std::size_t u) {
+      if (u > v) g.addEdge(static_cast<Vertex>(v + k), static_cast<Vertex>(u + k));
+    });
+  }
+  g.addEdge(layout.vA, layout.xA);
+  g.addEdge(layout.xA, layout.xB);
+  g.addEdge(layout.xB, layout.vB);
+  return g;
+}
+
+DSymLayout dsymLayout(std::size_t sideSize, std::size_t pathRadius) {
+  DSymLayout layout;
+  layout.sideSize = sideSize;
+  layout.pathRadius = pathRadius;
+  layout.numVertices = 2 * sideSize + 2 * pathRadius + 1;
+  return layout;
+}
+
+Graph dsymInstance(const Graph& f, std::size_t pathRadius) {
+  return dsymNoInstance(f, f, pathRadius);
+}
+
+Graph dsymNoInstance(const Graph& f, const Graph& fOther, std::size_t pathRadius) {
+  if (f.numVertices() != fOther.numVertices()) {
+    throw std::invalid_argument("dsym: side sizes differ");
+  }
+  const std::size_t n = f.numVertices();
+  if (n < 1) throw std::invalid_argument("dsym: empty side");
+  DSymLayout layout = dsymLayout(n, pathRadius);
+  Graph g(layout.numVertices);
+  for (Vertex v = 0; v < n; ++v) {
+    f.row(v).forEachSet([&](std::size_t u) {
+      if (u > v) g.addEdge(v, static_cast<Vertex>(u));
+    });
+    fOther.row(v).forEachSet([&](std::size_t u) {
+      if (u > v) g.addEdge(static_cast<Vertex>(v + n), static_cast<Vertex>(u + n));
+    });
+  }
+  // The path 0 - (2n) - (2n+1) - ... - (2n+2r) - n.
+  Vertex firstPath = static_cast<Vertex>(2 * n);
+  Vertex lastPath = static_cast<Vertex>(2 * n + 2 * pathRadius);
+  g.addEdge(0, firstPath);
+  for (Vertex v = firstPath; v < lastPath; ++v) g.addEdge(v, v + 1);
+  g.addEdge(lastPath, static_cast<Vertex>(n));
+  return g;
+}
+
+Permutation dsymSigma(const DSymLayout& layout) {
+  const std::size_t n = layout.sideSize;
+  const std::size_t r = layout.pathRadius;
+  Permutation sigma(layout.numVertices);
+  for (std::size_t x = 0; x < layout.numVertices; ++x) {
+    if (x < n) {
+      sigma[x] = static_cast<Vertex>(x + n);
+    } else if (x < 2 * n) {
+      sigma[x] = static_cast<Vertex>(x - n);
+    } else {
+      // Path vertices 2n .. 2n+2r reverse: 2n + i -> 2n + 2r - i.
+      std::size_t i = x - 2 * n;
+      sigma[x] = static_cast<Vertex>(2 * n + (2 * r - i));
+    }
+  }
+  return sigma;
+}
+
+bool dsymLocalStructureOk(const Graph& g, const DSymLayout& layout, Vertex v) {
+  const std::size_t n = layout.sideSize;
+  const std::size_t r = layout.pathRadius;
+  if (g.numVertices() != layout.numVertices) return false;
+  const Vertex firstPath = static_cast<Vertex>(2 * n);
+  const Vertex lastPath = static_cast<Vertex>(2 * n + 2 * r);
+
+  auto isPathNeighbor = [&](Vertex a, Vertex b) {
+    // Is {a, b} one of the path edges 0-2n, 2n-(2n+1), ..., (2n+2r)-n ?
+    if (a > b) std::swap(a, b);
+    if (a == 0 && b == firstPath) return true;
+    if (a == static_cast<Vertex>(n) && b == lastPath) return true;
+    return a >= firstPath && b == a + 1 && b <= lastPath;
+  };
+
+  bool ok = true;
+  g.row(v).forEachSet([&](std::size_t uRaw) {
+    Vertex u = static_cast<Vertex>(uRaw);
+    bool sameSideA = v < n && u < n;
+    bool sameSideB = v >= n && v < 2 * n && u >= static_cast<Vertex>(n) &&
+                     u < static_cast<Vertex>(2 * n);
+    if (!(sameSideA || sameSideB || isPathNeighbor(v, u))) ok = false;
+  });
+
+  // Path vertices must have both their path edges; endpoints 0 and n must
+  // touch the path.
+  if (v >= firstPath && v <= lastPath) {
+    Vertex prev = (v == firstPath) ? 0 : v - 1;
+    Vertex next = (v == lastPath) ? static_cast<Vertex>(n) : v + 1;
+    if (!g.hasEdge(v, prev) || !g.hasEdge(v, next)) ok = false;
+  }
+  if (v == 0 && !g.hasEdge(v, firstPath)) ok = false;
+  if (v == static_cast<Vertex>(n) && !g.hasEdge(v, lastPath)) ok = false;
+  return ok;
+}
+
+bool isDSymInstance(const Graph& g, const DSymLayout& layout) {
+  if (g.numVertices() != layout.numVertices) return false;
+  for (Vertex v = 0; v < layout.numVertices; ++v) {
+    if (!dsymLocalStructureOk(g, layout, v)) return false;
+  }
+  return isAutomorphism(g, dsymSigma(layout));
+}
+
+}  // namespace dip::graph

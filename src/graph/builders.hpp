@@ -1,0 +1,67 @@
+// Structured instance builders taken directly from the paper:
+//
+//  * The dumbbell family G(F_A, F_B) of Section 3.4 — two copies of rigid
+//    graphs joined by a two-node bridge; G(F_A, F_B) is symmetric iff
+//    F_A = F_B. This family drives the Omega(log log n) lower bound.
+//  * Dumbbell-Symmetry (DSym) instances of Definition 5 — two copies of a
+//    graph F related by the FIXED isomorphism sigma'(x) = x + n, joined by a
+//    path of 2r + 1 extra vertices. DSym gives the exponential separation
+//    between distributed NP and distributed AM (Theorem 1.2 / 3.6).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dip::graph {
+
+// ---- Lower-bound dumbbell (Section 3.4) ----
+//
+// Vertex layout for G(F_A, F_B) with |F_A| = |F_B| = k:
+//   0 .. k-1      copy of F_A   (v_A = 0)
+//   k .. 2k-1     copy of F_B   (v_B = k)
+//   2k            bridge node x_A
+//   2k+1          bridge node x_B
+// Edges: F_A internal, F_B internal, {v_A, x_A}, {x_A, x_B}, {x_B, v_B}.
+struct DumbbellLayout {
+  std::size_t sideSize = 0;  // k
+  Vertex vA = 0;
+  Vertex vB = 0;
+  Vertex xA = 0;
+  Vertex xB = 0;
+};
+
+Graph dumbbell(const Graph& fA, const Graph& fB);
+DumbbellLayout dumbbellLayout(std::size_t sideSize);
+
+// ---- DSym (Definition 5) ----
+//
+// Vertex layout for a (2n + 2r + 1)-vertex DSym graph:
+//   0 .. n-1        F_0
+//   n .. 2n-1       F_1 = sigma'(F_0) with sigma'(x) = x + n
+//   2n .. 2n+2r     the connecting path 0 - 2n - 2n+1 - ... - 2n+2r - n
+struct DSymLayout {
+  std::size_t sideSize = 0;    // n
+  std::size_t pathRadius = 0;  // r
+  std::size_t numVertices = 0;
+};
+
+// A YES-instance built from F (any graph on sideSize vertices).
+Graph dsymInstance(const Graph& f, std::size_t pathRadius);
+DSymLayout dsymLayout(std::size_t sideSize, std::size_t pathRadius);
+
+// The fixed automorphism sigma of Definition 5 for the given layout: swaps
+// the two sides via x <-> x + n and reverses the path.
+Permutation dsymSigma(const DSymLayout& layout);
+
+// Checks the purely-local structural conditions (2) and (3) of Section 3.3
+// restricted to vertex v: path edges present, no stray cross edges. Used by
+// the DSym verifier nodes.
+bool dsymLocalStructureOk(const Graph& g, const DSymLayout& layout, Vertex v);
+
+// Membership test for the DSym language (ground truth for experiments).
+bool isDSymInstance(const Graph& g, const DSymLayout& layout);
+
+// A NO-instance: like dsymInstance but the second side is built from
+// fOther (which should not equal f under sigma'), keeping the path intact.
+Graph dsymNoInstance(const Graph& f, const Graph& fOther, std::size_t pathRadius);
+
+}  // namespace dip::graph

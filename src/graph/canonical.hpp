@@ -1,0 +1,29 @@
+// Canonical forms for small graphs.
+//
+// The lower-bound census counts isomorphism classes by Burnside's lemma; a
+// canonical form gives an INDEPENDENT way to count (deduplicate canonical
+// encodings) and a fast isomorphism decision for tiny graphs — both used as
+// cross-validation of the search engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dip::graph {
+
+// The lexicographically smallest upper-triangle encoding over all vertex
+// relabelings — a complete isomorphism invariant. Brute force over n!
+// permutations; intended for n <= 8.
+std::vector<std::uint8_t> canonicalForm(const Graph& g);
+
+// Isomorphism via canonical forms (small graphs only).
+bool isomorphicByCanonicalForm(const Graph& g0, const Graph& g1);
+
+// Number of isomorphism classes among all graphs on n vertices, counted by
+// canonical-form deduplication (exhaustive; n <= 5 is instant, n = 6 takes
+// a few seconds). Cross-validates lb::exhaustiveCensus.
+std::uint64_t countIsoClassesByCanonicalForm(std::size_t n);
+
+}  // namespace dip::graph

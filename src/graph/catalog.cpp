@@ -1,0 +1,60 @@
+#include "graph/catalog.hpp"
+
+#include <stdexcept>
+
+namespace dip::graph {
+
+Graph fromLcfNotation(std::size_t n, const std::vector<int>& shifts) {
+  if (n < 3 || shifts.empty()) throw std::invalid_argument("fromLcfNotation: bad input");
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  g.addEdge(static_cast<Vertex>(n - 1), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    long shift = shifts[i % shifts.size()];
+    long target = (static_cast<long>(i) + shift) % static_cast<long>(n);
+    if (target < 0) target += static_cast<long>(n);
+    g.addEdge(static_cast<Vertex>(i), static_cast<Vertex>(target));
+  }
+  return g;
+}
+
+Graph petersenGraph() {
+  Graph g(10);
+  for (Vertex i = 0; i < 5; ++i) {
+    g.addEdge(i, (i + 1) % 5);                      // Outer pentagon.
+    g.addEdge(i, i + 5);                            // Spokes.
+    g.addEdge(5 + i, 5 + ((i + 2) % 5));            // Inner pentagram.
+  }
+  return g;
+}
+
+Graph fruchtGraph() {
+  return fromLcfNotation(12, {-5, -2, -4, 2, 5, -2, 2, 5, -2, -5, 4, 2});
+}
+
+Graph heawoodGraph() { return fromLcfNotation(14, {5, -5}); }
+
+Graph completeBipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex w = 0; w < b; ++w) {
+      g.addEdge(u, static_cast<Vertex>(a + w));
+    }
+  }
+  return g;
+}
+
+Graph hypercubeGraph(unsigned dimension) {
+  if (dimension > 16) throw std::invalid_argument("hypercubeGraph: dimension too large");
+  const std::size_t n = 1ull << dimension;
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < dimension; ++bit) {
+      Vertex u = v ^ (1u << bit);
+      if (u > v) g.addEdge(v, u);
+    }
+  }
+  return g;
+}
+
+}  // namespace dip::graph

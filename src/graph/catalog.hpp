@@ -1,0 +1,32 @@
+// A catalog of classic named graphs with well-known automorphism groups —
+// ground-truth instances for the search engine and showpiece inputs for
+// the protocols (the Petersen graph is highly symmetric; the Frucht graph
+// is the textbook rigid cubic graph).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dip::graph {
+
+// The Petersen graph: 10 vertices, 3-regular, |Aut| = 120.
+Graph petersenGraph();
+
+// The Frucht graph: 12 vertices, 3-regular, trivial automorphism group —
+// the classic asymmetric cubic graph. Built from its LCF notation
+// [-5,-2,-4,2,5,-2,2,5,-2,-5,4,2].
+Graph fruchtGraph();
+
+// The Heawood graph: 14 vertices, 3-regular, |Aut| = 336. LCF [5,-5]^7.
+Graph heawoodGraph();
+
+// Complete bipartite K_{a,b}: |Aut| = a! b! (2 a! b! when a = b).
+Graph completeBipartite(std::size_t a, std::size_t b);
+
+// The d-dimensional hypercube Q_d: 2^d vertices, |Aut| = 2^d * d!.
+Graph hypercubeGraph(unsigned dimension);
+
+// A graph from LCF notation: Hamiltonian cycle on n vertices plus chords
+// i -- (i + shifts[i mod shifts.size()]) mod n.
+Graph fromLcfNotation(std::size_t n, const std::vector<int>& shifts);
+
+}  // namespace dip::graph

@@ -1,0 +1,133 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+
+#include "graph/isomorphism.hpp"
+
+namespace dip::graph {
+
+Graph pathGraph(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  return g;
+}
+
+Graph cycleGraph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycleGraph: need n >= 3");
+  Graph g = pathGraph(n);
+  g.addEdge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph completeGraph(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.addEdge(u, v);
+  }
+  return g;
+}
+
+Graph starGraph(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("starGraph: need n >= 2");
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.addEdge(0, v);
+  return g;
+}
+
+Graph gridGraph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.addEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph erdosRenyi(std::size_t n, double edgeProbability, util::Rng& rng) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.nextChance(edgeProbability)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph randomTree(std::size_t n, util::Rng& rng) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    g.addEdge(v, static_cast<Vertex>(rng.nextBelow(v)));
+  }
+  return g;
+}
+
+Graph randomConnected(std::size_t n, std::size_t extraEdges, util::Rng& rng) {
+  Graph g = randomTree(n, rng);
+  std::size_t maxEdges = n * (n - 1) / 2;
+  std::size_t budget = std::min(extraEdges, maxEdges - g.numEdges());
+  std::size_t guard = 0;
+  while (budget > 0 && guard < 100 * extraEdges + 1000) {
+    ++guard;
+    Vertex u = static_cast<Vertex>(rng.nextBelow(n));
+    Vertex v = static_cast<Vertex>(rng.nextBelow(n));
+    if (u == v || g.hasEdge(u, v)) continue;
+    g.addEdge(u, v);
+    --budget;
+  }
+  return g;
+}
+
+Graph randomRigidConnected(std::size_t n, util::Rng& rng) {
+  if (n < 6) {
+    throw std::invalid_argument(
+        "randomRigidConnected: no connected rigid graph exists with n < 6");
+  }
+  // Almost every G(n, 1/2) graph is rigid and connected; a handful of tries
+  // suffices even at n = 6.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Graph g = erdosRenyi(n, 0.5, rng);
+    if (g.isConnected() && isRigid(g)) return g;
+  }
+  throw std::runtime_error("randomRigidConnected: attempt budget exhausted");
+}
+
+Graph randomSymmetricConnected(std::size_t n, util::Rng& rng) {
+  if (n < 2 || n % 2 != 0) {
+    throw std::invalid_argument("randomSymmetricConnected: need even n >= 2");
+  }
+  std::size_t half = n / 2;
+  Graph base = half >= 2 ? randomConnected(half, half / 2, rng) : Graph(1);
+  // Prism construction base x K2: vertices (v, layer), layer in {0, 1};
+  // swapping layers is a non-trivial automorphism.
+  Graph g(n);
+  for (Vertex v = 0; v < half; ++v) {
+    g.addEdge(v, static_cast<Vertex>(v + half));  // Rung.
+    base.row(v).forEachSet([&](std::size_t u) {
+      if (u > v) {
+        g.addEdge(v, static_cast<Vertex>(u));
+        g.addEdge(static_cast<Vertex>(v + half), static_cast<Vertex>(u + half));
+      }
+    });
+  }
+  return g;
+}
+
+Permutation randomPermutation(std::size_t n, util::Rng& rng) {
+  Permutation perm = identityPermutation(n);
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = rng.nextBelow(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Graph randomIsomorphicCopy(const Graph& g, util::Rng& rng) {
+  return g.relabeled(randomPermutation(g.numVertices(), rng));
+}
+
+}  // namespace dip::graph

@@ -1,0 +1,39 @@
+// Graph generators for workloads: classic families, random models, and
+// verified rigid / symmetric instance factories used by the experiments.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+
+Graph pathGraph(std::size_t n);
+Graph cycleGraph(std::size_t n);
+Graph completeGraph(std::size_t n);
+Graph starGraph(std::size_t n);  // Vertex 0 is the hub.
+Graph gridGraph(std::size_t rows, std::size_t cols);
+
+// Erdos-Renyi G(n, p).
+Graph erdosRenyi(std::size_t n, double edgeProbability, util::Rng& rng);
+// Uniform random spanning-tree-shaped graph (random recursive tree).
+Graph randomTree(std::size_t n, util::Rng& rng);
+// Random connected graph: random tree plus `extraEdges` uniform extra edges.
+Graph randomConnected(std::size_t n, std::size_t extraEdges, util::Rng& rng);
+
+// A connected RIGID (asymmetric) graph on n vertices, found by rejection
+// sampling G(n, 1/2) and verifying rigidity; requires n >= 6 (smaller graphs
+// are never both connected and rigid). Used for NO-instances of Sym and for
+// the family F of the lower bound.
+Graph randomRigidConnected(std::size_t n, util::Rng& rng);
+
+// A connected SYMMETRIC graph on n vertices (n even, n >= 2): the prism
+// H x K2 over a random connected H, whose layer swap is an automorphism.
+Graph randomSymmetricConnected(std::size_t n, util::Rng& rng);
+
+// A uniformly random permutation of {0, ..., n-1}.
+Permutation randomPermutation(std::size_t n, util::Rng& rng);
+
+// g relabeled by a fresh uniform permutation (an isomorphic copy).
+Graph randomIsomorphicCopy(const Graph& g, util::Rng& rng);
+
+}  // namespace dip::graph

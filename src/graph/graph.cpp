@@ -1,0 +1,180 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dip::graph {
+
+Graph::Graph(std::size_t numVertices) : n_(numVertices) {
+  rows_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) rows_.emplace_back(n_);
+}
+
+Graph Graph::fromEdges(std::size_t numVertices,
+                       std::initializer_list<std::pair<Vertex, Vertex>> edges) {
+  Graph g(numVertices);
+  for (auto [u, v] : edges) g.addEdge(u, v);
+  return g;
+}
+
+void Graph::addEdge(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) throw std::out_of_range("Graph::addEdge: vertex out of range");
+  if (u == v) throw std::invalid_argument("Graph::addEdge: self-loop");
+  if (rows_[u].test(v)) return;
+  rows_[u].set(v);
+  rows_[v].set(u);
+  ++numEdges_;
+}
+
+bool Graph::hasEdge(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) throw std::out_of_range("Graph::hasEdge: vertex out of range");
+  if (u == v) return false;
+  return rows_[u].test(v);
+}
+
+util::DynBitset Graph::closedRow(Vertex v) const {
+  util::DynBitset closed = rows_[v];
+  closed.set(v);
+  return closed;
+}
+
+std::vector<Vertex> Graph::neighbors(Vertex v) const {
+  std::vector<Vertex> out;
+  out.reserve(degree(v));
+  rows_[v].forEachSet([&](std::size_t u) { out.push_back(static_cast<Vertex>(u)); });
+  return out;
+}
+
+std::vector<Vertex> Graph::closedNeighbors(Vertex v) const {
+  std::vector<Vertex> out = neighbors(v);
+  out.insert(std::lower_bound(out.begin(), out.end(), v), v);
+  return out;
+}
+
+bool Graph::isConnected() const {
+  if (n_ == 0) return true;
+  std::vector<bool> seen(n_, false);
+  std::vector<Vertex> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    Vertex v = stack.back();
+    stack.pop_back();
+    rows_[v].forEachSet([&](std::size_t u) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++reached;
+        stack.push_back(static_cast<Vertex>(u));
+      }
+    });
+  }
+  return reached == n_;
+}
+
+Graph Graph::relabeled(const Permutation& perm) const {
+  if (!isPermutation(perm, n_)) {
+    throw std::invalid_argument("Graph::relabeled: not a permutation");
+  }
+  Graph out(n_);
+  for (Vertex v = 0; v < n_; ++v) {
+    rows_[v].forEachSet([&](std::size_t u) {
+      if (u > v) out.addEdge(perm[v], perm[static_cast<Vertex>(u)]);
+    });
+  }
+  return out;
+}
+
+util::DynBitset Graph::imageOf(const util::DynBitset& subset, const Permutation& rho) {
+  util::DynBitset image(subset.size());
+  subset.forEachSet([&](std::size_t u) {
+    if (rho[u] >= subset.size()) throw std::out_of_range("Graph::imageOf: image out of range");
+    image.set(rho[u]);
+  });
+  return image;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return n_ == other.n_ && rows_ == other.rows_;
+}
+
+util::DynBitset Graph::upperTriangleBits() const {
+  util::DynBitset bits(n_ * (n_ - 1) / 2);
+  std::size_t index = 0;
+  for (Vertex u = 0; u < n_; ++u) {
+    for (Vertex v = u + 1; v < n_; ++v, ++index) {
+      if (rows_[u].test(v)) bits.set(index);
+    }
+  }
+  return bits;
+}
+
+Graph Graph::fromUpperTriangleBits(std::size_t numVertices, const util::DynBitset& bits) {
+  if (bits.size() != numVertices * (numVertices - 1) / 2) {
+    throw std::invalid_argument("Graph::fromUpperTriangleBits: size mismatch");
+  }
+  Graph g(numVertices);
+  std::size_t index = 0;
+  for (Vertex u = 0; u < numVertices; ++u) {
+    for (Vertex v = u + 1; v < numVertices; ++v, ++index) {
+      if (bits.test(index)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+std::size_t Graph::hashValue() const {
+  std::size_t h = n_;
+  for (const auto& row : rows_) {
+    h ^= row.hashValue() + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool isPermutation(const Permutation& perm, std::size_t n) {
+  if (perm.size() != n) return false;
+  std::vector<bool> hit(n, false);
+  for (Vertex image : perm) {
+    if (image >= n || hit[image]) return false;
+    hit[image] = true;
+  }
+  return true;
+}
+
+bool isIdentity(const Permutation& perm) {
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    if (perm[v] != v) return false;
+  }
+  return true;
+}
+
+Permutation compose(const Permutation& perm, const Permutation& first) {
+  if (perm.size() != first.size()) throw std::invalid_argument("compose: size mismatch");
+  Permutation out(perm.size());
+  for (std::size_t v = 0; v < perm.size(); ++v) out[v] = perm[first[v]];
+  return out;
+}
+
+Permutation inverse(const Permutation& perm) {
+  Permutation out(perm.size());
+  for (std::size_t v = 0; v < perm.size(); ++v) out[perm[v]] = static_cast<Vertex>(v);
+  return out;
+}
+
+Permutation identityPermutation(std::size_t n) {
+  Permutation out(n);
+  for (std::size_t v = 0; v < n; ++v) out[v] = static_cast<Vertex>(v);
+  return out;
+}
+
+bool isAutomorphism(const Graph& g, const Permutation& rho) {
+  if (!isPermutation(rho, g.numVertices())) return false;
+  const std::size_t n = g.numVertices();
+  for (Vertex u = 0; u < n; ++u) {
+    // rho is an automorphism iff rho(N(u)) == N(rho(u)) for all u
+    // (Observation 1 in the paper).
+    if (Graph::imageOf(g.row(u), rho) != g.row(rho[u])) return false;
+  }
+  return true;
+}
+
+}  // namespace dip::graph

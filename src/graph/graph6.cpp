@@ -1,0 +1,67 @@
+#include "graph/graph6.hpp"
+
+#include <stdexcept>
+
+namespace dip::graph {
+
+std::string toGraph6(const Graph& g) {
+  const std::size_t n = g.numVertices();
+  if (n > 62) throw std::invalid_argument("toGraph6: supports n <= 62");
+  std::string out;
+  out.push_back(static_cast<char>(n + 63));
+
+  // Upper-triangle bits in column order: for column i, rows j < i.
+  std::size_t accumulator = 0;
+  int bitsInGroup = 0;
+  for (Vertex i = 1; i < n; ++i) {
+    for (Vertex j = 0; j < i; ++j) {
+      accumulator = (accumulator << 1) | (g.hasEdge(j, i) ? 1u : 0u);
+      if (++bitsInGroup == 6) {
+        out.push_back(static_cast<char>(accumulator + 63));
+        accumulator = 0;
+        bitsInGroup = 0;
+      }
+    }
+  }
+  if (bitsInGroup > 0) {
+    accumulator <<= (6 - bitsInGroup);  // Pad with zeros on the right.
+    out.push_back(static_cast<char>(accumulator + 63));
+  }
+  return out;
+}
+
+Graph fromGraph6(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("fromGraph6: empty string");
+  const int sizeByte = static_cast<unsigned char>(text[0]);
+  if (sizeByte < 63 || sizeByte > 63 + 62) {
+    throw std::invalid_argument("fromGraph6: unsupported size byte");
+  }
+  const std::size_t n = static_cast<std::size_t>(sizeByte - 63);
+  const std::size_t edgeBits = n * (n - 1) / 2;
+  const std::size_t expectedGroups = (edgeBits + 5) / 6;
+  if (text.size() != 1 + expectedGroups) {
+    throw std::invalid_argument("fromGraph6: wrong length for size");
+  }
+
+  Graph g(n);
+  std::size_t bitIndex = 0;
+  for (std::size_t group = 0; group < expectedGroups; ++group) {
+    int value = static_cast<unsigned char>(text[1 + group]) - 63;
+    if (value < 0 || value > 63) throw std::invalid_argument("fromGraph6: bad byte");
+    for (int bit = 5; bit >= 0 && bitIndex < edgeBits; --bit, ++bitIndex) {
+      if ((value >> bit) & 1) {
+        // Recover (column i, row j) from the linear index.
+        std::size_t remaining = bitIndex;
+        Vertex i = 1;
+        while (remaining >= i) {
+          remaining -= i;
+          ++i;
+        }
+        g.addEdge(static_cast<Vertex>(remaining), i);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dip::graph

@@ -1,0 +1,26 @@
+// graph6 format support (McKay's nauty interchange format).
+//
+// Downstream users bring graphs from nauty / networkx / House of Graphs as
+// graph6 strings; this module parses and emits the format for graphs on up
+// to 62 vertices (the single-byte-size regime), enough for every
+// executable experiment in this repository.
+//
+// Format: byte (n + 63), then the upper-triangle adjacency bits in column
+// order — (0,1), (0,2), (1,2), (0,3), ... — packed big-endian into 6-bit
+// groups, each emitted as (value + 63).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace dip::graph {
+
+// Encodes g (numVertices() <= 62) as a graph6 string.
+std::string toGraph6(const Graph& g);
+
+// Parses a graph6 string; throws std::invalid_argument on malformed input.
+Graph fromGraph6(std::string_view text);
+
+}  // namespace dip::graph

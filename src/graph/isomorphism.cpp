@@ -1,0 +1,212 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dip::graph {
+
+namespace {
+
+// One refinement round: new color = rank of (old color, sorted neighbor
+// colors). Ranks are assigned by sorting signatures, so they are canonical
+// (two graphs assign the same color to vertices with identical signatures).
+std::vector<std::uint32_t> refineOnce(const Graph& g,
+                                      const std::vector<std::uint32_t>& colors,
+                                      std::size_t& numClasses) {
+  using Signature = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
+  const std::size_t n = g.numVertices();
+  std::vector<Signature> signatures(n);
+  for (Vertex v = 0; v < n; ++v) {
+    std::vector<std::uint32_t> around;
+    around.reserve(g.degree(v));
+    g.row(v).forEachSet([&](std::size_t u) { around.push_back(colors[u]); });
+    std::sort(around.begin(), around.end());
+    signatures[v] = {colors[v], std::move(around)};
+  }
+  std::map<Signature, std::uint32_t> ranks;
+  for (const auto& sig : signatures) ranks.emplace(sig, 0);
+  std::uint32_t next = 0;
+  for (auto& [sig, rank] : ranks) rank = next++;
+  numClasses = ranks.size();
+  std::vector<std::uint32_t> out(n);
+  for (Vertex v = 0; v < n; ++v) out[v] = ranks.at(signatures[v]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> refinementColors(const Graph& g) {
+  const std::size_t n = g.numVertices();
+  std::vector<std::uint32_t> colors(n);
+  for (Vertex v = 0; v < n; ++v) colors[v] = static_cast<std::uint32_t>(g.degree(v));
+  std::size_t classes = 0;
+  for (std::size_t round = 0; round < n + 1; ++round) {
+    std::size_t newClasses = 0;
+    auto next = refineOnce(g, colors, newClasses);
+    bool stable = (round > 0 && newClasses == classes);
+    colors = std::move(next);
+    classes = newClasses;
+    if (stable || classes == n) break;
+  }
+  return colors;
+}
+
+namespace {
+
+// Backtracking mapper shared by isomorphism search, non-trivial-automorphism
+// search, and automorphism counting.
+class IsoSearcher {
+ public:
+  IsoSearcher(const Graph& g0, const Graph& g1, bool forbidIdentity)
+      : g0_(g0), g1_(g1), forbidIdentity_(forbidIdentity) {
+    n_ = g0.numVertices();
+    colors0_ = refinementColors(g0);
+    colors1_ = (&g0 == &g1) ? colors0_ : refinementColors(g1);
+    mapping_.assign(n_, kUnmapped);
+    used_.assign(n_, false);
+  }
+
+  // Color class histograms must agree for an isomorphism to exist.
+  bool colorHistogramsMatch() const {
+    std::vector<std::uint32_t> h0 = colors0_;
+    std::vector<std::uint32_t> h1 = colors1_;
+    std::sort(h0.begin(), h0.end());
+    std::sort(h1.begin(), h1.end());
+    return h0 == h1;
+  }
+
+  // Runs the search; visit(mapping) is called on every complete isomorphism
+  // found and returns true to stop the search.
+  template <typename Visit>
+  bool search(Visit&& visit) {
+    return recurse(0, visit);
+  }
+
+ private:
+  static constexpr Vertex kUnmapped = static_cast<Vertex>(-1);
+
+  // Picks the unmapped vertex with the fewest viable targets
+  // (most-constrained-variable heuristic); fills `targets` for it.
+  Vertex selectNext(std::vector<Vertex>& targets) const {
+    Vertex best = kUnmapped;
+    std::size_t bestCount = static_cast<std::size_t>(-1);
+    std::vector<Vertex> bestTargets;
+    std::vector<Vertex> scratch;
+    for (Vertex v = 0; v < n_; ++v) {
+      if (mapping_[v] != kUnmapped) continue;
+      scratch.clear();
+      for (Vertex u = 0; u < n_; ++u) {
+        if (!used_[u] && viable(v, u)) scratch.push_back(u);
+      }
+      if (scratch.size() < bestCount) {
+        bestCount = scratch.size();
+        best = v;
+        bestTargets = scratch;
+        if (bestCount <= 1) break;
+      }
+    }
+    targets = std::move(bestTargets);
+    return best;
+  }
+
+  bool viable(Vertex v, Vertex u) const {
+    if (colors0_[v] != colors1_[u]) return false;
+    if (g0_.degree(v) != g1_.degree(u)) return false;
+    // Adjacency with every already-mapped vertex must be preserved both ways.
+    for (Vertex w = 0; w < n_; ++w) {
+      Vertex x = mapping_[w];
+      if (x == kUnmapped) continue;
+      if (g0_.hasEdge(v, w) != g1_.hasEdge(u, x)) return false;
+    }
+    return true;
+  }
+
+  template <typename Visit>
+  bool recurse(std::size_t depth, Visit& visit) {
+    if (depth == n_) {
+      Permutation result(mapping_.begin(), mapping_.end());
+      if (forbidIdentity_ && isIdentity(result)) return false;
+      return visit(result);
+    }
+    std::vector<Vertex> targets;
+    Vertex v = selectNext(targets);
+    if (targets.empty()) return false;
+    // Identity-forbidding prune: if the only remaining extension maps every
+    // vertex to itself and the partial map is the identity so far, the
+    // branch can still complete (handled at the leaf); no extra pruning
+    // needed for correctness.
+    for (Vertex u : targets) {
+      mapping_[v] = u;
+      used_[u] = true;
+      if (recurse(depth + 1, visit)) return true;
+      mapping_[v] = kUnmapped;
+      used_[u] = false;
+    }
+    return false;
+  }
+
+  const Graph& g0_;
+  const Graph& g1_;
+  bool forbidIdentity_;
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> colors0_;
+  std::vector<std::uint32_t> colors1_;
+  std::vector<Vertex> mapping_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+std::optional<Permutation> findIsomorphism(const Graph& g0, const Graph& g1) {
+  if (g0.numVertices() != g1.numVertices()) return std::nullopt;
+  if (g0.numEdges() != g1.numEdges()) return std::nullopt;
+  IsoSearcher searcher(g0, g1, /*forbidIdentity=*/false);
+  if (!searcher.colorHistogramsMatch()) return std::nullopt;
+  std::optional<Permutation> found;
+  searcher.search([&](const Permutation& perm) {
+    found = perm;
+    return true;
+  });
+  return found;
+}
+
+std::optional<Permutation> findNontrivialAutomorphism(const Graph& g) {
+  if (g.numVertices() < 2) return std::nullopt;
+  IsoSearcher searcher(g, g, /*forbidIdentity=*/true);
+  std::optional<Permutation> found;
+  searcher.search([&](const Permutation& perm) {
+    found = perm;
+    return true;
+  });
+  return found;
+}
+
+bool isRigid(const Graph& g) { return !findNontrivialAutomorphism(g).has_value(); }
+
+bool areIsomorphic(const Graph& g0, const Graph& g1) {
+  return findIsomorphism(g0, g1).has_value();
+}
+
+std::uint64_t countAutomorphisms(const Graph& g, std::uint64_t cap) {
+  if (g.numVertices() == 0) return 1;
+  IsoSearcher searcher(g, g, /*forbidIdentity=*/false);
+  std::uint64_t count = 0;
+  searcher.search([&](const Permutation&) {
+    ++count;
+    return count >= cap;
+  });
+  return count;
+}
+
+std::vector<Permutation> allAutomorphisms(const Graph& g, std::size_t cap) {
+  if (g.numVertices() == 0) return {Permutation{}};
+  IsoSearcher searcher(g, g, /*forbidIdentity=*/false);
+  std::vector<Permutation> group;
+  searcher.search([&](const Permutation& perm) {
+    group.push_back(perm);
+    return group.size() >= cap;
+  });
+  return group;
+}
+
+}  // namespace dip::graph

@@ -1,0 +1,56 @@
+#include "hash/distributed_seed.hpp"
+
+#include <stdexcept>
+
+namespace dip::hash {
+
+DistributedSeedHash::DistributedSeedHash(util::BigUInt fieldPrime, std::size_t n)
+    : p_(std::move(fieldPrime)), n_(n) {
+  if (p_ < util::BigUInt{2}) throw std::invalid_argument("DistributedSeedHash: P < 2");
+}
+
+double DistributedSeedHash::collisionBound() const {
+  return static_cast<double>(n_) / p_.toDouble();
+}
+
+util::BigUInt DistributedSeedHash::rowPiece(const util::BigUInt& nodeSeed,
+                                            const util::DynBitset& rowBits) const {
+  if (rowBits.size() != n_) {
+    throw std::invalid_argument("DistributedSeedHash::rowPiece: row size mismatch");
+  }
+  // poly(row, a) = sum over set bits w of a^(w+1), evaluated incrementally.
+  util::BigUInt acc;
+  util::BigUInt power = nodeSeed % p_;
+  std::size_t previous = 0;
+  bool first = true;
+  rowBits.forEachSet([&](std::size_t w) {
+    std::size_t gap = first ? w : w - previous;
+    for (std::size_t step = 0; step < gap; ++step) {
+      power = util::mulMod(power, nodeSeed, p_);
+    }
+    acc = util::addMod(acc, power, p_);
+    previous = w;
+    first = false;
+  });
+  return acc;
+}
+
+util::BigUInt DistributedSeedHash::combine(const util::BigUInt& left,
+                                           const util::BigUInt& right) const {
+  return util::addMod(left, right, p_);
+}
+
+util::BigUInt DistributedSeedHash::hashRowsWithOwners(
+    const std::vector<util::BigUInt>& seeds, const std::vector<util::DynBitset>& rows,
+    const std::vector<std::uint32_t>& owner) const {
+  if (seeds.size() != n_ || rows.size() != n_ || owner.size() != n_) {
+    throw std::invalid_argument("DistributedSeedHash: size mismatch");
+  }
+  util::BigUInt acc;
+  for (std::size_t u = 0; u < n_; ++u) {
+    acc = combine(acc, rowPiece(seeds[owner[u]], rows[u]));
+  }
+  return acc;
+}
+
+}  // namespace dip::hash

@@ -1,0 +1,106 @@
+#include "hash/eps_api.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/primes.hpp"
+
+namespace dip::hash {
+
+EpsApiHash::EpsApiHash(std::size_t n, std::size_t ell, LinearHashFamily inner)
+    : n_(n), ell_(ell), inner_(std::move(inner)) {}
+
+EpsApiHash EpsApiHash::create(std::size_t n, std::size_t outputBits, util::Rng& rng,
+                              unsigned slackBits) {
+  if (n < 1) throw std::invalid_argument("EpsApiHash: n < 1");
+  if (outputBits < 1) throw std::invalid_argument("EpsApiHash: outputBits < 1");
+  // P prime with about outputBits + 2 log2(n) + slackBits + 1 bits, so that
+  // P >= 2^outputBits * n^2 * 2^slackBits.
+  std::size_t nBits = util::BigUInt{n}.bitLength();
+  std::size_t fieldBits = outputBits + 2 * nBits + slackBits + 1;
+  util::BigUInt prime = util::findPrimeWithBits(fieldBits, rng);
+  return EpsApiHash(n, outputBits,
+                    LinearHashFamily(std::move(prime),
+                                     static_cast<std::uint64_t>(n) * n));
+}
+
+double EpsApiHash::epsilonBound() const {
+  const double p = inner_.prime().toDouble();
+  const double range = std::pow(2.0, static_cast<double>(ell_));
+  const double m = static_cast<double>(n_) * static_cast<double>(n_);
+  // Inner collision turned into joint probability, plus outer rounding.
+  double fiberSlack = range / p;  // <= 2^-slack / n^2
+  double innerTerm = (m + 1.0) / p * range * (1.0 + fiberSlack);
+  double roundingTerm = 3.0 * fiberSlack;  // (1 + s)^2 <= 1 + 3s for s <= 1.
+  return innerTerm + roundingTerm;
+}
+
+EpsApiHash::Seed EpsApiHash::randomSeed(util::Rng& rng) const {
+  Seed seed;
+  seed.a = inner_.randomIndex(rng);
+  seed.alpha = rng.nextBigBelow(inner_.prime());
+  seed.beta = rng.nextBigBelow(inner_.prime());
+  return seed;
+}
+
+util::BigUInt EpsApiHash::innerRow(const Seed& seed, std::uint64_t rowIndex,
+                                   const util::DynBitset& rowBits) const {
+  return inner_.hashMatrixRow(seed.a, rowIndex, rowBits, n_);
+}
+
+util::BigUInt EpsApiHash::combine(const util::BigUInt& left,
+                                  const util::BigUInt& right) const {
+  return util::addMod(left, right, inner_.prime());
+}
+
+util::BigUInt EpsApiHash::outer(const Seed& seed, const util::BigUInt& innerValue) const {
+  util::BigUInt affine = util::addMod(
+      util::mulMod(seed.alpha, innerValue, inner_.prime()), seed.beta, inner_.prime());
+  // affine mod 2^ell: clear the bits above ell.
+  util::BigUInt high = affine >> ell_;
+  return affine - (high << ell_);
+}
+
+util::BigUInt EpsApiHash::hashRows(const Seed& seed,
+                                   const std::vector<util::DynBitset>& rows) const {
+  if (rows.size() != n_) throw std::invalid_argument("hashRows: row count mismatch");
+  util::BigUInt acc;
+  for (std::size_t u = 0; u < n_; ++u) {
+    acc = combine(acc, innerRow(seed, u, rows[u]));
+  }
+  return outer(seed, acc);
+}
+
+EpsApiHash::PowerTable EpsApiHash::preparePowers(const Seed& seed) const {
+  PowerTable table;
+  const std::size_t count = n_ * n_;
+  table.powers.reserve(count);
+  util::BigUInt power = seed.a % inner_.prime();
+  for (std::size_t j = 0; j < count; ++j) {
+    table.powers.push_back(power);
+    if (j + 1 < count) power = util::mulMod(power, seed.a, inner_.prime());
+  }
+  return table;
+}
+
+util::BigUInt EpsApiHash::innerRowPrepared(const PowerTable& table,
+                                           std::uint64_t rowIndex,
+                                           const util::DynBitset& rowBits) const {
+  util::BigUInt acc;
+  const util::BigUInt& p = inner_.prime();
+  rowBits.forEachSet([&](std::size_t w) {
+    acc = util::addMod(acc, table.powers[rowIndex * n_ + w], p);
+  });
+  return acc;
+}
+
+util::BigUInt EpsApiHash::hashRowsPrepared(const Seed& seed, const PowerTable& table,
+                                           const std::vector<util::DynBitset>& rows) const {
+  util::BigUInt acc;
+  for (std::size_t u = 0; u < n_; ++u) {
+    acc = combine(acc, innerRowPrepared(table, u, rows[u]));
+  }
+  return outer(seed, acc);
+}
+
+}  // namespace dip::hash

@@ -1,0 +1,91 @@
+#include "hash/linear_hash.hpp"
+
+#include <stdexcept>
+
+#include "util/primes.hpp"
+
+namespace dip::hash {
+
+LinearHashFamily::LinearHashFamily(util::BigUInt p, std::uint64_t dimension)
+    : p_(std::move(p)), m_(dimension) {
+  if (p_ < util::BigUInt{2}) throw std::invalid_argument("LinearHashFamily: p < 2");
+  valueBits_ = p_.bitLength();
+}
+
+double LinearHashFamily::collisionBound() const {
+  return static_cast<double>(m_) / p_.toDouble();
+}
+
+util::BigUInt LinearHashFamily::randomIndex(util::Rng& rng) const {
+  return rng.nextBigBelow(p_);
+}
+
+util::BigUInt LinearHashFamily::hashSparse(
+    const util::BigUInt& a,
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> entries) const {
+  util::BigUInt acc;
+  for (const auto& [position, coefficient] : entries) {
+    if (position >= m_) throw std::out_of_range("hashSparse: position out of range");
+    util::BigUInt term = util::powMod(a, util::BigUInt{position + 1}, p_);
+    term = util::mulMod(term, util::BigUInt{coefficient} % p_, p_);
+    acc = util::addMod(acc, term, p_);
+  }
+  return acc;
+}
+
+util::BigUInt LinearHashFamily::hashMatrixRow(const util::BigUInt& a,
+                                              std::uint64_t rowIndex,
+                                              const util::DynBitset& columnBits,
+                                              std::uint64_t n) const {
+  if (n * n != m_) throw std::invalid_argument("hashMatrixRow: dimension mismatch");
+  if (rowIndex >= n || columnBits.size() != n) {
+    throw std::out_of_range("hashMatrixRow: bad row");
+  }
+  // Positions rowIndex*n + w + 1 for each set column w. Start from
+  // a^(rowIndex*n + 1) and walk the columns with one modular multiplication
+  // per step.
+  util::BigUInt power = util::powMod(a, util::BigUInt{rowIndex * n + 1}, p_);
+  util::BigUInt acc;
+  std::size_t previous = 0;
+  bool first = true;
+  columnBits.forEachSet([&](std::size_t w) {
+    std::size_t gap = first ? w : w - previous;
+    for (std::size_t step = 0; step < gap; ++step) power = util::mulMod(power, a, p_);
+    acc = util::addMod(acc, power, p_);
+    previous = w;
+    first = false;
+  });
+  return acc;
+}
+
+util::BigUInt LinearHashFamily::hashMatrixEntry(const util::BigUInt& a,
+                                                std::uint64_t rowIndex,
+                                                std::uint64_t colIndex,
+                                                std::uint64_t coefficient,
+                                                std::uint64_t n) const {
+  if (n * n != m_) throw std::invalid_argument("hashMatrixEntry: dimension mismatch");
+  if (rowIndex >= n || colIndex >= n) throw std::out_of_range("hashMatrixEntry: bad entry");
+  std::uint64_t position = rowIndex * n + colIndex;
+  util::BigUInt term = util::powMod(a, util::BigUInt{position + 1}, p_);
+  return util::mulMod(term, util::BigUInt{coefficient} % p_, p_);
+}
+
+LinearHashFamily makeProtocol1Family(std::size_t n, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("makeProtocol1Family: n < 2");
+  util::BigUInt n3 = util::BigUInt::pow(util::BigUInt{n}, 3);
+  util::BigUInt lo = util::BigUInt{10} * n3;
+  util::BigUInt hi = util::BigUInt{100} * n3;
+  return LinearHashFamily(util::findPrimeInRange(lo, hi, rng),
+                          static_cast<std::uint64_t>(n) * n);
+}
+
+LinearHashFamily makeProtocol2Family(std::size_t n, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("makeProtocol2Family: n < 2");
+  util::BigUInt nPow = util::BigUInt::pow(util::BigUInt{n}, n + 2);
+  util::BigUInt lo = util::BigUInt{10} * nPow;
+  util::BigUInt hi = util::BigUInt{100} * nPow;
+  return LinearHashFamily(util::findPrimeInRange(lo, hi, rng),
+                          static_cast<std::uint64_t>(n) * n);
+}
+
+}  // namespace dip::hash

@@ -1,0 +1,83 @@
+// The linear hash family of Theorem 3.2.
+//
+// For a prime p and dimension m, the family is indexed by an evaluation
+// point a in Z_p:
+//     h_a(x) = sum_k x_k * a^(k+1)   (mod p),     x in Z_p^m.
+// Properties used by the paper's protocols:
+//   (1) Linearity: h_a(x + x') = h_a(x) + h_a(x') mod p — so the hash of the
+//       whole adjacency matrix is the sum of per-node row hashes, summable
+//       up a spanning tree.
+//   (2) Collision: for x != x', h_a(x) = h_a(x') iff a is a root of a
+//       non-zero polynomial of degree <= m, so Pr_a[collision] <= m/p.
+// Family size is p, so a random index costs ceil(log2 p) bits.
+//
+// Matrix convention: an n x n matrix over Z_p is the m = n^2 dimensional
+// vector with entry (row u, column w) at position u*n + w. The paper's
+// [v, N(v)] (the matrix whose v-th row is the closed neighborhood of v and
+// which is zero elsewhere) hashes via hashMatrixRow.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "util/biguint.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace dip::hash {
+
+class LinearHashFamily {
+ public:
+  // Trivial placeholder family (p = 2, dimension 1); parameter structs that
+  // carry a family by value need this before real parameters are chosen.
+  LinearHashFamily() : LinearHashFamily(util::BigUInt{2}, 1) {}
+  // Family over Z_p^dimension. Requires p prime (not re-verified here).
+  LinearHashFamily(util::BigUInt p, std::uint64_t dimension);
+
+  const util::BigUInt& prime() const { return p_; }
+  std::uint64_t dimension() const { return m_; }
+
+  // Bits to transmit a hash index (seed) or a hash value.
+  std::size_t seedBits() const { return valueBits_; }
+  std::size_t valueBits() const { return valueBits_; }
+
+  // Upper bound on the collision probability m/p.
+  double collisionBound() const;
+
+  // Draws a random index a in [0, p).
+  util::BigUInt randomIndex(util::Rng& rng) const;
+
+  // h_a of a sparse vector given as (position, coefficient) entries.
+  util::BigUInt hashSparse(
+      const util::BigUInt& a,
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> entries) const;
+
+  // h_a of the matrix [rowIndex, columnBits]: the n x n 0/1 matrix whose
+  // rowIndex-th row is columnBits and which is zero elsewhere. Requires
+  // dimension() == n * n. Incremental powers: O(n) modular multiplications.
+  util::BigUInt hashMatrixRow(const util::BigUInt& a, std::uint64_t rowIndex,
+                              const util::DynBitset& columnBits,
+                              std::uint64_t n) const;
+
+  // h_a of coefficient * e_(rowIndex*n + colIndex) — a single matrix entry.
+  util::BigUInt hashMatrixEntry(const util::BigUInt& a, std::uint64_t rowIndex,
+                                std::uint64_t colIndex, std::uint64_t coefficient,
+                                std::uint64_t n) const;
+
+ private:
+  util::BigUInt p_;
+  std::uint64_t m_;
+  std::size_t valueBits_;
+};
+
+// Protocol 1's parameters: p prime in [10 n^3, 100 n^3], dimension n^2.
+// O(log n) seed and value bits.
+LinearHashFamily makeProtocol1Family(std::size_t n, util::Rng& rng);
+
+// Protocol 2's parameters: p prime in [10 n^(n+2), 100 n^(n+2)], dimension
+// n^2. O(n log n) seed and value bits — large enough to union-bound over all
+// n^n mappings after the challenge is revealed (Theorem 3.5).
+LinearHashFamily makeProtocol2Family(std::size_t n, util::Rng& rng);
+
+}  // namespace dip::hash

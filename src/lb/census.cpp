@@ -1,0 +1,51 @@
+#include "lb/census.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/bitset.hpp"
+#include "util/mathutil.hpp"
+
+namespace dip::lb {
+
+CensusResult exhaustiveCensus(std::size_t n) {
+  if (n < 1 || n > 7) {
+    throw std::invalid_argument("exhaustiveCensus: supported for 1 <= n <= 7");
+  }
+  const std::size_t edgeSlots = n * (n - 1) / 2;
+  const std::uint64_t total = 1ull << edgeSlots;
+
+  std::uint64_t factorialN = 1;
+  for (std::size_t i = 2; i <= n; ++i) factorialN *= i;
+
+  CensusResult result;
+  result.n = n;
+  result.labeledGraphs = total;
+
+  std::uint64_t automorphismSum = 0;  // For Burnside.
+  for (std::uint64_t code = 0; code < total; ++code) {
+    util::DynBitset bits(edgeSlots);
+    for (std::size_t i = 0; i < edgeSlots; ++i) {
+      if ((code >> i) & 1ull) bits.set(i);
+    }
+    graph::Graph g = graph::Graph::fromUpperTriangleBits(n, bits);
+    std::uint64_t autCount = graph::countAutomorphisms(g);
+    automorphismSum += autCount;
+    if (autCount == 1) ++result.labeledRigid;
+  }
+
+  result.rigidClasses = result.labeledRigid / factorialN;
+  result.isoClasses = automorphismSum / factorialN;
+  return result;
+}
+
+double log2FamilyLowerBound(std::size_t n) {
+  double log2Fact = 0.0;
+  for (std::size_t i = 2; i <= n; ++i) log2Fact += std::log2(static_cast<double>(i));
+  double edges = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return edges - log2Fact;
+}
+
+}  // namespace dip::lb

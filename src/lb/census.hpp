@@ -1,0 +1,36 @@
+// Exhaustive census of small graphs: how large is the family F of rigid,
+// pairwise-non-isomorphic graphs that drives the Omega(log log n) lower
+// bound (Section 3.4)?
+//
+// The paper needs |F(n)| = Omega(2^(n^2) / n!) (all-but-vanishing fraction
+// of graphs are rigid). For small n we can compute |F(n)| EXACTLY: every
+// rigid graph has an orbit of exactly n! labeled copies, so
+//     |F(n)| = (# labeled rigid graphs) / n!,
+// and the number of isomorphism classes overall follows from Burnside:
+//     # classes = (1/n!) * sum over labeled graphs of |Aut(G)|.
+// Both are computed by sweeping all 2^(n(n-1)/2) labeled graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/biguint.hpp"
+
+namespace dip::lb {
+
+struct CensusResult {
+  std::size_t n = 0;
+  std::uint64_t labeledGraphs = 0;   // 2^(n(n-1)/2)
+  std::uint64_t labeledRigid = 0;    // Labeled graphs with trivial Aut.
+  std::uint64_t rigidClasses = 0;    // |F(n)| — the lower bound's family.
+  std::uint64_t isoClasses = 0;      // All isomorphism classes (Burnside).
+};
+
+// Exhaustive sweep; practical for n <= 7 (n = 7 visits 2^21 graphs).
+CensusResult exhaustiveCensus(std::size_t n);
+
+// log2 of the asymptotic family-size lower bound the paper uses:
+// |F(n)| >= (1 - o(1)) 2^C(n,2) / n!; we report the dominant terms
+// n(n-1)/2 - log2(n!). Valid as a lower bound for n >= 7.
+double log2FamilyLowerBound(std::size_t n);
+
+}  // namespace dip::lb

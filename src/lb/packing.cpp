@@ -1,0 +1,38 @@
+#include "lb/packing.hpp"
+
+#include <cmath>
+
+#include "lb/census.hpp"
+
+namespace dip::lb {
+
+double packingCapacityLog2(std::size_t lengthBits) {
+  // log2(5^(2^(2^L))) = 2^(2^L) * log2(5).
+  double inner = std::exp2(static_cast<double>(lengthBits));
+  double d = std::exp2(inner);
+  return d * std::log2(5.0);
+}
+
+double lowerBoundBits(double log2FamilySize) {
+  // L >= (1/4) log2 log2 (log2|F| / log2 5); clamp the chain at zero.
+  double x = log2FamilySize / std::log2(5.0);
+  if (x <= 1.0) return 0.0;
+  double y = std::log2(x);
+  if (y <= 1.0) return 0.0;
+  return 0.25 * std::log2(y);
+}
+
+std::vector<PackingCurvePoint> packingCurve(const std::vector<std::size_t>& ns) {
+  std::vector<PackingCurvePoint> curve;
+  curve.reserve(ns.size());
+  for (std::size_t n : ns) {
+    PackingCurvePoint point;
+    point.n = n;
+    point.log2Family = log2FamilyLowerBound(n);
+    point.lowerBound = lowerBoundBits(point.log2Family);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace dip::lb

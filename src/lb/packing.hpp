@@ -1,0 +1,36 @@
+// The packing argument of Section 3.4, made numeric.
+//
+// Theorem 1.4's chain of inequalities: a correct simple dAM protocol of
+// length L induces, for each F in the rigid family, a distribution
+// mu_A(F) over SETS of L-bit responses (domain size d = 2^(2^L)); by
+// Lemma 3.11 any two are >= 2/3 apart in L1, and by the volume bound of
+// Lemma 3.12 at most 5^d such distributions fit. A general protocol of
+// length L becomes simple at length 4L (Lemma 3.7). Therefore
+//     5^(2^(2^(4L))) >= |F(n)|
+// and solving for L gives the Omega(log log n) bound this module emits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dip::lb {
+
+// d = 2^(2^L) capped to avoid overflow; used by tests on tiny L.
+double packingCapacityLog2(std::size_t lengthBits);
+
+// The smallest L ruled IN by the packing inequality: returns the largest
+// value Lbar such that every correct dAM protocol for Sym must have length
+// > Lbar, given log2 |F(n)|. Derivation:
+//   5^(2^(2^(4L))) >= |F|  =>  L >= (1/4) log2 log2 (log2|F| / log2 5).
+double lowerBoundBits(double log2FamilySize);
+
+struct PackingCurvePoint {
+  std::size_t n = 0;
+  double log2Family = 0.0;
+  double lowerBound = 0.0;  // In bits; the paper's Omega(log log n).
+};
+
+// The lower-bound curve over a sweep of n values (asymptotic family size).
+std::vector<PackingCurvePoint> packingCurve(const std::vector<std::size_t>& ns);
+
+}  // namespace dip::lb

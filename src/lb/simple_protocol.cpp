@@ -1,0 +1,208 @@
+#include "lb/simple_protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dip::lb {
+
+namespace {
+
+// Enumerates all assignments of `width`-bit values to `slots` positions,
+// calling visit(values) for each; returns true if any visit returned true.
+bool enumerateAssignments(std::size_t slots, unsigned width,
+                          std::vector<std::uint8_t>& values,
+                          const std::function<bool(const std::vector<std::uint8_t>&)>& visit) {
+  const std::uint64_t perSlot = 1ull << width;
+  std::uint64_t totalLog = slots * width;
+  if (totalLog > 30) throw std::invalid_argument("enumerateAssignments: too large");
+  const std::uint64_t total = 1ull << totalLog;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t rest = code;
+    for (std::size_t i = 0; i < slots; ++i) {
+      values[i] = static_cast<std::uint8_t>(rest % perSlot);
+      rest /= perSlot;
+    }
+    if (visit(values)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SimpleProtocolAnalyzer::SimpleProtocolAnalyzer(SimpleToyProtocol protocol,
+                                               graph::DumbbellLayout layout)
+    : protocol_(std::move(protocol)), layout_(layout) {
+  if (protocol_.responseBits > 6 || protocol_.challengeBits > 8) {
+    throw std::invalid_argument("SimpleProtocolAnalyzer: bits too large");
+  }
+}
+
+std::vector<graph::Vertex> SimpleProtocolAnalyzer::sideVertices(bool sideA) const {
+  std::vector<graph::Vertex> side;
+  const std::size_t k = layout_.sideSize;
+  graph::Vertex base = sideA ? 0 : static_cast<graph::Vertex>(k);
+  for (std::size_t i = 0; i < k; ++i) side.push_back(base + static_cast<graph::Vertex>(i));
+  return side;
+}
+
+bool SimpleProtocolAnalyzer::sideAccepts(const graph::Graph& dumbbell, bool sideA,
+                                         const std::vector<std::uint8_t>& challenges,
+                                         std::vector<std::uint8_t>& responses,
+                                         std::uint8_t bridgeResponse,
+                                         const std::vector<graph::Vertex>& side) const {
+  graph::Vertex bridge = sideA ? layout_.xA : layout_.xB;
+  responses[bridge] = bridgeResponse;
+  if (!protocol_.bridgeF(dumbbell, bridge, challenges, bridgeResponse)) return false;
+  for (graph::Vertex v : side) {
+    if (!protocol_.interiorAccepts(dumbbell, v, challenges, responses)) return false;
+  }
+  return true;
+}
+
+std::uint64_t SimpleProtocolAnalyzer::responseSet(
+    const graph::Graph& dumbbell, bool sideA,
+    const std::vector<std::uint8_t>& challenges) const {
+  const std::vector<graph::Vertex> side = sideVertices(sideA);
+  const unsigned L = protocol_.responseBits;
+  const std::uint64_t responsesPerNode = 1ull << L;
+  std::uint64_t achievable = 0;
+
+  // For each candidate bridge response m, search any side assignment that
+  // makes the whole side accept.
+  std::vector<std::uint8_t> responses(dumbbell.numVertices(), 0);
+  std::vector<std::uint8_t> sideValues(side.size(), 0);
+  for (std::uint64_t m = 0; m < responsesPerNode; ++m) {
+    bool found = enumerateAssignments(
+        side.size(), L, sideValues, [&](const std::vector<std::uint8_t>& values) {
+          for (std::size_t i = 0; i < side.size(); ++i) responses[side[i]] = values[i];
+          return sideAccepts(dumbbell, sideA, challenges, responses,
+                             static_cast<std::uint8_t>(m), side);
+        });
+    if (found) achievable |= 1ull << m;
+  }
+  return achievable;
+}
+
+ResponseSetDistribution SimpleProtocolAnalyzer::responseSetDistribution(
+    const graph::Graph& dumbbell, bool sideA) const {
+  const std::size_t n = dumbbell.numVertices();
+  const unsigned c = protocol_.challengeBits;
+  std::vector<std::uint8_t> challenges(n, 0);
+  ResponseSetDistribution distribution;
+  std::uint64_t count = 0;
+  enumerateAssignments(n, c, challenges, [&](const std::vector<std::uint8_t>& r) {
+    distribution[responseSet(dumbbell, sideA, r)] += 1.0;
+    ++count;
+    return false;
+  });
+  for (auto& [set, probability] : distribution) {
+    probability /= static_cast<double>(count);
+  }
+  return distribution;
+}
+
+double SimpleProtocolAnalyzer::intersectionProbability(const graph::Graph& dumbbell) const {
+  const std::size_t n = dumbbell.numVertices();
+  const unsigned c = protocol_.challengeBits;
+  std::vector<std::uint8_t> challenges(n, 0);
+  std::uint64_t hits = 0;
+  std::uint64_t count = 0;
+  enumerateAssignments(n, c, challenges, [&](const std::vector<std::uint8_t>& r) {
+    std::uint64_t setA = responseSet(dumbbell, true, r);
+    std::uint64_t setB = responseSet(dumbbell, false, r);
+    if (setA & setB) ++hits;
+    ++count;
+    return false;
+  });
+  return static_cast<double>(hits) / static_cast<double>(count);
+}
+
+double SimpleProtocolAnalyzer::bestProverAcceptance(const graph::Graph& dumbbell) const {
+  const std::size_t n = dumbbell.numVertices();
+  const unsigned c = protocol_.challengeBits;
+  const unsigned L = protocol_.responseBits;
+  const std::vector<graph::Vertex> sideA = sideVertices(true);
+  const std::vector<graph::Vertex> sideB = sideVertices(false);
+
+  std::vector<std::uint8_t> challenges(n, 0);
+  std::uint64_t hits = 0;
+  std::uint64_t count = 0;
+  enumerateAssignments(n, c, challenges, [&](const std::vector<std::uint8_t>& r) {
+    // Search ANY full response matrix accepted by every node, honoring the
+    // simple-protocol bridge semantics (equal bridge responses).
+    std::vector<std::uint8_t> responses(n, 0);
+    std::vector<std::uint8_t> all(n, 0);
+    bool found = enumerateAssignments(n, L, all, [&](const std::vector<std::uint8_t>& m) {
+      if (m[layout_.xA] != m[layout_.xB]) return false;
+      for (std::size_t i = 0; i < n; ++i) responses[i] = m[i];
+      if (!protocol_.bridgeF(dumbbell, layout_.xA, r, responses[layout_.xA])) return false;
+      if (!protocol_.bridgeF(dumbbell, layout_.xB, r, responses[layout_.xB])) return false;
+      for (graph::Vertex v : sideA) {
+        if (!protocol_.interiorAccepts(dumbbell, v, r, responses)) return false;
+      }
+      for (graph::Vertex v : sideB) {
+        if (!protocol_.interiorAccepts(dumbbell, v, r, responses)) return false;
+      }
+      return true;
+    });
+    if (found) ++hits;
+    ++count;
+    return false;
+  });
+  return static_cast<double>(hits) / static_cast<double>(count);
+}
+
+double SimpleProtocolAnalyzer::l1Distance(const ResponseSetDistribution& mu1,
+                                          const ResponseSetDistribution& mu2) {
+  double distance = 0.0;
+  for (const auto& [set, probability] : mu1) {
+    auto it = mu2.find(set);
+    double other = (it == mu2.end()) ? 0.0 : it->second;
+    distance += std::abs(probability - other);
+  }
+  for (const auto& [set, probability] : mu2) {
+    if (mu1.find(set) == mu1.end()) distance += probability;
+  }
+  return distance;
+}
+
+SimpleToyProtocol parityToyProtocol() {
+  // An XOR-constraint toy: interior node v accepts iff
+  //     m_v == r_v XOR (XOR of m_u over open neighbors u).
+  // The constraints form a GF(2) linear system over the side's responses
+  // with the bridge response as a boundary value, so WHICH bridge responses
+  // are achievable (the set M_A(F, r)) genuinely depends on the side
+  // graph's structure — e.g. with a 2-vertex side, an edge forces
+  // m_xA = r_0 XOR r_1 (singleton set) while no edge leaves m_xA free
+  // (full set).
+  SimpleToyProtocol protocol;
+  protocol.challengeBits = 1;
+  protocol.responseBits = 1;
+  protocol.interiorAccepts = [](const graph::Graph& g, graph::Vertex v,
+                                const std::vector<std::uint8_t>& challenges,
+                                const std::vector<std::uint8_t>& responses) {
+    std::uint8_t expected = challenges[v] & 1u;
+    g.row(v).forEachSet([&](std::size_t u) { expected ^= responses[u] & 1u; });
+    return (responses[v] & 1u) == expected;
+  };
+  protocol.bridgeF = [](const graph::Graph&, graph::Vertex,
+                        const std::vector<std::uint8_t>&, std::uint8_t) {
+    // Achievability comes entirely from the interior XOR system.
+    return true;
+  };
+  return protocol;
+}
+
+SimpleToyProtocol freeToyProtocol() {
+  SimpleToyProtocol protocol;
+  protocol.challengeBits = 1;
+  protocol.responseBits = 1;
+  protocol.interiorAccepts = [](const graph::Graph&, graph::Vertex,
+                                const std::vector<std::uint8_t>&,
+                                const std::vector<std::uint8_t>&) { return true; };
+  protocol.bridgeF = [](const graph::Graph&, graph::Vertex,
+                        const std::vector<std::uint8_t>&, std::uint8_t) { return true; };
+  return protocol;
+}
+
+}  // namespace dip::lb

@@ -1,0 +1,104 @@
+// Executable machinery behind the lower-bound framework of Section 3.4:
+// simple protocols (Definition 6), achievable-response sets M_A / M_B
+// (Lemma 3.8), the best-prover acceptance identity (Lemma 3.9), and the
+// response-set distributions mu_A whose L1 separation (Lemma 3.11) feeds
+// the packing bound.
+//
+// Everything here is exhaustive and exact, so it only runs on toy instances
+// (a handful of nodes, 1-2 challenge/response bits) — exactly what is
+// needed to validate the framework computationally; the asymptotic bound
+// itself comes from lb/packing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/graph.hpp"
+
+namespace dip::lb {
+
+// A 1-round dAM protocol on dumbbell graphs in SIMPLE form (Definition 6):
+// interior nodes use `interiorAccepts`; each bridge node x accepts iff its
+// predicate f_x holds AND both bridge nodes received the same response.
+//
+// Challenges and responses are global vectors indexed by vertex; decision
+// functions must only read entries of the closed neighborhood of their
+// vertex (the analyzer's locality fuzz test enforces this for the built-in
+// toys).
+struct SimpleToyProtocol {
+  unsigned challengeBits = 1;  // Per-node challenge length (<= 8).
+  unsigned responseBits = 1;   // Per-node response length L (<= 6).
+  std::function<bool(const graph::Graph&, graph::Vertex,
+                     const std::vector<std::uint8_t>& challenges,
+                     const std::vector<std::uint8_t>& responses)>
+      interiorAccepts;
+  std::function<bool(const graph::Graph&, graph::Vertex bridgeNode,
+                     const std::vector<std::uint8_t>& challenges,
+                     std::uint8_t ownResponse)>
+      bridgeF;
+};
+
+// A response-set distribution: probability of each achievable-response SET,
+// with a set of L-bit values encoded as a bitmask over {0,1}^L (Lemma 3.8's
+// M_A(F, r) ranges over subsets of {0,1}^L, i.e. a domain of size 2^(2^L)).
+using ResponseSetDistribution = std::map<std::uint64_t, double>;
+
+class SimpleProtocolAnalyzer {
+ public:
+  SimpleProtocolAnalyzer(SimpleToyProtocol protocol, graph::DumbbellLayout layout);
+
+  // M_side(F, r): the bitmask of bridge responses m that extend to a
+  // response assignment making the whole side (V_side plus its bridge node)
+  // accept, for the FIXED global challenge vector.
+  std::uint64_t responseSet(const graph::Graph& dumbbell, bool sideA,
+                            const std::vector<std::uint8_t>& challenges) const;
+
+  // mu_side(F): the distribution of M_side(F, r) over uniform challenges,
+  // computed exactly by enumerating all challenge vectors. The dumbbell
+  // passed in should be G(F, F).
+  ResponseSetDistribution responseSetDistribution(const graph::Graph& dumbbell,
+                                                  bool sideA) const;
+
+  // Pr_r[ M_A(F_A, r) and M_B(F_B, r) intersect ] — by Lemma 3.9 this
+  // equals the best prover's acceptance probability on G(F_A, F_B).
+  double intersectionProbability(const graph::Graph& dumbbell) const;
+
+  // Independent ground truth for Lemma 3.9: max over provers of
+  // Pr_r(all nodes accept), by enumerating every challenge and searching
+  // for ANY accepting full response matrix (with the simple-protocol bridge
+  // semantics). Exponential in n; tiny instances only.
+  double bestProverAcceptance(const graph::Graph& dumbbell) const;
+
+  // L1 distance between two response-set distributions (Lemma 3.11's
+  // metric).
+  static double l1Distance(const ResponseSetDistribution& mu1,
+                           const ResponseSetDistribution& mu2);
+
+ private:
+  bool sideAccepts(const graph::Graph& dumbbell, bool sideA,
+                   const std::vector<std::uint8_t>& challenges,
+                   std::vector<std::uint8_t>& responses, std::uint8_t bridgeResponse,
+                   const std::vector<graph::Vertex>& sideVertices) const;
+  std::vector<graph::Vertex> sideVertices(bool sideA) const;
+
+  SimpleToyProtocol protocol_;
+  graph::DumbbellLayout layout_;
+};
+
+// Built-in toy: a parity-fingerprint protocol. Interior node v accepts iff
+// its response equals the XOR of its own challenge bit with the parities of
+// its closed-neighborhood challenge bits and degree; the bridge predicate
+// compares the response with the adjacent side vertex's challenge. Not a
+// correct Sym protocol (none this short is — that is the point of the
+// lower bound); it exercises every analyzer code path with non-trivial
+// response sets.
+SimpleToyProtocol parityToyProtocol();
+
+// Degenerate toy accepting everything (sanity baseline: all response sets
+// are full, all distributions identical).
+SimpleToyProtocol freeToyProtocol();
+
+}  // namespace dip::lb

@@ -1,0 +1,76 @@
+#include "net/spanning.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace dip::net {
+
+SpanningTreeAdvice buildBfsTree(const graph::Graph& g, graph::Vertex root) {
+  const std::size_t n = g.numVertices();
+  if (root >= n) throw std::out_of_range("buildBfsTree: root out of range");
+  SpanningTreeAdvice advice;
+  advice.root = root;
+  advice.parent.assign(n, root);
+  advice.dist.assign(n, UINT32_MAX);
+  std::deque<graph::Vertex> queue{root};
+  advice.dist[root] = 0;
+  while (!queue.empty()) {
+    graph::Vertex v = queue.front();
+    queue.pop_front();
+    g.row(v).forEachSet([&](std::size_t u) {
+      if (advice.dist[u] == UINT32_MAX) {
+        advice.dist[u] = advice.dist[v] + 1;
+        advice.parent[u] = v;
+        queue.push_back(static_cast<graph::Vertex>(u));
+      }
+    });
+  }
+  for (std::uint32_t d : advice.dist) {
+    if (d == UINT32_MAX) throw std::invalid_argument("buildBfsTree: graph not connected");
+  }
+  return advice;
+}
+
+bool verifyTreeLocally(const graph::Graph& g, const SpanningTreeAdvice& advice,
+                       graph::Vertex v) {
+  if (advice.parent.size() != g.numVertices() || advice.dist.size() != g.numVertices()) {
+    return false;
+  }
+  if (v == advice.root) return advice.dist[v] == 0;
+  graph::Vertex parent = advice.parent[v];
+  if (parent >= g.numVertices() || !g.hasEdge(v, parent)) return false;
+  return advice.dist[v] >= 1 && advice.dist[parent] == advice.dist[v] - 1;
+}
+
+std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
+                                      const SpanningTreeAdvice& advice,
+                                      graph::Vertex v) {
+  std::vector<graph::Vertex> children;
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (advice.parent[u] == v && static_cast<graph::Vertex>(u) != advice.root) {
+      children.push_back(static_cast<graph::Vertex>(u));
+    }
+  });
+  return children;
+}
+
+std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice) {
+  std::vector<graph::Vertex> order(advice.dist.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](graph::Vertex a, graph::Vertex b) {
+    return advice.dist[a] > advice.dist[b];
+  });
+  return order;
+}
+
+std::size_t treeAdviceBitsPerNode(std::size_t numVertices) {
+  unsigned idBits = util::bitsFor(numVertices);
+  // parent id (unicast) + distance in [n] (unicast) + root id (broadcast).
+  return static_cast<std::size_t>(idBits) * 2 + idBits;
+}
+
+}  // namespace dip::net

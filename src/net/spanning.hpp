@@ -1,0 +1,49 @@
+// The spanning-tree proof-labeling building block (Korman-Kutten-Peleg [23])
+// that both Sym protocols and the GNI protocol "sum their hash values up the
+// tree" with.
+//
+// The prover supplies, per node v: a claimed parent t_v, a claimed distance
+// d_v from the root, and (broadcast) a claimed root r. Each node verifies
+// LOCALLY (Protocol 1, line 1):
+//     v != r:  t_v in N(v)  and  d_{t_v} = d_v - 1
+//     v == r:  d_v = 0
+// On a connected graph, all nodes passing implies the parent edges form a
+// spanning tree rooted at r (distances strictly decrease toward the root,
+// so parent chains terminate at r and cannot cycle).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dip::net {
+
+struct SpanningTreeAdvice {
+  graph::Vertex root = 0;
+  std::vector<graph::Vertex> parent;  // parent[root] == root by convention.
+  std::vector<std::uint32_t> dist;
+};
+
+// BFS tree from `root` (the honest prover's choice). Requires g connected.
+SpanningTreeAdvice buildBfsTree(const graph::Graph& g, graph::Vertex root);
+
+// Node v's local tree check. v reads only its own advice and the advice of
+// its closed neighborhood (d_{t_v} is visible because t_v must be a
+// neighbor).
+bool verifyTreeLocally(const graph::Graph& g, const SpanningTreeAdvice& advice,
+                       graph::Vertex v);
+
+// C(v) = { u in N(v) | t_u = v } — v's children under the claimed advice
+// (Protocol 1, line 2). Computable from v's local view.
+std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
+                                      const SpanningTreeAdvice& advice,
+                                      graph::Vertex v);
+
+// Vertices ordered by decreasing claimed distance (leaves first); the honest
+// prover aggregates subtree hash values in this order.
+std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice);
+
+// Number of bits the advice costs per node: parent id + distance + root id.
+std::size_t treeAdviceBitsPerNode(std::size_t numVertices);
+
+}  // namespace dip::net

@@ -1,0 +1,55 @@
+#include "net/transcript.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dip::net {
+
+Transcript::Transcript(std::size_t numNodes)
+    : perNode_(numNodes), roundStartTotals_(numNodes, 0) {}
+
+void Transcript::beginRound(std::string label) {
+  rounds_.push_back({std::move(label), 0});
+  for (std::size_t v = 0; v < perNode_.size(); ++v) {
+    roundStartTotals_[v] = perNode_[v].total();
+  }
+}
+
+void Transcript::noteRoundCharge(graph::Vertex v) {
+  if (rounds_.empty()) return;
+  std::size_t delta = perNode_[v].total() - roundStartTotals_[v];
+  rounds_.back().maxBitsThisRound = std::max(rounds_.back().maxBitsThisRound, delta);
+}
+
+void Transcript::chargeToProver(graph::Vertex v, std::size_t bits) {
+  if (v >= perNode_.size()) throw std::out_of_range("Transcript: bad vertex");
+  perNode_[v].bitsToProver += bits;
+  noteRoundCharge(v);
+}
+
+void Transcript::chargeFromProver(graph::Vertex v, std::size_t bits) {
+  if (v >= perNode_.size()) throw std::out_of_range("Transcript: bad vertex");
+  perNode_[v].bitsFromProver += bits;
+  noteRoundCharge(v);
+}
+
+void Transcript::chargeBroadcastFromProver(std::size_t bits) {
+  for (graph::Vertex v = 0; v < perNode_.size(); ++v) {
+    perNode_[v].bitsFromProver += bits;
+    noteRoundCharge(v);
+  }
+}
+
+std::size_t Transcript::maxPerNodeBits() const {
+  std::size_t best = 0;
+  for (const auto& cost : perNode_) best = std::max(best, cost.total());
+  return best;
+}
+
+std::size_t Transcript::totalBits() const {
+  std::size_t sum = 0;
+  for (const auto& cost : perNode_) sum += cost.total();
+  return sum;
+}
+
+}  // namespace dip::net

@@ -1,0 +1,73 @@
+// Communication accounting for interactive distributed proofs.
+//
+// The paper's complexity measure is the total number of bits exchanged
+// between any individual node and the prover (challenges included, for
+// upper bounds). Every protocol execution charges its encoded messages to a
+// Transcript; benchmarks and tests read the per-node maximum off the
+// CostReport. Node-to-node exchange of received responses (each node seeing
+// M_{N(v)}) is part of the model and is not charged, matching the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dip::net {
+
+struct NodeCost {
+  std::size_t bitsToProver = 0;
+  std::size_t bitsFromProver = 0;
+  std::size_t total() const { return bitsToProver + bitsFromProver; }
+};
+
+struct RoundSummary {
+  std::string label;
+  std::size_t maxBitsThisRound = 0;  // Max per-node bits charged in the round.
+};
+
+class Transcript {
+ public:
+  explicit Transcript(std::size_t numNodes);
+
+  // Marks the start of a named protocol round (for per-round reporting).
+  void beginRound(std::string label);
+
+  void chargeToProver(graph::Vertex v, std::size_t bits);
+  void chargeFromProver(graph::Vertex v, std::size_t bits);
+  // A broadcast response: every node receives (and pays for) `bits` bits.
+  void chargeBroadcastFromProver(std::size_t bits);
+
+  std::size_t numNodes() const { return perNode_.size(); }
+  const std::vector<NodeCost>& perNode() const { return perNode_; }
+  const std::vector<RoundSummary>& rounds() const { return rounds_; }
+
+  // Max over nodes of total bits exchanged with the prover (the paper's f(n)).
+  std::size_t maxPerNodeBits() const;
+  std::size_t totalBits() const;
+
+ private:
+  void noteRoundCharge(graph::Vertex v);
+
+  std::vector<NodeCost> perNode_;
+  std::vector<std::size_t> roundStartTotals_;  // Per-node totals at round start.
+  std::vector<RoundSummary> rounds_;
+};
+
+// Per-node broadcast-consistency check: node v accepts iff every neighbor
+// received the same value it did (the paper's implicit verification for
+// Broadcast-type prover messages). On a connected graph, all nodes passing
+// implies a globally consistent value.
+template <typename T>
+std::vector<bool> broadcastConsistent(const graph::Graph& g, const std::vector<T>& values) {
+  std::vector<bool> ok(g.numVertices(), true);
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    g.row(v).forEachSet([&](std::size_t u) {
+      if (!(values[u] == values[v])) ok[v] = false;
+    });
+  }
+  return ok;
+}
+
+}  // namespace dip::net

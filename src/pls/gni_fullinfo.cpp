@@ -1,0 +1,72 @@
+#include "pls/gni_fullinfo.hpp"
+
+#include "graph/isomorphism.hpp"
+
+namespace dip::pls {
+
+GniFullInfoAdvice GniFullInfo::honestAdvice(const graph::Graph& g0,
+                                            const graph::Graph& g1) {
+  GniFullInfoAdvice advice;
+  for (graph::Vertex v = 0; v < g0.numVertices(); ++v) advice.g0Rows.push_back(g0.row(v));
+  for (graph::Vertex v = 0; v < g1.numVertices(); ++v) advice.g1Rows.push_back(g1.row(v));
+  return advice;
+}
+
+std::vector<bool> GniFullInfo::verify(const graph::Graph& g0,
+                                      const std::vector<util::DynBitset>& input1Rows,
+                                      const std::vector<GniFullInfoAdvice>& advice) {
+  const std::size_t n = g0.numVertices();
+  std::vector<bool> ok(n, true);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const GniFullInfoAdvice& label = advice[v];
+    if (label.g0Rows.size() != n || label.g1Rows.size() != n ||
+        label.g0Rows[v] != g0.row(v) || label.g1Rows[v] != input1Rows[v]) {
+      ok[v] = false;
+      continue;
+    }
+    bool consistent = true;
+    g0.row(v).forEachSet([&](std::size_t u) {
+      if (!(advice[u] == label)) consistent = false;
+    });
+    if (!consistent) {
+      ok[v] = false;
+      continue;
+    }
+    // The node is computationally unbounded: rebuild both graphs from the
+    // (endorsed) claimed rows and decide isomorphism outright. The claimed
+    // rows must first describe valid adjacency matrices (symmetric, no
+    // loops).
+    graph::Graph claimed0(n);
+    graph::Graph claimed1(n);
+    bool wellFormed = true;
+    for (graph::Vertex u = 0; u < n && wellFormed; ++u) {
+      if (label.g0Rows[u].size() != n || label.g1Rows[u].size() != n ||
+          label.g0Rows[u].test(u) || label.g1Rows[u].test(u)) {
+        wellFormed = false;
+        break;
+      }
+      label.g0Rows[u].forEachSet([&](std::size_t w) {
+        if (!label.g0Rows[w].test(u)) wellFormed = false;
+        if (w > u) claimed0.addEdge(u, static_cast<graph::Vertex>(w));
+      });
+      label.g1Rows[u].forEachSet([&](std::size_t w) {
+        if (!label.g1Rows[w].test(u)) wellFormed = false;
+        if (w > u) claimed1.addEdge(u, static_cast<graph::Vertex>(w));
+      });
+    }
+    if (!wellFormed || graph::areIsomorphic(claimed0, claimed1)) ok[v] = false;
+  }
+  return ok;
+}
+
+bool GniFullInfo::accepts(const graph::Graph& g0,
+                          const std::vector<util::DynBitset>& input1Rows,
+                          const std::vector<GniFullInfoAdvice>& advice) {
+  auto decisions = verify(g0, input1Rows, advice);
+  for (bool d : decisions) {
+    if (!d) return false;
+  }
+  return !decisions.empty();
+}
+
+}  // namespace dip::pls

@@ -1,0 +1,45 @@
+// The trivial full-information non-interactive scheme for GNI.
+//
+// Without interaction, GNI requires Omega(n^2) bits of advice (the paper,
+// end of Section 1.1.2, via the argument of [17]); the only known upper
+// bound is the trivial one implemented here: give every node complete
+// descriptions of both graphs, let each node endorse its own rows, check
+// neighbor consistency, and have each (computationally unbounded) node
+// verify non-isomorphism locally. This is the Theta(n^2) baseline that
+// Theorem 1.5's O(n log n) dAMAM protocol is measured against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace dip::pls {
+
+struct GniFullInfoAdvice {
+  std::vector<util::DynBitset> g0Rows;
+  std::vector<util::DynBitset> g1Rows;
+
+  bool operator==(const GniFullInfoAdvice& other) const = default;
+};
+
+class GniFullInfo {
+ public:
+  // The honest advice (always well-formed; verification rejects if the
+  // graphs are in fact isomorphic).
+  static GniFullInfoAdvice honestAdvice(const graph::Graph& g0, const graph::Graph& g1);
+
+  // Per-node decisions. g0 is the network graph; input1Rows[v] is node v's
+  // input row N_G1(v) (Definition 4's input convention).
+  static std::vector<bool> verify(const graph::Graph& g0,
+                                  const std::vector<util::DynBitset>& input1Rows,
+                                  const std::vector<GniFullInfoAdvice>& advice);
+
+  static bool accepts(const graph::Graph& g0,
+                      const std::vector<util::DynBitset>& input1Rows,
+                      const std::vector<GniFullInfoAdvice>& advice);
+
+  static std::size_t adviceBitsPerNode(std::size_t n) { return 2 * n * n; }
+};
+
+}  // namespace dip::pls

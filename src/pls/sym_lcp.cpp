@@ -1,0 +1,81 @@
+#include "pls/sym_lcp.hpp"
+
+#include "graph/isomorphism.hpp"
+#include "util/bitio.hpp"
+
+namespace dip::pls {
+
+std::optional<SymLcpAdvice> SymLcp::honestAdvice(const graph::Graph& g) {
+  auto rho = graph::findNontrivialAutomorphism(g);
+  if (!rho) return std::nullopt;
+  SymLcpAdvice advice;
+  advice.matrixRows.reserve(g.numVertices());
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    advice.matrixRows.push_back(g.row(v));
+  }
+  advice.rho = *rho;
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    if ((*rho)[v] != v) {
+      advice.witness = v;
+      break;
+    }
+  }
+  return advice;
+}
+
+std::vector<bool> SymLcp::verify(const graph::Graph& g,
+                                 const std::vector<SymLcpAdvice>& advice) {
+  const std::size_t n = g.numVertices();
+  std::vector<bool> ok(n, true);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const SymLcpAdvice& label = advice[v];
+    // (a) Shape and own-row endorsement.
+    bool shapeOk = label.matrixRows.size() == n && label.rho.size() == n;
+    for (std::size_t u = 0; shapeOk && u < n; ++u) {
+      if (label.matrixRows[u].size() != n) shapeOk = false;
+    }
+    if (!shapeOk || label.matrixRows[v] != g.row(v)) {
+      ok[v] = false;
+      continue;
+    }
+    // (b) Neighbor consistency.
+    bool consistent = true;
+    g.row(v).forEachSet([&](std::size_t u) {
+      if (!(advice[u] == label)) consistent = false;
+    });
+    if (!consistent) {
+      ok[v] = false;
+      continue;
+    }
+    // (c) rho is a non-trivial automorphism of the claimed matrix.
+    if (!graph::isPermutation(label.rho, n) || label.witness >= n ||
+        label.rho[label.witness] == label.witness) {
+      ok[v] = false;
+      continue;
+    }
+    bool automorphism = true;
+    for (graph::Vertex u = 0; u < n && automorphism; ++u) {
+      if (graph::Graph::imageOf(label.matrixRows[u], label.rho) !=
+          label.matrixRows[label.rho[u]]) {
+        automorphism = false;
+      }
+    }
+    if (!automorphism) ok[v] = false;
+  }
+  return ok;
+}
+
+bool SymLcp::accepts(const graph::Graph& g, const std::vector<SymLcpAdvice>& advice) {
+  auto decisions = verify(g, advice);
+  for (bool d : decisions) {
+    if (!d) return false;
+  }
+  return !decisions.empty();
+}
+
+std::size_t SymLcp::adviceBitsPerNode(std::size_t n) {
+  unsigned idBits = util::bitsFor(n);
+  return n * n + n * static_cast<std::size_t>(idBits) + idBits;
+}
+
+}  // namespace dip::pls

@@ -1,0 +1,56 @@
+// The Theta(n^2) locally checkable proof (LCP / proof-labeling scheme) for
+// Graph Symmetry — the non-interactive "distributed NP" baseline.
+//
+// Goos and Suomela [17] show Sym has LCPs of size Theta(n^2) and that this
+// is optimal (no interaction). The scheme implemented here is the standard
+// upper bound: the prover gives EVERY node the full adjacency matrix, a
+// permutation rho, and a witness vertex moved by rho. Each node then checks
+// purely locally:
+//   (a) its own row of the claimed matrix matches its actual neighborhood,
+//   (b) its neighbors received identical advice (so on a connected graph
+//       the claimed matrix/permutation are globally consistent),
+//   (c) rho is a permutation, the witness is moved, and rho maps the
+//       claimed matrix to itself.
+// If every node accepts, the claimed matrix is the true one (each row is
+// endorsed by its owner) and rho is a genuine non-trivial automorphism —
+// the scheme is deterministic, with perfect completeness and soundness.
+//
+// Advice length per node: n^2 + n ceil(log2 n) + ceil(log2 n) bits. This is
+// the quantity Theorems 1.1-1.2 beat exponentially with interaction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace dip::pls {
+
+struct SymLcpAdvice {
+  std::vector<util::DynBitset> matrixRows;  // Claimed adjacency rows (no loops).
+  graph::Permutation rho;
+  graph::Vertex witness = 0;  // Claimed vertex with rho(witness) != witness.
+
+  bool operator==(const SymLcpAdvice& other) const = default;
+};
+
+class SymLcp {
+ public:
+  // Advice of the honest prover, or nullopt if the graph is not symmetric.
+  static std::optional<SymLcpAdvice> honestAdvice(const graph::Graph& g);
+
+  // Per-node decisions for (possibly adversarial) advice. advice[v] is the
+  // label node v received; node v reads only its own label, its neighbors'
+  // labels, and its own neighborhood.
+  static std::vector<bool> verify(const graph::Graph& g,
+                                  const std::vector<SymLcpAdvice>& advice);
+
+  // All nodes accept?
+  static bool accepts(const graph::Graph& g, const std::vector<SymLcpAdvice>& advice);
+
+  static std::size_t adviceBitsPerNode(std::size_t n);
+};
+
+}  // namespace dip::pls

@@ -1,0 +1,116 @@
+// Arbitrary-precision unsigned integer arithmetic.
+//
+// Protocol 2 of the paper (the dAM protocol for Sym, Theorem 1.3) hashes the
+// adjacency matrix with a linear hash over Z_p for a prime
+// p in [10 * n^(n+2), 100 * n^(n+2)] — thousands of bits for interesting n —
+// and the distributed Goldwasser-Sipser protocol for GNI (Theorem 1.5) needs
+// a field of size ~ n! * n. BigUInt provides exactly the operations those
+// protocols need: comparison, +, -, *, divmod, shifts, bit access, modular
+// exponentiation, and textual I/O.
+//
+// Representation: little-endian vector of 32-bit limbs, always normalized
+// (no trailing zero limbs); zero is the empty vector. 32-bit limbs keep the
+// schoolbook multiply and Knuth Algorithm D division simple, with 64-bit
+// intermediates.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dip::util {
+
+class BigUInt;
+struct DivModResult;
+// Quotient and remainder; throws std::domain_error on division by zero.
+DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor);
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  // Parses a non-empty string of decimal digits. Throws std::invalid_argument
+  // on any other input.
+  static BigUInt fromDecimal(std::string_view text);
+  // Parses a non-empty string of hex digits (no 0x prefix, case-insensitive).
+  static BigUInt fromHex(std::string_view text);
+
+  bool isZero() const { return limbs_.empty(); }
+  bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+
+  // Number of significant bits; 0 for zero.
+  std::size_t bitLength() const;
+  // Value of bit i (little-endian); false beyond bitLength().
+  bool bit(std::size_t i) const;
+
+  bool fitsU64() const { return limbs_.size() <= 2; }
+  // Requires fitsU64(); throws std::overflow_error otherwise.
+  std::uint64_t toU64() const;
+  // Approximate conversion (for plotting/scaling); +inf if enormous.
+  double toDouble() const;
+  // Approximate base-2 logarithm; -inf for zero.
+  double log2() const;
+
+  std::string toDecimal() const;
+  std::string toHex() const;
+
+  std::strong_ordering operator<=>(const BigUInt& other) const;
+  bool operator==(const BigUInt& other) const = default;
+
+  BigUInt& operator+=(const BigUInt& rhs);
+  // Requires *this >= rhs; throws std::underflow_error otherwise.
+  BigUInt& operator-=(const BigUInt& rhs);
+  BigUInt& operator*=(const BigUInt& rhs);
+  BigUInt& operator<<=(std::size_t bits);
+  BigUInt& operator>>=(std::size_t bits);
+
+  friend BigUInt operator+(BigUInt lhs, const BigUInt& rhs) { return lhs += rhs; }
+  friend BigUInt operator-(BigUInt lhs, const BigUInt& rhs) { return lhs -= rhs; }
+  friend BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs);
+  friend BigUInt operator<<(BigUInt lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigUInt operator>>(BigUInt lhs, std::size_t bits) { return lhs >>= bits; }
+
+  // Fast path: remainder by a non-zero 32-bit modulus.
+  std::uint32_t modU32(std::uint32_t modulus) const;
+
+  // Raises base to the given (machine-word) exponent; no modulus.
+  static BigUInt pow(const BigUInt& base, std::uint64_t exponent);
+
+  // The limbs, little-endian (for serialization).
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+  static BigUInt fromLimbs(std::vector<std::uint32_t> limbs);
+
+ private:
+  friend struct DivModResult;
+  friend DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor);
+
+  void normalize();
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct DivModResult {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+inline BigUInt operator/(const BigUInt& lhs, const BigUInt& rhs) {
+  return divMod(lhs, rhs).quotient;
+}
+inline BigUInt operator%(const BigUInt& lhs, const BigUInt& rhs) {
+  return divMod(lhs, rhs).remainder;
+}
+
+// (a + b) mod m. Requires a, b < m.
+BigUInt addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+// (a - b) mod m. Requires a, b < m.
+BigUInt subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+// (a * b) mod m. Requires m != 0. Has a 64-bit fast path when m fits a word.
+BigUInt mulMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+// (base ^ exponent) mod m via square-and-multiply. Requires m != 0.
+BigUInt powMod(const BigUInt& base, const BigUInt& exponent, const BigUInt& m);
+
+}  // namespace dip::util

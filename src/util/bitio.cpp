@@ -1,0 +1,104 @@
+#include "util/bitio.hpp"
+
+#include <stdexcept>
+
+namespace dip::util {
+
+void BitWriter::writeBit(bool bit) {
+  std::size_t byteIndex = bitCount_ / 8;
+  if (byteIndex == bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byteIndex] |= static_cast<std::uint8_t>(1u << (7 - bitCount_ % 8));
+  ++bitCount_;
+}
+
+void BitWriter::writeUInt(std::uint64_t value, unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitWriter::writeUInt: width > 64");
+  if (width < 64 && (value >> width) != 0) {
+    throw std::invalid_argument("BitWriter::writeUInt: value does not fit width");
+  }
+  for (unsigned i = width; i-- > 0;) {
+    writeBit((value >> i) & 1u);
+  }
+}
+
+void BitWriter::writeBig(const BigUInt& value, std::size_t width) {
+  if (value.bitLength() > width) {
+    throw std::invalid_argument("BitWriter::writeBig: value does not fit width");
+  }
+  for (std::size_t i = width; i-- > 0;) {
+    writeBit(value.bit(i));
+  }
+}
+
+void BitWriter::writeVarUInt(std::uint64_t value) {
+  do {
+    std::uint64_t chunk = value & 0x7F;
+    value >>= 7;
+    writeBit(value != 0);
+    writeUInt(chunk, 7);
+  } while (value != 0);
+}
+
+BitReader::BitReader(std::span<const std::uint8_t> bytes, std::size_t bitCount)
+    : bytes_(bytes), bitCount_(bitCount) {
+  if (bitCount > bytes.size() * 8) {
+    throw std::invalid_argument("BitReader: bit count exceeds buffer");
+  }
+}
+
+bool BitReader::readBit() {
+  if (position_ >= bitCount_) throw std::out_of_range("BitReader: read past end");
+  bool bit = (bytes_[position_ / 8] >> (7 - position_ % 8)) & 1u;
+  ++position_;
+  return bit;
+}
+
+std::uint64_t BitReader::readUInt(unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitReader::readUInt: width > 64");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(readBit());
+  }
+  return value;
+}
+
+BigUInt BitReader::readBig(std::size_t width) {
+  BigUInt value;
+  // Assemble 32 bits at a time to avoid quadratic shifting.
+  std::size_t fullLimbs = width / 32;
+  std::size_t headBits = width % 32;
+  std::vector<std::uint32_t> limbs(fullLimbs + (headBits ? 1 : 0), 0);
+  if (headBits) {
+    limbs[fullLimbs] = static_cast<std::uint32_t>(readUInt(static_cast<unsigned>(headBits)));
+  }
+  for (std::size_t i = fullLimbs; i-- > 0;) {
+    limbs[i] = static_cast<std::uint32_t>(readUInt(32));
+  }
+  return BigUInt::fromLimbs(std::move(limbs));
+}
+
+std::uint64_t BitReader::readVarUInt() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    bool more = readBit();
+    std::uint64_t chunk = readUInt(7);
+    value |= chunk << shift;
+    if (!more) return value;
+    shift += 7;
+    if (shift >= 64) throw std::runtime_error("BitReader::readVarUInt: overlong");
+  }
+}
+
+unsigned bitsFor(std::uint64_t count) {
+  if (count <= 2) return 1;
+  unsigned bits = 0;
+  std::uint64_t maxValue = count - 1;
+  while (maxValue) {
+    ++bits;
+    maxValue >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace dip::util

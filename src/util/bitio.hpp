@@ -1,0 +1,59 @@
+// Exact-bit message serialization.
+//
+// The complexity measure of the paper is the number of BITS each node
+// exchanges with the prover. Every protocol message in this library is
+// encoded through BitWriter/BitReader so transcripts report the true
+// encoded size: node identifiers cost ceil(log2 n) bits, a hash value in
+// [p] costs ceil(log2 p) bits, etc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/biguint.hpp"
+
+namespace dip::util {
+
+class BitWriter {
+ public:
+  void writeBit(bool bit);
+  // Writes the low `width` bits of value, most-significant bit first.
+  // Requires width <= 64 and value < 2^width.
+  void writeUInt(std::uint64_t value, unsigned width);
+  // Writes exactly `width` bits of a BigUInt (must satisfy value < 2^width).
+  void writeBig(const BigUInt& value, std::size_t width);
+  // Variable-length unsigned (LEB128-style, 7 data bits + continuation bit).
+  void writeVarUInt(std::uint64_t value);
+
+  std::size_t bitCount() const { return bitCount_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bitCount_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes, std::size_t bitCount);
+  explicit BitReader(const BitWriter& writer)
+      : BitReader(writer.bytes(), writer.bitCount()) {}
+
+  bool readBit();
+  std::uint64_t readUInt(unsigned width);
+  BigUInt readBig(std::size_t width);
+  std::uint64_t readVarUInt();
+
+  std::size_t bitsRemaining() const { return bitCount_ - position_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bitCount_;
+  std::size_t position_ = 0;
+};
+
+// Bits needed to encode any value in [0, count), at least 1.
+unsigned bitsFor(std::uint64_t count);
+
+}  // namespace dip::util

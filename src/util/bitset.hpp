@@ -1,0 +1,63 @@
+// A compact dynamic bitset used for adjacency-matrix rows and neighborhood
+// characteristic vectors (the paper's N(v) in {0,1}^V).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dip::util {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t size);
+
+  std::size_t size() const { return size_; }
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i) { set(i, false); }
+  void clearAll();
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  bool operator==(const DynBitset& other) const = default;
+  DynBitset& operator^=(const DynBitset& other);
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+
+  bool intersects(const DynBitset& other) const;
+
+  // Invokes fn(i) for each set bit, ascending.
+  template <typename Fn>
+  void forEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Index of the first set bit, or size() if none.
+  std::size_t firstSet() const;
+
+  std::size_t hashValue() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dip::util
+
+template <>
+struct std::hash<dip::util::DynBitset> {
+  std::size_t operator()(const dip::util::DynBitset& bs) const {
+    return bs.hashValue();
+  }
+};

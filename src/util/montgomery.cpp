@@ -1,0 +1,104 @@
+#include "util/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace dip::util {
+
+namespace {
+
+// Inverse of an odd 32-bit value modulo 2^32, by Newton iteration
+// (x -> x (2 - a x) doubles the number of correct low bits each step).
+std::uint32_t inverseMod2Pow32(std::uint32_t odd) {
+  std::uint32_t x = odd;  // Correct to 5 bits (odd * odd = 1 mod 8... start).
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    x *= 2u - odd * x;
+  }
+  return x;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(BigUInt modulus) : m_(std::move(modulus)) {
+  if (!m_.isOdd() || m_ < BigUInt{3}) {
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd and >= 3");
+  }
+  numLimbs_ = m_.limbs().size();
+  mPrime_ = static_cast<std::uint32_t>(0u - inverseMod2Pow32(m_.limbs()[0]));
+  BigUInt r = BigUInt{1} << (32 * numLimbs_);
+  rModM_ = r % m_;
+  rSquared_ = (rModM_ * rModM_) % m_;
+}
+
+BigUInt MontgomeryContext::montgomeryProduct(const BigUInt& a, const BigUInt& b) const {
+  // CIOS (coarsely integrated operand scanning), base 2^32.
+  const std::size_t k = numLimbs_;
+  const auto& mLimbs = m_.limbs();
+  const auto& aLimbs = a.limbs();
+  const auto& bLimbs = b.limbs();
+
+  std::vector<std::uint32_t> t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t ai = i < aLimbs.size() ? aLimbs[i] : 0;
+
+    // t += a_i * b.
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::uint64_t bj = j < bLimbs.size() ? bLimbs[j] : 0;
+      std::uint64_t cur = static_cast<std::uint64_t>(t[j]) + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t top = static_cast<std::uint64_t>(t[k]) + carry;
+    t[k] = static_cast<std::uint32_t>(top);
+    t[k + 1] = static_cast<std::uint32_t>(top >> 32);
+
+    // u = t[0] * mPrime mod 2^32; t += u * m; then shift one limb down.
+    std::uint32_t u = t[0] * mPrime_;
+    carry = 0;
+    {
+      std::uint64_t cur =
+          static_cast<std::uint64_t>(t[0]) + static_cast<std::uint64_t>(u) * mLimbs[0];
+      carry = cur >> 32;  // Low word is zero by construction.
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
+                          static_cast<std::uint64_t>(u) * mLimbs[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t tail = static_cast<std::uint64_t>(t[k]) + carry;
+    t[k - 1] = static_cast<std::uint32_t>(tail);
+    t[k] = t[k + 1] + static_cast<std::uint32_t>(tail >> 32);
+    t[k + 1] = 0;
+  }
+
+  t.resize(k + 1);
+  BigUInt result = BigUInt::fromLimbs(std::move(t));
+  if (result >= m_) result -= m_;
+  return result;
+}
+
+BigUInt MontgomeryContext::toMontgomery(const BigUInt& x) const {
+  return montgomeryProduct(x % m_, rSquared_);
+}
+
+BigUInt MontgomeryContext::fromMontgomery(const BigUInt& x) const {
+  return montgomeryProduct(x, BigUInt{1});
+}
+
+BigUInt MontgomeryContext::mulMod(const BigUInt& a, const BigUInt& b) const {
+  return fromMontgomery(montgomeryProduct(toMontgomery(a), toMontgomery(b)));
+}
+
+BigUInt MontgomeryContext::powMod(const BigUInt& base, const BigUInt& exponent) const {
+  BigUInt result = rModM_;  // 1 in Montgomery form.
+  BigUInt square = toMontgomery(base);
+  const std::size_t bits = exponent.bitLength();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = montgomeryProduct(result, square);
+    if (i + 1 < bits) square = montgomeryProduct(square, square);
+  }
+  return fromMontgomery(result);
+}
+
+}  // namespace dip::util

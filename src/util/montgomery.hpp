@@ -1,0 +1,44 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// Miller-Rabin primality testing (the prime searches behind every hash
+// family here) spends nearly all of its time in modular multiplications
+// with a FIXED modulus. Montgomery representation replaces each division by
+// the modulus with shifts and multiplications: with k-limb operands, a
+// Montgomery product (CIOS) costs ~2k^2 word multiplications and no
+// division, versus mul + Knuth-D division otherwise.
+//
+// Usage: construct one context per modulus, then powMod/mulMod through it.
+#pragma once
+
+#include "util/biguint.hpp"
+
+namespace dip::util {
+
+class MontgomeryContext {
+ public:
+  // Requires an odd modulus >= 3.
+  explicit MontgomeryContext(BigUInt modulus);
+
+  const BigUInt& modulus() const { return m_; }
+
+  // (a * b) mod m via to/from Montgomery round trips.
+  BigUInt mulMod(const BigUInt& a, const BigUInt& b) const;
+  // (base ^ exponent) mod m; the whole ladder runs in Montgomery form.
+  BigUInt powMod(const BigUInt& base, const BigUInt& exponent) const;
+
+  // Representation converters (exposed for tests).
+  BigUInt toMontgomery(const BigUInt& x) const;    // x * R mod m, R = 2^(32k).
+  BigUInt fromMontgomery(const BigUInt& x) const;  // x * R^-1 mod m.
+
+ private:
+  // REDC product: a * b * R^-1 mod m for a, b in Montgomery form (CIOS).
+  BigUInt montgomeryProduct(const BigUInt& a, const BigUInt& b) const;
+
+  BigUInt m_;
+  std::size_t numLimbs_ = 0;   // k: limbs of m.
+  std::uint32_t mPrime_ = 0;   // -m^-1 mod 2^32.
+  BigUInt rModM_;              // R mod m (Montgomery form of 1).
+  BigUInt rSquared_;           // R^2 mod m (for toMontgomery).
+};
+
+}  // namespace dip::util

@@ -1,0 +1,85 @@
+#include "util/primes.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/montgomery.hpp"
+
+namespace dip::util {
+
+namespace {
+
+// Small primes for cheap trial division before Miller-Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round with the given base; n must be odd and > 3,
+// n - 1 == d * 2^s with d odd. All modular work runs through a shared
+// Montgomery context (n is fixed across rounds).
+bool millerRabinRound(const MontgomeryContext& ctx, const BigUInt& nMinus1,
+                      const BigUInt& d, std::size_t s, const BigUInt& base) {
+  BigUInt x = ctx.powMod(base, d);
+  if (x == BigUInt{1} || x == nMinus1) return true;
+  for (std::size_t i = 1; i < s; ++i) {
+    x = ctx.mulMod(x, x);
+    if (x == nMinus1) return true;
+    if (x == BigUInt{1}) return false;  // Non-trivial sqrt of 1 found.
+  }
+  return false;
+}
+
+}  // namespace
+
+bool isProbablePrime(const BigUInt& candidate, Rng& rng, int rounds) {
+  if (candidate < BigUInt{2}) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (candidate == BigUInt{p}) return true;
+    if (candidate.modU32(p) == 0) return false;
+  }
+  // candidate is odd and > 251 here.
+  BigUInt nMinus1 = candidate - BigUInt{1};
+  BigUInt d = nMinus1;
+  std::size_t s = 0;
+  while (!d.isOdd()) {
+    d >>= 1;
+    ++s;
+  }
+  MontgomeryContext ctx(candidate);
+  BigUInt lowBound{2};
+  BigUInt span = nMinus1 - BigUInt{2};  // Bases drawn from [2, n-2].
+  for (int round = 0; round < rounds; ++round) {
+    BigUInt base = addMod(rng.nextBigBelow(span), lowBound, candidate);
+    if (!millerRabinRound(ctx, nMinus1, d, s, base)) return false;
+  }
+  return true;
+}
+
+BigUInt findPrimeInRange(const BigUInt& lo, const BigUInt& hi, Rng& rng) {
+  if (hi < lo) throw std::invalid_argument("findPrimeInRange: empty range");
+  BigUInt span = hi - lo + BigUInt{1};
+  // By the prime number theorem a random value near x is prime with
+  // probability ~ 1/ln(x); budget generously.
+  const std::size_t bits = hi.bitLength();
+  const std::size_t maxAttempts = 400 + 60 * bits;
+  for (std::size_t attempt = 0; attempt < maxAttempts; ++attempt) {
+    BigUInt candidate = lo + rng.nextBigBelow(span);
+    if (!candidate.isOdd()) {
+      if (candidate + BigUInt{1} > hi) continue;
+      candidate += BigUInt{1};
+    }
+    if (isProbablePrime(candidate, rng)) return candidate;
+  }
+  throw std::runtime_error("findPrimeInRange: attempt budget exhausted");
+}
+
+BigUInt findPrimeWithBits(std::size_t bits, Rng& rng) {
+  if (bits < 2) throw std::invalid_argument("findPrimeWithBits: need >= 2 bits");
+  BigUInt lo = BigUInt{1} << (bits - 1);
+  BigUInt hi = (BigUInt{1} << bits) - BigUInt{1};
+  return findPrimeInRange(lo, hi, rng);
+}
+
+}  // namespace dip::util

@@ -1,0 +1,30 @@
+// Primality testing and prime search.
+//
+// The paper's hash family (Theorem 3.2) is parameterized by a prime p;
+// Protocol 1 uses p in [10 n^3, 100 n^3], Protocol 2 uses
+// p in [10 n^(n+2), 100 n^(n+2)] (whose existence the paper gets from
+// Bertrand's postulate), and the GNI protocol's eps-API hash needs a prime
+// field of ~ log2(n!) + O(log n) bits. findPrimeInRange performs a
+// randomized search with Miller-Rabin certification.
+#pragma once
+
+#include <cstdint>
+
+#include "util/biguint.hpp"
+#include "util/rng.hpp"
+
+namespace dip::util {
+
+// Miller-Rabin probabilistic primality test. Error probability at most
+// 4^-rounds for composites; always correct for primes.
+bool isProbablePrime(const BigUInt& candidate, Rng& rng, int rounds = 24);
+
+// Finds a (probable) prime in [lo, hi]; throws std::runtime_error if the
+// randomized search exhausts its attempt budget (essentially impossible for
+// ranges [x, 10x] by the prime number theorem).
+BigUInt findPrimeInRange(const BigUInt& lo, const BigUInt& hi, Rng& rng);
+
+// Finds a (probable) prime with exactly `bits` bits (top bit set).
+BigUInt findPrimeWithBits(std::size_t bits, Rng& rng);
+
+}  // namespace dip::util

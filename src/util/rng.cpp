@@ -1,0 +1,87 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+
+namespace dip::util {
+
+namespace {
+
+std::uint64_t splitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitMix64(sm);
+}
+
+std::uint64_t Rng::nextU64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::nextBelow: zero bound");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = -bound % bound;  // == 2^64 mod bound
+  for (;;) {
+    std::uint64_t value = nextU64();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::uint64_t Rng::nextBits(unsigned k) {
+  if (k == 0) return 0;
+  if (k >= 64) return nextU64();
+  return nextU64() >> (64 - k);
+}
+
+bool Rng::nextChance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  constexpr double kInv = 1.0 / 18446744073709551616.0;  // 2^-64
+  return static_cast<double>(nextU64()) * kInv < probability;
+}
+
+BigUInt Rng::nextBigBits(std::size_t bits) {
+  std::vector<std::uint32_t> limbs((bits + 31) / 32, 0);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    limbs[i] = static_cast<std::uint32_t>(nextU64());
+  }
+  unsigned topBits = static_cast<unsigned>(bits % 32);
+  if (topBits != 0) limbs.back() &= (1u << topBits) - 1u;
+  return BigUInt::fromLimbs(std::move(limbs));
+}
+
+BigUInt Rng::nextBigBelow(const BigUInt& bound) {
+  if (bound.isZero()) throw std::invalid_argument("Rng::nextBigBelow: zero bound");
+  std::size_t bits = bound.bitLength();
+  for (;;) {
+    BigUInt candidate = nextBigBits(bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Rng Rng::split(std::uint64_t streamId) {
+  // Mix the stream id with fresh output so sibling streams are independent.
+  std::uint64_t mixed = nextU64() ^ (streamId * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  return Rng{mixed};
+}
+
+}  // namespace dip::util

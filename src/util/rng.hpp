@@ -1,0 +1,41 @@
+// Deterministic, splittable pseudo-random generator (xoshiro256**).
+//
+// Every verifier node in a simulated protocol execution draws its private
+// challenge bits from its own Rng stream, derived from a master seed, so
+// runs are exactly reproducible and node randomness is independent (as
+// Definition 1 of the paper requires).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/biguint.hpp"
+
+namespace dip::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t nextU64();
+  // Uniform in [0, bound); requires bound > 0.
+  std::uint64_t nextBelow(std::uint64_t bound);
+  // Uniform k-bit value, 0 <= k <= 64.
+  std::uint64_t nextBits(unsigned k);
+  bool nextBool() { return nextU64() >> 63; }
+  // Bernoulli(probability).
+  bool nextChance(double probability);
+  // Uniform BigUInt in [0, bound); requires bound > 0. Rejection sampling.
+  BigUInt nextBigBelow(const BigUInt& bound);
+  // Uniform BigUInt with exactly `bits` random bits (value < 2^bits).
+  BigUInt nextBigBits(std::size_t bits);
+
+  // Derives an independent child stream; child i of a given parent is
+  // deterministic. Used to hand each node its own randomness.
+  Rng split(std::uint64_t streamId);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace dip::util

@@ -1,0 +1,86 @@
+// Tests for AND-composition soundness amplification.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/amplify.hpp"
+#include "core/sym_dmam.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace dip::core {
+namespace {
+
+using util::Rng;
+
+TEST(Amplify, PerfectCompletenessSurvivesRepetition) {
+  Rng rng(281);
+  const std::size_t n = 10;
+  Rng setup(282);
+  SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  HonestSymDmamProver prover(protocol.family());
+  for (std::size_t t : {1u, 3u, 8u}) {
+    RunResult result = runAmplified(protocol, g, prover, t, rng);
+    EXPECT_TRUE(result.accepted) << t;
+  }
+}
+
+TEST(Amplify, CostsAddAcrossRepetitions) {
+  Rng rng(283);
+  const std::size_t n = 8;
+  Rng setup(284);
+  SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  HonestSymDmamProver prover(protocol.family());
+
+  RunResult one = runAmplified(protocol, g, prover, 1, rng);
+  RunResult four = runAmplified(protocol, g, prover, 4, rng);
+  EXPECT_EQ(four.transcript.maxPerNodeBits(), 4 * one.transcript.maxPerNodeBits());
+  EXPECT_EQ(four.transcript.totalBits(), 4 * one.transcript.totalBits());
+}
+
+TEST(Amplify, SoundnessErrorShrinksGeometrically) {
+  EXPECT_DOUBLE_EQ(amplifiedSoundness(0.1, 1), 0.1);
+  EXPECT_DOUBLE_EQ(amplifiedSoundness(0.1, 3), 0.001);
+  EXPECT_DOUBLE_EQ(amplifiedSoundness(1.0 / 3.0, 2), 1.0 / 9.0);
+  EXPECT_LT(amplifiedSoundness(1.0 / 3.0, 40), 1e-19);
+}
+
+TEST(Amplify, CheatersFailFasterUnderRepetition) {
+  // Empirical: a cheater whose single-run acceptance is already tiny never
+  // survives even 2 repetitions across many trials.
+  Rng rng(285);
+  const std::size_t n = 8;
+  Rng setup(286);
+  SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  graph::Graph rigid = graph::randomRigidConnected(n, rng);
+  std::size_t accepts = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    CheatingRhoProver cheater(protocol.family(),
+                              CheatingRhoProver::Strategy::kRandomPermutation,
+                              static_cast<std::uint64_t>(trial));
+    if (runAmplified(protocol, rigid, cheater, 2, rng).accepted) ++accepts;
+  }
+  EXPECT_EQ(accepts, 0u);
+}
+
+TEST(Amplify, EarlyExitKeepsTranscriptPartial) {
+  // AND-composition stops at the first rejection; the transcript reflects
+  // only the executed repetitions (no phantom charges).
+  Rng rng(287);
+  const std::size_t n = 8;
+  Rng setup(288);
+  SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  graph::Graph rigid = graph::randomRigidConnected(n, rng);
+  CheatingRhoProver cheater(protocol.family(),
+                            CheatingRhoProver::Strategy::kIdentity, 1);
+  RunResult result = runAmplified(protocol, rigid, cheater, 10, rng);
+  EXPECT_FALSE(result.accepted);
+  // The identity cheater is rejected deterministically in run 1.
+  RunResult single = protocol.run(rigid, cheater, rng);
+  EXPECT_EQ(result.transcript.totalBits(), single.transcript.totalBits());
+}
+
+}  // namespace
+}  // namespace dip::core

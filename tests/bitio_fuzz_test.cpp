@@ -1,0 +1,101 @@
+// Property fuzz for the bit-level serialization substrate: random sequences
+// of heterogeneous writes must read back exactly, and the bit count must
+// equal the sum of the written widths.
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "util/bitio.hpp"
+#include "util/rng.hpp"
+
+namespace dip::util {
+namespace {
+
+struct UIntOp {
+  std::uint64_t value;
+  unsigned width;
+};
+struct BigOp {
+  BigUInt value;
+  std::size_t width;
+};
+struct VarOp {
+  std::uint64_t value;
+};
+using Op = std::variant<UIntOp, BigOp, VarOp>;
+
+TEST(BitIoFuzz, RandomHeterogeneousSequencesRoundTrip) {
+  Rng rng(351);
+  for (int sequence = 0; sequence < 50; ++sequence) {
+    std::vector<Op> ops;
+    BitWriter writer;
+    std::size_t expectedFixedBits = 0;
+    const std::size_t opCount = 1 + rng.nextBelow(40);
+    for (std::size_t i = 0; i < opCount; ++i) {
+      switch (rng.nextBelow(3)) {
+        case 0: {
+          unsigned width = 1 + static_cast<unsigned>(rng.nextBelow(64));
+          std::uint64_t value = rng.nextBits(width);
+          writer.writeUInt(value, width);
+          expectedFixedBits += width;
+          ops.push_back(UIntOp{value, width});
+          break;
+        }
+        case 1: {
+          std::size_t width = 1 + rng.nextBelow(300);
+          BigUInt value = rng.nextBigBits(width);
+          writer.writeBig(value, width);
+          expectedFixedBits += width;
+          ops.push_back(BigOp{value, width});
+          break;
+        }
+        case 2: {
+          std::uint64_t value = rng.nextBits(1 + static_cast<unsigned>(rng.nextBelow(64)));
+          std::size_t before = writer.bitCount();
+          writer.writeVarUInt(value);
+          expectedFixedBits += writer.bitCount() - before;
+          ops.push_back(VarOp{value});
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(writer.bitCount(), expectedFixedBits);
+
+    BitReader reader(writer);
+    for (const Op& op : ops) {
+      if (const auto* u = std::get_if<UIntOp>(&op)) {
+        EXPECT_EQ(reader.readUInt(u->width), u->value);
+      } else if (const auto* b = std::get_if<BigOp>(&op)) {
+        EXPECT_EQ(reader.readBig(b->width), b->value);
+      } else {
+        EXPECT_EQ(reader.readVarUInt(), std::get<VarOp>(op).value);
+      }
+    }
+    EXPECT_EQ(reader.bitsRemaining(), 0u);
+  }
+}
+
+TEST(BitIoFuzz, InterleavedBitsAndFields) {
+  Rng rng(352);
+  BitWriter writer;
+  std::vector<bool> bits;
+  for (int i = 0; i < 200; ++i) {
+    bool bit = rng.nextBool();
+    bits.push_back(bit);
+    writer.writeBit(bit);
+    if (i % 13 == 0) {
+      writer.writeUInt(static_cast<std::uint64_t>(i), 9);
+    }
+  }
+  BitReader reader(writer);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(reader.readBit(), bits[static_cast<std::size_t>(i)]);
+    if (i % 13 == 0) {
+      EXPECT_EQ(reader.readUInt(9), static_cast<std::uint64_t>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dip::util

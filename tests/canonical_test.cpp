@@ -1,0 +1,54 @@
+// Canonical-form tests, including the independent cross-validation of the
+// isomorphism engine and the census.
+#include <gtest/gtest.h>
+
+#include "graph/canonical.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "lb/census.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+namespace {
+
+TEST(Canonical, InvariantUnderRelabeling) {
+  util::Rng rng(271);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = erdosRenyi(6, 0.5, rng);
+    Graph h = randomIsomorphicCopy(g, rng);
+    EXPECT_EQ(canonicalForm(g), canonicalForm(h));
+  }
+}
+
+TEST(Canonical, SeparatesNonIsomorphicGraphs) {
+  EXPECT_NE(canonicalForm(pathGraph(5)), canonicalForm(starGraph(5)));
+  Graph twoTriangles =
+      Graph::fromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_NE(canonicalForm(cycleGraph(6)), canonicalForm(twoTriangles));
+}
+
+TEST(Canonical, AgreesWithSearchEngineOnRandomPairs) {
+  // Two independent isomorphism deciders must agree on every pair.
+  util::Rng rng(272);
+  for (int trial = 0; trial < 40; ++trial) {
+    Graph g0 = erdosRenyi(5, 0.5, rng);
+    Graph g1 = (trial % 3 == 0) ? randomIsomorphicCopy(g0, rng) : erdosRenyi(5, 0.5, rng);
+    EXPECT_EQ(isomorphicByCanonicalForm(g0, g1), areIsomorphic(g0, g1)) << trial;
+  }
+}
+
+TEST(Canonical, ClassCountsMatchBurnsideCensus) {
+  // Counting isomorphism classes two entirely different ways — canonical
+  // deduplication vs Burnside orbit counting — must agree exactly.
+  for (std::size_t n = 1; n <= 5; ++n) {
+    EXPECT_EQ(countIsoClassesByCanonicalForm(n), lb::exhaustiveCensus(n).isoClasses)
+        << "n=" << n;
+  }
+}
+
+TEST(Canonical, RejectsOversizedGraphs) {
+  EXPECT_THROW(canonicalForm(Graph(9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dip::graph

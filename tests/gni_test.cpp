@@ -1,0 +1,199 @@
+// Tests for the distributed Goldwasser-Sipser dAMAM protocol for Graph
+// Non-Isomorphism (Section 4, Theorem 1.5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "core/gni_amam.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "pls/gni_fullinfo.hpp"
+#include "util/rng.hpp"
+
+namespace dip::core {
+namespace {
+
+using util::Rng;
+
+// Shared fixture: parameter choice involves prime searches, so do it once.
+class GniTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(151);
+    params_ = new GniParams(GniParams::choose(6, rng));
+  }
+  static void TearDownTestSuite() {
+    delete params_;
+    params_ = nullptr;
+  }
+  static GniParams* params_;
+};
+GniParams* GniTest::params_ = nullptr;
+
+TEST_F(GniTest, ParameterDerivation) {
+  const GniParams& params = *params_;
+  EXPECT_EQ(params.n, 6u);
+  // 2^ell in [4 * 720, 8 * 720).
+  EXPECT_EQ(params.ell, 12u);
+  EXPECT_GT(params.perRoundYesLb, params.perRoundNoUb * 1.3);
+  EXPECT_GT(params.repetitions, 0u);
+  EXPECT_GT(params.threshold, 0u);
+  EXPECT_LT(params.threshold, params.repetitions);
+  // The amplification must certify the 2/3 vs 1/3 gap by construction.
+  EXPECT_GT(util::binomialTailGE(params.repetitions, params.perRoundYesLb,
+                                 params.threshold),
+            2.0 / 3.0);
+  EXPECT_LT(util::binomialTailGE(params.repetitions, params.perRoundNoUb,
+                                 params.threshold),
+            1.0 / 3.0);
+}
+
+TEST_F(GniTest, InstanceGenerators) {
+  Rng rng(152);
+  GniInstance yes = gniYesInstance(6, rng);
+  EXPECT_TRUE(graph::isRigid(yes.g0));
+  EXPECT_TRUE(graph::isRigid(yes.g1));
+  EXPECT_FALSE(graph::areIsomorphic(yes.g0, yes.g1));
+  GniInstance no = gniNoInstance(6, rng);
+  EXPECT_TRUE(graph::areIsomorphic(no.g0, no.g1));
+}
+
+TEST_F(GniTest, PerRoundGapMatchesTheory) {
+  // The heart of Goldwasser-Sipser: the preimage-existence probability is
+  // ~2q for non-isomorphic pairs and ~q for isomorphic ones. This is the
+  // per-repetition experiment E5 reports.
+  Rng rng(153);
+  GniInstance yes = gniYesInstance(6, rng);
+  GniInstance no = gniNoInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+
+  const std::size_t trials = 220;
+  AcceptanceStats yesStats = protocol.estimatePerRoundHit(yes, trials, rng);
+  AcceptanceStats noStats = protocol.estimatePerRoundHit(no, trials, rng);
+
+  // Theory: yes >= perRoundYesLb (~0.29), no <= q (~0.18).
+  EXPECT_GT(yesStats.interval().high, params_->perRoundYesLb);
+  EXPECT_LT(noStats.interval().low, params_->perRoundNoUb + 0.02);
+  // The measured gap itself.
+  EXPECT_GT(yesStats.rate(), noStats.rate());
+  EXPECT_GT(yesStats.interval().low, 0.2);
+  EXPECT_LT(noStats.interval().high, 0.3);
+}
+
+TEST_F(GniTest, CompletenessOfFullProtocol) {
+  // Non-isomorphic instance + honest prover: accept w.p. > 2/3. Each full
+  // run enumerates 2 n! candidates per repetition, so keep trials modest.
+  Rng rng(154);
+  GniInstance yes = gniYesInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+  AcceptanceStats stats = protocol.estimateAcceptance(
+      yes, [&] { return std::make_unique<HonestGniProver>(*params_); }, 12, rng);
+  EXPECT_GT(stats.rate(), 2.0 / 3.0);
+}
+
+TEST_F(GniTest, SoundnessOfFullProtocol) {
+  // Isomorphic instance: even the optimal prover (the honest searcher —
+  // every other message is forced) falls below the threshold w.p. > 2/3.
+  Rng rng(155);
+  GniInstance no = gniNoInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+  AcceptanceStats stats = protocol.estimateAcceptance(
+      no, [&] { return std::make_unique<HonestGniProver>(*params_); }, 12, rng);
+  EXPECT_LT(stats.rate(), 1.0 / 3.0);
+}
+
+TEST_F(GniTest, NonPermutationMappingsCaught) {
+  // The permutation check (the reason for the second Arthur round): a
+  // prover committing to non-injective mappings is rejected.
+  Rng rng(156);
+  GniInstance no = gniNoInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+  int seed = 0;
+  AcceptanceStats stats = protocol.estimateAcceptance(
+      no,
+      [&] { return std::make_unique<NonPermutationGniProver>(*params_, seed++); },
+      10, rng);
+  EXPECT_EQ(stats.accepts, 0u);
+}
+
+TEST_F(GniTest, HonestRunVerifiesAllChainsAndCharges) {
+  Rng rng(157);
+  GniInstance yes = gniYesInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+  HonestGniProver prover(*params_);
+  RunResult result = protocol.run(yes, prover, rng);
+  ASSERT_EQ(result.transcript.rounds().size(), 4u);  // A1, M1, A2, M2.
+  for (const auto& round : result.transcript.rounds()) {
+    EXPECT_GT(round.maxBitsThisRound, 0u) << round.label;
+  }
+}
+
+TEST_F(GniTest, CostModelScalesAsNLogNPerRepetition) {
+  // Theorem 1.5: O(n log n) per node (k is a constant). Check the ratio
+  // cost / (k * n log2 n) stays within constant factors.
+  double minRatio = 1e18, maxRatio = 0.0;
+  const std::size_t k = 64;
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    double cost = static_cast<double>(GniAmamProtocol::costModel(n, k).totalPerNode());
+    double ratio = cost / (static_cast<double>(k) * static_cast<double>(n) *
+                           std::log2(static_cast<double>(n)));
+    minRatio = std::min(minRatio, ratio);
+    maxRatio = std::max(maxRatio, ratio);
+  }
+  EXPECT_LT(maxRatio / minRatio, 6.0);
+}
+
+TEST_F(GniTest, InteractiveBeatsFullInformationAtScale) {
+  // The separation against the non-interactive Theta(n^2) baseline: with
+  // constant repetitions, n log n eventually wins.
+  const std::size_t k = 64;
+  bool crossed = false;
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    std::size_t interactive = GniAmamProtocol::costModel(n, k).totalPerNode();
+    std::size_t baseline = pls::GniFullInfo::adviceBitsPerNode(n);
+    if (interactive < baseline) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+  EXPECT_LT(GniAmamProtocol::costModel(4096, k).totalPerNode(),
+            pls::GniFullInfo::adviceBitsPerNode(4096));
+}
+
+TEST_F(GniTest, SearchPreimageRespectsHashSemantics) {
+  // White-box: when the honest prover claims a repetition, re-hashing its
+  // committed (sigma, b) must reproduce the target y.
+  Rng rng(158);
+  GniInstance yes = gniYesInstance(6, rng);
+  GniAmamProtocol protocol(*params_);
+
+  // One full interaction, then re-verify the first claimed repetition.
+  std::vector<std::vector<GniChallenge>> challenges(6);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    for (std::size_t j = 0; j < params_->repetitions; ++j) {
+      GniChallenge challenge;
+      challenge.seed = params_->gsHash.randomSeed(rng);
+      challenge.y = rng.nextBigBits(params_->ell);
+      challenges[v].push_back(challenge);
+    }
+  }
+  HonestGniProver prover(*params_);
+  GniFirstMessage first = prover.firstMessage(yes, challenges);
+  for (std::size_t j = 0; j < params_->repetitions; ++j) {
+    if (!first.perNode[0].claimed[j]) continue;
+    graph::Permutation sigma(6);
+    for (graph::Vertex v = 0; v < 6; ++v) sigma[v] = first.perNode[v].s[j];
+    EXPECT_TRUE(graph::isPermutation(sigma, 6));
+    const graph::Graph& gb = first.perNode[0].b[j] == 0 ? yes.g0 : yes.g1;
+    std::vector<util::DynBitset> rows(6, util::DynBitset(6));
+    for (graph::Vertex v = 0; v < 6; ++v) {
+      rows[sigma[v]] = graph::Graph::imageOf(gb.closedRow(v), sigma);
+    }
+    EXPECT_EQ(params_->gsHash.hashRows(challenges[0][j].seed, rows),
+              challenges[0][j].y);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace dip::core

@@ -1,0 +1,145 @@
+// GNI wire-format tests: round trips, verification over decoded messages,
+// and agreement between encoded sizes and transcript charges.
+#include <gtest/gtest.h>
+
+#include "core/gni_wire.hpp"
+#include "util/rng.hpp"
+
+namespace dip::core {
+namespace {
+
+using util::Rng;
+
+class GniWireTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(301);
+    params_ = new GniParams(GniParams::choose(6, rng));
+    Rng instRng(302);
+    instance_ = new GniInstance(gniYesInstance(6, instRng));
+  }
+  static void TearDownTestSuite() {
+    delete params_;
+    delete instance_;
+    params_ = nullptr;
+    instance_ = nullptr;
+  }
+
+  // One honest interaction, shared across tests.
+  struct Interaction {
+    std::vector<std::vector<GniChallenge>> challenges;
+    std::vector<util::BigUInt> checkChallenges;
+    GniFirstMessage first;
+    GniSecondMessage second;
+  };
+  Interaction makeInteraction(std::uint64_t seed) {
+    Rng rng(seed);
+    Interaction interaction;
+    interaction.challenges.resize(6);
+    for (graph::Vertex v = 0; v < 6; ++v) {
+      for (std::size_t j = 0; j < params_->repetitions; ++j) {
+        GniChallenge challenge;
+        challenge.seed = params_->gsHash.randomSeed(rng);
+        challenge.y = rng.nextBigBits(params_->ell);
+        interaction.challenges[v].push_back(challenge);
+      }
+      interaction.checkChallenges.push_back(params_->checkFamily.randomIndex(rng));
+    }
+    HonestGniProver prover(*params_);
+    interaction.first = prover.firstMessage(*instance_, interaction.challenges);
+    interaction.second = prover.secondMessage(*instance_, interaction.challenges,
+                                              interaction.first,
+                                              interaction.checkChallenges);
+    return interaction;
+  }
+
+  static GniParams* params_;
+  static GniInstance* instance_;
+};
+GniParams* GniWireTest::params_ = nullptr;
+GniInstance* GniWireTest::instance_ = nullptr;
+
+TEST_F(GniWireTest, ChallengesRoundTripAtChargedSize) {
+  Interaction interaction = makeInteraction(303);
+  util::BitWriter encoded =
+      wire::encodeGniChallenges(interaction.challenges[2], *params_);
+  // A1 charges k * (3 fieldBits + ell) per node.
+  EXPECT_EQ(encoded.bitCount(),
+            params_->repetitions * (params_->gsHash.seedBits() + params_->ell));
+  auto decoded = wire::decodeGniChallenges(encoded, *params_);
+  ASSERT_EQ(decoded.size(), interaction.challenges[2].size());
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    EXPECT_TRUE(decoded[j] == interaction.challenges[2][j]);
+  }
+}
+
+TEST_F(GniWireTest, FirstMessageRoundTrip) {
+  Interaction interaction = makeInteraction(304);
+  wire::EncodedRound round = wire::encodeGniFirst(interaction.first, *instance_, *params_);
+  GniFirstMessage decoded = wire::decodeGniFirst(round, *instance_, *params_);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(decoded.perNode[v].root, interaction.first.perNode[v].root);
+    EXPECT_EQ(decoded.perNode[v].parent, interaction.first.perNode[v].parent);
+    EXPECT_EQ(decoded.perNode[v].dist, interaction.first.perNode[v].dist);
+    EXPECT_EQ(decoded.perNode[v].claimed, interaction.first.perNode[v].claimed);
+    EXPECT_EQ(decoded.perNode[v].b, interaction.first.perNode[v].b);
+    EXPECT_EQ(decoded.perNode[v].s, interaction.first.perNode[v].s);
+    EXPECT_EQ(decoded.perNode[v].echo, interaction.first.perNode[v].echo);
+    // Claims only compared for claimed b=1 reps (others are absent on the
+    // wire by design).
+    for (std::size_t j = 0; j < params_->repetitions; ++j) {
+      if (interaction.first.perNode[0].claimed[j] &&
+          interaction.first.perNode[0].b[j] == 1) {
+        EXPECT_EQ(decoded.perNode[v].claims[j], interaction.first.perNode[v].claims[j]);
+      }
+    }
+  }
+}
+
+TEST_F(GniWireTest, SecondMessageRoundTrip) {
+  Interaction interaction = makeInteraction(305);
+  wire::EncodedRound round = wire::encodeGniSecond(interaction.second, interaction.first,
+                                                   *instance_, *params_);
+  GniSecondMessage decoded =
+      wire::decodeGniSecond(round, interaction.first, *instance_, *params_);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(decoded.perNode[v].checkSeed, interaction.second.perNode[v].checkSeed);
+    for (std::size_t j = 0; j < params_->repetitions; ++j) {
+      if (!interaction.first.perNode[0].claimed[j]) continue;
+      EXPECT_EQ(decoded.perNode[v].h[j], interaction.second.perNode[v].h[j]);
+      EXPECT_EQ(decoded.perNode[v].permI[j], interaction.second.perNode[v].permI[j]);
+      EXPECT_EQ(decoded.perNode[v].permS[j], interaction.second.perNode[v].permS[j]);
+    }
+  }
+}
+
+TEST_F(GniWireTest, DecodedMessagesStillVerify) {
+  Interaction interaction = makeInteraction(306);
+  GniFirstMessage first = wire::decodeGniFirst(
+      wire::encodeGniFirst(interaction.first, *instance_, *params_), *instance_, *params_);
+  GniSecondMessage second = wire::decodeGniSecond(
+      wire::encodeGniSecond(interaction.second, first, *instance_, *params_), first,
+      *instance_, *params_);
+  GniAmamProtocol protocol(*params_);
+  // Whether the honest run clears the threshold depends on the challenge
+  // draw; what must hold is that decode changes NOTHING about any node's
+  // decision.
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(protocol.nodeDecision(*instance_, v, first, second,
+                                    interaction.challenges[v],
+                                    interaction.checkChallenges[v]),
+              protocol.nodeDecision(*instance_, v, interaction.first, interaction.second,
+                                    interaction.challenges[v],
+                                    interaction.checkChallenges[v]));
+  }
+}
+
+TEST_F(GniWireTest, InconsistentBroadcastRefused) {
+  Interaction interaction = makeInteraction(307);
+  interaction.first.perNode[3].claimed[0] ^= 1;
+  EXPECT_THROW(wire::encodeGniFirst(interaction.first, *instance_, *params_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dip::core

@@ -1,0 +1,56 @@
+// graph6 interchange-format tests: known vectors from the nauty
+// documentation plus randomized round trips.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph6.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+namespace {
+
+TEST(Graph6, KnownVectors) {
+  // K3 is the canonical formats-guide example: "Bw".
+  EXPECT_EQ(toGraph6(completeGraph(3)), "Bw");
+  Graph k3 = fromGraph6("Bw");
+  EXPECT_EQ(k3.numVertices(), 3u);
+  EXPECT_EQ(k3.numEdges(), 3u);
+
+  // Path 0-1-2: bits (0,1)=1, (0,2)=0, (1,2)=1 -> 101000 -> 'g'.
+  EXPECT_EQ(toGraph6(pathGraph(3)), "Bg");
+
+  // Empty and singleton graphs.
+  EXPECT_EQ(toGraph6(Graph(1)), "@");  // 1 + 63 = '@', no edge bytes.
+  EXPECT_EQ(fromGraph6("@").numVertices(), 1u);
+  EXPECT_EQ(toGraph6(Graph(5)), "D??");  // 10 zero bits -> two '?' groups.
+}
+
+TEST(Graph6, RoundTripRandomGraphs) {
+  util::Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::size_t n = 2 + rng.nextBelow(30);
+    Graph g = erdosRenyi(n, 0.4, rng);
+    Graph back = fromGraph6(toGraph6(g));
+    EXPECT_EQ(back, g) << "n=" << n;
+  }
+}
+
+TEST(Graph6, RoundTripStructuredFamilies) {
+  for (const Graph& g : {completeGraph(10), cycleGraph(13), starGraph(20),
+                         gridGraph(4, 5), pathGraph(62)}) {
+    EXPECT_EQ(fromGraph6(toGraph6(g)), g);
+  }
+}
+
+TEST(Graph6, RejectsMalformedInput) {
+  EXPECT_THROW(fromGraph6(""), std::invalid_argument);
+  EXPECT_THROW(fromGraph6("Bw extra"), std::invalid_argument);
+  EXPECT_THROW(fromGraph6("B"), std::invalid_argument);  // Missing edge bytes.
+  EXPECT_THROW(toGraph6(Graph(63)), std::invalid_argument);
+  std::string badByte = "B";
+  badByte.push_back(static_cast<char>(62));  // Below the printable range.
+  EXPECT_THROW(fromGraph6(badByte), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dip::graph

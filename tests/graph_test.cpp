@@ -1,0 +1,258 @@
+// Tests for the graph substrate: Graph, generators, and the paper's
+// structured builders (dumbbells, DSym instances).
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+namespace {
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.numVertices(), 4u);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Graph, RejectsLoopsAndOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.addEdge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 3), std::out_of_range);
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);  // Duplicate is a no-op.
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Graph, ClosedRowIncludesSelf) {
+  Graph g = Graph::fromEdges(3, {{0, 1}});
+  auto closed = g.closedRow(0);
+  EXPECT_TRUE(closed.test(0));
+  EXPECT_TRUE(closed.test(1));
+  EXPECT_FALSE(closed.test(2));
+  EXPECT_FALSE(g.row(0).test(0));  // Open row excludes self.
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g = Graph::fromEdges(5, {{2, 4}, {2, 0}, {2, 3}});
+  EXPECT_EQ(g.neighbors(2), (std::vector<Vertex>{0, 3, 4}));
+  EXPECT_EQ(g.closedNeighbors(2), (std::vector<Vertex>{0, 2, 3, 4}));
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(pathGraph(5).isConnected());
+  Graph disconnected(4);
+  disconnected.addEdge(0, 1);
+  EXPECT_FALSE(disconnected.isConnected());
+  EXPECT_TRUE(Graph(1).isConnected());
+}
+
+TEST(Graph, RelabeledPreservesStructure) {
+  Graph g = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Permutation perm{3, 2, 1, 0};
+  Graph h = g.relabeled(perm);
+  EXPECT_TRUE(h.hasEdge(3, 2));
+  EXPECT_TRUE(h.hasEdge(2, 1));
+  EXPECT_TRUE(h.hasEdge(1, 0));
+  EXPECT_EQ(h.numEdges(), 3u);
+}
+
+TEST(Graph, ImageOfHandlesNonInjectiveMaps) {
+  util::DynBitset subset(4);
+  subset.set(0);
+  subset.set(1);
+  Permutation collapse{2, 2, 3, 3};  // Not a permutation.
+  auto image = Graph::imageOf(subset, collapse);
+  EXPECT_TRUE(image.test(2));
+  EXPECT_FALSE(image.test(3));
+  EXPECT_EQ(image.count(), 1u);
+}
+
+TEST(Graph, UpperTriangleRoundTrip) {
+  util::Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    Graph g = erdosRenyi(7, 0.4, rng);
+    Graph back = Graph::fromUpperTriangleBits(7, g.upperTriangleBits());
+    EXPECT_EQ(back, g);
+  }
+}
+
+TEST(Permutations, Helpers) {
+  EXPECT_TRUE(isPermutation({1, 0, 2}, 3));
+  EXPECT_FALSE(isPermutation({1, 1, 2}, 3));
+  EXPECT_FALSE(isPermutation({0, 1}, 3));
+  EXPECT_TRUE(isIdentity({0, 1, 2}));
+  EXPECT_FALSE(isIdentity({1, 0, 2}));
+  Permutation perm{2, 0, 1};
+  EXPECT_EQ(compose(inverse(perm), perm), identityPermutation(3));
+}
+
+TEST(Permutations, IsAutomorphismDefinition) {
+  Graph cycle = cycleGraph(5);
+  // Rotation is an automorphism of C5.
+  Permutation rotate{1, 2, 3, 4, 0};
+  EXPECT_TRUE(isAutomorphism(cycle, rotate));
+  // Swapping two adjacent vertices is not.
+  Permutation bad{1, 0, 2, 3, 4};
+  EXPECT_FALSE(isAutomorphism(cycle, bad));
+}
+
+// ---- Generators ----
+
+TEST(Generators, ClassicFamilies) {
+  EXPECT_EQ(pathGraph(6).numEdges(), 5u);
+  EXPECT_EQ(cycleGraph(6).numEdges(), 6u);
+  EXPECT_EQ(completeGraph(6).numEdges(), 15u);
+  EXPECT_EQ(starGraph(6).numEdges(), 5u);
+  EXPECT_EQ(gridGraph(3, 4).numEdges(), 3u * 3 + 2 * 4);
+  EXPECT_TRUE(gridGraph(3, 4).isConnected());
+}
+
+TEST(Generators, ErdosRenyiDensity) {
+  util::Rng rng(22);
+  Graph dense = erdosRenyi(40, 0.9, rng);
+  Graph sparse = erdosRenyi(40, 0.1, rng);
+  EXPECT_GT(dense.numEdges(), sparse.numEdges());
+  Graph empty = erdosRenyi(10, 0.0, rng);
+  EXPECT_EQ(empty.numEdges(), 0u);
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  util::Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    Graph tree = randomTree(20, rng);
+    EXPECT_EQ(tree.numEdges(), 19u);
+    EXPECT_TRUE(tree.isConnected());
+  }
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  util::Rng rng(24);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = randomConnected(15, 10, rng);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_GE(g.numEdges(), 14u);
+  }
+}
+
+TEST(Generators, RigidGraphsAreRigidAndConnected) {
+  util::Rng rng(25);
+  for (std::size_t n : {6u, 8u, 12u}) {
+    Graph g = randomRigidConnected(n, rng);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_TRUE(isRigid(g));
+  }
+  EXPECT_THROW(randomRigidConnected(5, rng), std::invalid_argument);
+}
+
+TEST(Generators, SymmetricGraphsAreSymmetricAndConnected) {
+  util::Rng rng(26);
+  for (std::size_t n : {2u, 6u, 10u, 16u}) {
+    Graph g = randomSymmetricConnected(n, rng);
+    EXPECT_TRUE(g.isConnected()) << n;
+    EXPECT_FALSE(isRigid(g)) << n;
+  }
+  EXPECT_THROW(randomSymmetricConnected(7, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomPermutationIsPermutation) {
+  util::Rng rng(27);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(isPermutation(randomPermutation(12, rng), 12));
+  }
+}
+
+TEST(Generators, IsomorphicCopyIsIsomorphic) {
+  util::Rng rng(28);
+  Graph g = randomConnected(9, 6, rng);
+  Graph copy = randomIsomorphicCopy(g, rng);
+  EXPECT_TRUE(areIsomorphic(g, copy));
+}
+
+// ---- Dumbbells (Section 3.4 family) ----
+
+TEST(Dumbbell, LayoutAndStructure) {
+  util::Rng rng(29);
+  Graph f = randomRigidConnected(6, rng);
+  Graph g = dumbbell(f, f);
+  DumbbellLayout layout = dumbbellLayout(6);
+  EXPECT_EQ(g.numVertices(), 14u);
+  EXPECT_TRUE(g.hasEdge(layout.vA, layout.xA));
+  EXPECT_TRUE(g.hasEdge(layout.xA, layout.xB));
+  EXPECT_TRUE(g.hasEdge(layout.xB, layout.vB));
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Dumbbell, SymmetricIffSidesEqual) {
+  // The heart of the lower-bound construction: G(F, F) is symmetric;
+  // G(F, F') for non-isomorphic rigid F, F' is not.
+  util::Rng rng(30);
+  Graph f1 = randomRigidConnected(6, rng);
+  Graph f2 = randomRigidConnected(6, rng);
+  while (areIsomorphic(f1, f2)) f2 = randomRigidConnected(6, rng);
+
+  EXPECT_FALSE(isRigid(dumbbell(f1, f1)));
+  EXPECT_FALSE(isRigid(dumbbell(f2, f2)));
+  EXPECT_TRUE(isRigid(dumbbell(f1, f2)));
+  EXPECT_TRUE(isRigid(dumbbell(f2, f1)));
+}
+
+// ---- DSym (Definition 5) ----
+
+TEST(DSym, SigmaIsAutomorphismOfYesInstances) {
+  util::Rng rng(31);
+  for (std::size_t r : {0u, 1u, 3u}) {
+    Graph f = randomConnected(5, 3, rng);
+    Graph g = dsymInstance(f, r);
+    DSymLayout layout = dsymLayout(5, r);
+    EXPECT_EQ(g.numVertices(), layout.numVertices);
+    Permutation sigma = dsymSigma(layout);
+    EXPECT_TRUE(isPermutation(sigma, layout.numVertices));
+    EXPECT_TRUE(isAutomorphism(g, sigma));
+    EXPECT_TRUE(isDSymInstance(g, layout));
+  }
+}
+
+TEST(DSym, SigmaSwapsSidesAndReversesPath) {
+  DSymLayout layout = dsymLayout(4, 2);
+  Permutation sigma = dsymSigma(layout);
+  EXPECT_EQ(sigma[0], 4u);
+  EXPECT_EQ(sigma[4], 0u);
+  EXPECT_EQ(sigma[8], 12u);   // First path vertex (2n=8) -> last (2n+2r=12).
+  EXPECT_EQ(sigma[10], 10u);  // Path center is the unique fixed point.
+}
+
+TEST(DSym, NoInstanceDetected) {
+  util::Rng rng(32);
+  Graph f = randomRigidConnected(6, rng);
+  Graph fOther = randomRigidConnected(6, rng);
+  while (fOther == f) fOther = randomRigidConnected(6, rng);
+  Graph no = dsymNoInstance(f, fOther, 2);
+  DSymLayout layout = dsymLayout(6, 2);
+  EXPECT_FALSE(isDSymInstance(no, layout));
+  EXPECT_TRUE(isDSymInstance(dsymInstance(f, 2), layout));
+}
+
+TEST(DSym, LocalStructureCatchesStrayEdges) {
+  util::Rng rng(33);
+  Graph f = randomConnected(4, 2, rng);
+  Graph g = dsymInstance(f, 1);
+  DSymLayout layout = dsymLayout(4, 1);
+  // Add a forbidden cross edge between the two sides.
+  g.addEdge(1, 5);
+  bool someNodeRejects = false;
+  for (Vertex v = 0; v < g.numVertices(); ++v) {
+    if (!dsymLocalStructureOk(g, layout, v)) someNodeRejects = true;
+  }
+  EXPECT_TRUE(someNodeRejects);
+}
+
+}  // namespace
+}  // namespace dip::graph

@@ -1,0 +1,178 @@
+// Tests for the isomorphism/automorphism search engine — the honest
+// prover's "unbounded computation" and the experiments' ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/isomorphism.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+namespace {
+
+// Brute-force oracles for cross-checking on tiny graphs.
+bool bruteForceHasNontrivialAutomorphism(const Graph& g) {
+  Permutation perm = identityPermutation(g.numVertices());
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    if (isAutomorphism(g, perm)) return true;
+  }
+  return false;
+}
+
+std::uint64_t bruteForceCountAutomorphisms(const Graph& g) {
+  Permutation perm = identityPermutation(g.numVertices());
+  std::uint64_t count = 0;
+  do {
+    if (isAutomorphism(g, perm)) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+TEST(RefinementColors, SeparatesDegreeClasses) {
+  Graph star = starGraph(5);
+  auto colors = refinementColors(star);
+  EXPECT_NE(colors[0], colors[1]);  // Hub vs leaf.
+  EXPECT_EQ(colors[1], colors[4]);  // Leaves alike.
+}
+
+TEST(RefinementColors, PathEndpointsMatch) {
+  auto colors = refinementColors(pathGraph(5));
+  EXPECT_EQ(colors[0], colors[4]);
+  EXPECT_EQ(colors[1], colors[3]);
+  EXPECT_NE(colors[0], colors[2]);
+}
+
+TEST(Automorphism, ClassicFamilies) {
+  EXPECT_FALSE(isRigid(cycleGraph(6)));
+  EXPECT_FALSE(isRigid(completeGraph(5)));
+  EXPECT_FALSE(isRigid(starGraph(6)));
+  EXPECT_FALSE(isRigid(pathGraph(4)));
+  EXPECT_FALSE(isRigid(gridGraph(3, 3)));
+}
+
+TEST(Automorphism, SmallestRigidGraphHasSixVertices) {
+  // Classic fact: every graph on 2 <= n <= 5 vertices has a non-trivial
+  // automorphism; rigid graphs exist from n = 6 on (K1 is trivially rigid).
+  for (std::size_t n = 2; n <= 5; ++n) {
+    const std::size_t slots = n * (n - 1) / 2;
+    for (std::uint64_t code = 0; code < (1ull << slots); ++code) {
+      util::DynBitset bits(slots);
+      for (std::size_t i = 0; i < slots; ++i) {
+        if ((code >> i) & 1ull) bits.set(i);
+      }
+      EXPECT_FALSE(isRigid(Graph::fromUpperTriangleBits(n, bits)))
+          << "n=" << n << " code=" << code;
+    }
+  }
+}
+
+TEST(Automorphism, KnownRigidSixVertexGraph) {
+  // The standard minimal asymmetric graph: a path 0-1-2-3-4 plus edges
+  // {0,2} and {5,1},{5,2}... use a verified instance instead: find one by
+  // search and cross-check with brute force.
+  util::Rng rng(41);
+  Graph g = randomRigidConnected(6, rng);
+  EXPECT_FALSE(bruteForceHasNontrivialAutomorphism(g));
+}
+
+TEST(Automorphism, FoundAutomorphismsAreReal) {
+  util::Rng rng(42);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = randomSymmetricConnected(12, rng);
+    auto rho = findNontrivialAutomorphism(g);
+    ASSERT_TRUE(rho.has_value());
+    EXPECT_FALSE(isIdentity(*rho));
+    EXPECT_TRUE(isAutomorphism(g, *rho));
+  }
+}
+
+TEST(Automorphism, AgreesWithBruteForceOnRandomTinyGraphs) {
+  util::Rng rng(43);
+  for (int i = 0; i < 60; ++i) {
+    std::size_t n = 4 + rng.nextBelow(3);  // 4..6
+    Graph g = erdosRenyi(n, 0.5, rng);
+    EXPECT_EQ(findNontrivialAutomorphism(g).has_value(),
+              bruteForceHasNontrivialAutomorphism(g))
+        << "iteration " << i;
+  }
+}
+
+TEST(Automorphism, CountMatchesBruteForce) {
+  util::Rng rng(44);
+  for (int i = 0; i < 30; ++i) {
+    Graph g = erdosRenyi(5, 0.5, rng);
+    EXPECT_EQ(countAutomorphisms(g), bruteForceCountAutomorphisms(g));
+  }
+  EXPECT_EQ(countAutomorphisms(completeGraph(4)), 24u);
+  EXPECT_EQ(countAutomorphisms(cycleGraph(5)), 10u);   // Dihedral group D5.
+  EXPECT_EQ(countAutomorphisms(pathGraph(3)), 2u);
+}
+
+TEST(Automorphism, CountRespectsCap) {
+  EXPECT_EQ(countAutomorphisms(completeGraph(5), 7), 7u);
+}
+
+TEST(Isomorphism, RelabeledCopiesAreIsomorphic) {
+  util::Rng rng(45);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = randomConnected(10, 8, rng);
+    Permutation perm = randomPermutation(10, rng);
+    Graph h = g.relabeled(perm);
+    auto iso = findIsomorphism(g, h);
+    ASSERT_TRUE(iso.has_value());
+    // Verify the witness maps edges to edges.
+    EXPECT_EQ(g.relabeled(*iso), h);
+  }
+}
+
+TEST(Isomorphism, DetectsNonIsomorphicPairs) {
+  util::Rng rng(46);
+  // Different edge counts: trivially non-isomorphic.
+  EXPECT_FALSE(areIsomorphic(pathGraph(6), cycleGraph(6)));
+  // Same degree sequence, different structure: C6 vs two triangles.
+  Graph twoTriangles = Graph::fromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_FALSE(areIsomorphic(cycleGraph(6), twoTriangles));
+  // Random rigid graphs are non-isomorphic to their complements' relabels
+  // essentially always; spot-check with independent rigid graphs.
+  Graph f1 = randomRigidConnected(7, rng);
+  Graph f2 = randomRigidConnected(7, rng);
+  if (f1.numEdges() != f2.numEdges()) {
+    EXPECT_FALSE(areIsomorphic(f1, f2));
+  }
+}
+
+TEST(Isomorphism, SizeMismatchFails) {
+  EXPECT_FALSE(areIsomorphic(pathGraph(4), pathGraph(5)));
+}
+
+TEST(Isomorphism, RegularGraphsNeedBacktracking) {
+  // Two 3-regular graphs on 6 vertices: K_3,3 and the prism (C3 x K2) are
+  // NOT isomorphic (K_3,3 is triangle-free); colors alone cannot tell.
+  Graph k33 = Graph::fromEdges(6, {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5},
+                                   {2, 3}, {2, 4}, {2, 5}});
+  Graph prism = Graph::fromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3},
+                                     {0, 3}, {1, 4}, {2, 5}});
+  EXPECT_FALSE(areIsomorphic(k33, prism));
+  EXPECT_TRUE(areIsomorphic(k33, k33.relabeled({3, 1, 5, 0, 2, 4})));
+}
+
+// Parameterized sweep: relabeled copies of many random graphs at multiple
+// sizes must always be recognized; the witness must be exact.
+class IsomorphismSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IsomorphismSweep, RoundTrip) {
+  util::Rng rng(100 + GetParam());
+  Graph g = randomConnected(GetParam(), GetParam() / 2, rng);
+  Graph h = randomIsomorphicCopy(g, rng);
+  auto iso = findIsomorphism(g, h);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(g.relabeled(*iso), h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IsomorphismSweep,
+                         ::testing::Values(4, 6, 8, 12, 16, 24, 32, 48));
+
+}  // namespace
+}  // namespace dip::graph

@@ -1,0 +1,196 @@
+// Tests for the lower-bound machinery (Section 3.4): the rigid-family
+// census, the packing inequality, and the simple-protocol analyzer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builders.hpp"
+#include "graph/generators.hpp"
+#include "lb/census.hpp"
+#include "lb/packing.hpp"
+#include "lb/simple_protocol.hpp"
+#include "util/rng.hpp"
+
+namespace dip::lb {
+namespace {
+
+TEST(Census, KnownIsomorphismClassCounts) {
+  // OEIS A000088: 1, 2, 4, 11, 34, 156 isomorphism classes for n = 1..6.
+  EXPECT_EQ(exhaustiveCensus(1).isoClasses, 1u);
+  EXPECT_EQ(exhaustiveCensus(2).isoClasses, 2u);
+  EXPECT_EQ(exhaustiveCensus(3).isoClasses, 4u);
+  EXPECT_EQ(exhaustiveCensus(4).isoClasses, 11u);
+  EXPECT_EQ(exhaustiveCensus(5).isoClasses, 34u);
+  EXPECT_EQ(exhaustiveCensus(6).isoClasses, 156u);
+}
+
+TEST(Census, RigidFamilyEmptyBelowSix) {
+  for (std::size_t n = 2; n <= 5; ++n) {
+    CensusResult census = exhaustiveCensus(n);
+    EXPECT_EQ(census.labeledRigid, 0u) << n;
+    EXPECT_EQ(census.rigidClasses, 0u) << n;
+  }
+}
+
+TEST(Census, RigidFamilyAtSix) {
+  // The classical count: exactly 8 asymmetric graphs on 6 vertices
+  // (A003400), i.e. |F(6)| = 8 and 8 * 6! = 5760 labeled rigid graphs.
+  CensusResult census = exhaustiveCensus(6);
+  EXPECT_EQ(census.labeledGraphs, 32768u);
+  EXPECT_EQ(census.rigidClasses, 8u);
+  EXPECT_EQ(census.labeledRigid, 8u * 720u);
+}
+
+TEST(Census, OrbitCountingConsistency) {
+  // Burnside bookkeeping: labeledRigid must be divisible by n!, and rigid
+  // classes can never exceed all classes.
+  for (std::size_t n : {4u, 5u, 6u}) {
+    CensusResult census = exhaustiveCensus(n);
+    std::uint64_t fact = 1;
+    for (std::size_t i = 2; i <= n; ++i) fact *= i;
+    EXPECT_EQ(census.labeledRigid % fact, 0u);
+    EXPECT_LE(census.rigidClasses, census.isoClasses);
+  }
+}
+
+TEST(Census, AsymptoticLowerBoundIsSane) {
+  // log2 |F(n)| ~ n(n-1)/2 - log2(n!): positive and superlinear from n = 7.
+  EXPECT_GT(log2FamilyLowerBound(7), 8.0);
+  EXPECT_GT(log2FamilyLowerBound(16), 70.0);
+  // Quadratic growth dominates.
+  EXPECT_GT(log2FamilyLowerBound(64) / log2FamilyLowerBound(32), 3.0);
+}
+
+TEST(Packing, CapacityMatchesFormula) {
+  // 5^(2^(2^L)) for L = 1: 5^4; L = 2: 5^16.
+  EXPECT_NEAR(packingCapacityLog2(1), 4.0 * std::log2(5.0), 1e-9);
+  EXPECT_NEAR(packingCapacityLog2(2), 16.0 * std::log2(5.0), 1e-9);
+}
+
+TEST(Packing, LowerBoundMonotoneAndLogLog) {
+  // The bound grows, and it grows like log log n: doubling n adds o(1).
+  double prev = 0.0;
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    double bound = lowerBoundBits(log2FamilyLowerBound(n));
+    EXPECT_GE(bound, prev);
+    prev = bound;
+  }
+  // Against the trivial check: the bound is tiny but non-zero at scale —
+  // the signature of log log n.
+  EXPECT_GT(lowerBoundBits(log2FamilyLowerBound(1u << 14)), 0.4);
+  EXPECT_LT(lowerBoundBits(log2FamilyLowerBound(1u << 14)), 3.0);
+}
+
+TEST(Packing, ConsistencyWithCapacity) {
+  // At the returned bound L*, the capacity at 4 L* must cover the family
+  // (the inequality direction the derivation inverted).
+  for (std::size_t n : {64u, 1024u}) {
+    double logF = log2FamilyLowerBound(n);
+    double bound = lowerBoundBits(logF);
+    EXPECT_GE(packingCapacityLog2(static_cast<std::size_t>(std::ceil(4.0 * bound)) + 1),
+              logF);
+  }
+}
+
+TEST(Packing, CurveEmitsAllPoints) {
+  auto curve = packingCurve({8, 16, 32});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].n, 8u);
+  EXPECT_LT(curve[0].lowerBound, curve[2].lowerBound + 1e-9);
+}
+
+// ---- Simple-protocol analyzer ----
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(161);
+    // Two tiny sides (k = 2): dumbbell has 6 nodes — exhaustive analysis
+    // is instant.
+    fPath_ = graph::pathGraph(2);   // Single edge.
+    fEmpty_ = graph::Graph(2);      // No edge.
+    layout_ = graph::dumbbellLayout(2);
+  }
+  graph::Graph fPath_{2};
+  graph::Graph fEmpty_{2};
+  graph::DumbbellLayout layout_;
+};
+
+TEST_F(AnalyzerTest, FreeProtocolAcceptsEverything) {
+  SimpleProtocolAnalyzer analyzer(freeToyProtocol(), layout_);
+  graph::Graph dumbbell = graph::dumbbell(fPath_, fPath_);
+  EXPECT_DOUBLE_EQ(analyzer.bestProverAcceptance(dumbbell), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.intersectionProbability(dumbbell), 1.0);
+  // All response sets are the full set {0, 1} -> bitmask 0b11.
+  auto mu = analyzer.responseSetDistribution(dumbbell, true);
+  ASSERT_EQ(mu.size(), 1u);
+  EXPECT_EQ(mu.begin()->first, 0b11u);
+  EXPECT_DOUBLE_EQ(mu.begin()->second, 1.0);
+}
+
+TEST_F(AnalyzerTest, Lemma39IdentityHoldsForParityToy) {
+  // Lemma 3.9: best-prover acceptance == Pr[M_A and M_B intersect], for
+  // every dumbbell — verified by two INDEPENDENT exhaustive computations.
+  SimpleProtocolAnalyzer analyzer(parityToyProtocol(), layout_);
+  for (const auto& [fa, fb] : {std::pair{&fPath_, &fPath_}, {&fPath_, &fEmpty_},
+                               {&fEmpty_, &fEmpty_}}) {
+    graph::Graph dumbbell = graph::dumbbell(*fa, *fb);
+    EXPECT_NEAR(analyzer.bestProverAcceptance(dumbbell),
+                analyzer.intersectionProbability(dumbbell), 1e-12);
+  }
+}
+
+TEST_F(AnalyzerTest, ResponseSetsDependOnlyOnOwnSide) {
+  // Lemma 3.8's separation: side A's achievable set is the same whether
+  // the other side is F or F' (for a shared challenge restriction) —
+  // checked here distributionally: mu_A over G(F, F) equals mu_A over
+  // G(F, F') because the A side is identical.
+  SimpleProtocolAnalyzer analyzer(parityToyProtocol(), layout_);
+  auto muSame = analyzer.responseSetDistribution(graph::dumbbell(fPath_, fPath_), true);
+  auto muMixed = analyzer.responseSetDistribution(graph::dumbbell(fPath_, fEmpty_), true);
+  EXPECT_LT(SimpleProtocolAnalyzer::l1Distance(muSame, muMixed), 1e-12);
+}
+
+TEST_F(AnalyzerTest, DistributionsDifferAcrossSides) {
+  // Different F on the A side gives a different mu_A for the parity toy.
+  SimpleProtocolAnalyzer analyzer(parityToyProtocol(), layout_);
+  auto muPath = analyzer.responseSetDistribution(graph::dumbbell(fPath_, fPath_), true);
+  auto muEmpty = analyzer.responseSetDistribution(graph::dumbbell(fEmpty_, fEmpty_), true);
+  EXPECT_GT(SimpleProtocolAnalyzer::l1Distance(muPath, muEmpty), 0.0);
+}
+
+TEST_F(AnalyzerTest, L1DistanceProperties) {
+  ResponseSetDistribution mu1{{0b01, 0.5}, {0b10, 0.5}};
+  ResponseSetDistribution mu2{{0b01, 0.25}, {0b11, 0.75}};
+  EXPECT_DOUBLE_EQ(SimpleProtocolAnalyzer::l1Distance(mu1, mu1), 0.0);
+  EXPECT_DOUBLE_EQ(SimpleProtocolAnalyzer::l1Distance(mu1, mu2),
+                   0.25 + 0.5 + 0.75);  // |.5-.25| + |.5-0| + |0-.75|
+  EXPECT_DOUBLE_EQ(SimpleProtocolAnalyzer::l1Distance(mu1, mu2),
+                   SimpleProtocolAnalyzer::l1Distance(mu2, mu1));
+}
+
+TEST(PackingGeometry, Lemma312BallPacking) {
+  // Numeric spot-check of Lemma 3.12: greedily pack distributions on [d]
+  // that are pairwise > 1/2 apart in L1; the count must stay below 5^d.
+  // (For d = 2 the true max is small; the bound is 25.)
+  std::vector<std::vector<double>> packed;
+  util::Rng rng(162);
+  for (int attempt = 0; attempt < 20000; ++attempt) {
+    double p = static_cast<double>(rng.nextBelow(1001)) / 1000.0;
+    std::vector<double> candidate{p, 1.0 - p};
+    bool farFromAll = true;
+    for (const auto& other : packed) {
+      double dist = std::abs(candidate[0] - other[0]) + std::abs(candidate[1] - other[1]);
+      if (dist <= 0.5) {
+        farFromAll = false;
+        break;
+      }
+    }
+    if (farFromAll) packed.push_back(candidate);
+  }
+  EXPECT_LE(packed.size(), 25u);  // 5^2.
+  EXPECT_GE(packed.size(), 3u);   // Non-degenerate packing found.
+}
+
+}  // namespace
+}  // namespace dip::lb

@@ -1,0 +1,89 @@
+// Montgomery arithmetic tests: exact agreement with the reference modular
+// routines across widths, plus edge cases.
+#include <gtest/gtest.h>
+
+#include "util/montgomery.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+
+namespace dip::util {
+namespace {
+
+TEST(Montgomery, RejectsEvenOrTinyModulus) {
+  EXPECT_THROW(MontgomeryContext(BigUInt{10}), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigUInt{1}), std::invalid_argument);
+  EXPECT_NO_THROW(MontgomeryContext(BigUInt{3}));
+}
+
+TEST(Montgomery, RoundTripThroughRepresentation) {
+  Rng rng(291);
+  MontgomeryContext ctx(findPrimeWithBits(128, rng));
+  for (int i = 0; i < 50; ++i) {
+    BigUInt x = rng.nextBigBelow(ctx.modulus());
+    EXPECT_EQ(ctx.fromMontgomery(ctx.toMontgomery(x)), x);
+  }
+}
+
+TEST(Montgomery, MulModMatchesReference) {
+  Rng rng(292);
+  for (std::size_t bits : {33u, 64u, 96u, 160u, 256u, 521u}) {
+    BigUInt modulus = findPrimeWithBits(bits, rng);
+    MontgomeryContext ctx(modulus);
+    for (int i = 0; i < 30; ++i) {
+      BigUInt a = rng.nextBigBelow(modulus);
+      BigUInt b = rng.nextBigBelow(modulus);
+      EXPECT_EQ(ctx.mulMod(a, b), mulMod(a, b, modulus)) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, PowModMatchesReference) {
+  Rng rng(293);
+  for (std::size_t bits : {40u, 128u, 300u}) {
+    BigUInt modulus = findPrimeWithBits(bits, rng);
+    MontgomeryContext ctx(modulus);
+    for (int i = 0; i < 10; ++i) {
+      BigUInt base = rng.nextBigBelow(modulus);
+      BigUInt exponent = rng.nextBigBits(bits);
+      EXPECT_EQ(ctx.powMod(base, exponent), powMod(base, exponent, modulus)) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, PowModEdgeCases) {
+  Rng rng(294);
+  BigUInt modulus = findPrimeWithBits(100, rng);
+  MontgomeryContext ctx(modulus);
+  EXPECT_EQ(ctx.powMod(BigUInt{5}, BigUInt{}), BigUInt{1});    // x^0 = 1.
+  EXPECT_EQ(ctx.powMod(BigUInt{}, BigUInt{9}), BigUInt{});     // 0^e = 0.
+  EXPECT_EQ(ctx.powMod(BigUInt{1}, rng.nextBigBits(90)), BigUInt{1});
+  // Operands larger than the modulus reduce first.
+  BigUInt big = modulus * BigUInt{7} + BigUInt{11};
+  EXPECT_EQ(ctx.mulMod(big, BigUInt{2}), mulMod(big % modulus, BigUInt{2}, modulus));
+}
+
+TEST(Montgomery, OddCompositeModuliWork) {
+  // Montgomery needs oddness, not primality.
+  Rng rng(295);
+  BigUInt modulus = BigUInt::fromDecimal("123456789123456789123456789");  // Odd composite.
+  MontgomeryContext ctx(modulus);
+  for (int i = 0; i < 20; ++i) {
+    BigUInt a = rng.nextBigBelow(modulus);
+    BigUInt b = rng.nextBigBelow(modulus);
+    EXPECT_EQ(ctx.mulMod(a, b), mulMod(a, b, modulus));
+  }
+}
+
+TEST(Montgomery, FermatWitnessViaContext) {
+  // A full Miller-Rabin-style use: a^(p-1) = 1 mod p through the context.
+  Rng rng(296);
+  BigUInt p = findPrimeWithBits(200, rng);
+  MontgomeryContext ctx(p);
+  for (int i = 0; i < 5; ++i) {
+    BigUInt a = addMod(rng.nextBigBelow(p - BigUInt{2}), BigUInt{2}, p);
+    EXPECT_EQ(ctx.powMod(a, p - BigUInt{1}), BigUInt{1});
+  }
+}
+
+}  // namespace
+}  // namespace dip::util

@@ -1,0 +1,163 @@
+// Tests for the "distributed NP" baselines: the Theta(n^2) SymLCP of [17]
+// and the full-information GNI scheme.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "pls/gni_fullinfo.hpp"
+#include "pls/sym_lcp.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+
+namespace dip::pls {
+namespace {
+
+using graph::Graph;
+using util::Rng;
+
+TEST(SymLcp, HonestAdviceAcceptedOnSymmetricGraphs) {
+  Rng rng(131);
+  for (std::size_t n : {6u, 10u, 14u}) {
+    Graph g = graph::randomSymmetricConnected(n, rng);
+    auto advice = SymLcp::honestAdvice(g);
+    ASSERT_TRUE(advice.has_value());
+    std::vector<SymLcpAdvice> perNode(n, *advice);
+    EXPECT_TRUE(SymLcp::accepts(g, perNode));
+  }
+}
+
+TEST(SymLcp, NoAdviceForRigidGraphs) {
+  Rng rng(132);
+  Graph g = graph::randomRigidConnected(8, rng);
+  EXPECT_FALSE(SymLcp::honestAdvice(g).has_value());
+}
+
+TEST(SymLcp, SoundAgainstFakePermutation) {
+  // Any advice on a rigid graph is rejected: the claimed matrix must match
+  // reality (each row endorsed), and no non-trivial rho preserves it.
+  Rng rng(133);
+  Graph g = graph::randomRigidConnected(7, rng);
+  const std::size_t n = g.numVertices();
+  SymLcpAdvice advice;
+  for (graph::Vertex v = 0; v < n; ++v) advice.matrixRows.push_back(g.row(v));
+  advice.rho = graph::randomPermutation(n, rng);
+  while (graph::isIdentity(advice.rho)) advice.rho = graph::randomPermutation(n, rng);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (advice.rho[v] != v) {
+      advice.witness = v;
+      break;
+    }
+  }
+  std::vector<SymLcpAdvice> perNode(n, advice);
+  EXPECT_FALSE(SymLcp::accepts(g, perNode));
+}
+
+TEST(SymLcp, SoundAgainstLiedMatrix) {
+  // The prover lies about the matrix (to fake a symmetric graph): the node
+  // owning a mismatched row rejects.
+  Rng rng(134);
+  Graph rigid = graph::randomRigidConnected(6, rng);
+  Graph symmetric = graph::randomSymmetricConnected(6, rng);
+  auto advice = SymLcp::honestAdvice(symmetric);
+  ASSERT_TRUE(advice.has_value());
+  std::vector<SymLcpAdvice> perNode(6, *advice);
+  EXPECT_FALSE(SymLcp::accepts(rigid, perNode));
+}
+
+TEST(SymLcp, InconsistentAdviceCaughtByNeighbors) {
+  Rng rng(135);
+  Graph g = graph::randomSymmetricConnected(8, rng);
+  auto advice = SymLcp::honestAdvice(g);
+  ASSERT_TRUE(advice.has_value());
+  std::vector<SymLcpAdvice> perNode(8, *advice);
+  // Give one node a subtly different witness — neighbors must notice.
+  perNode[3].witness = (perNode[3].witness + 1) % 8;
+  auto decisions = SymLcp::verify(g, perNode);
+  bool someReject = false;
+  for (bool d : decisions) someReject |= !d;
+  EXPECT_TRUE(someReject);
+}
+
+TEST(SymLcp, IdentityRhoRejected) {
+  Rng rng(136);
+  Graph g = graph::randomSymmetricConnected(6, rng);
+  auto advice = SymLcp::honestAdvice(g);
+  ASSERT_TRUE(advice.has_value());
+  advice->rho = graph::identityPermutation(6);
+  advice->witness = 0;
+  std::vector<SymLcpAdvice> perNode(6, *advice);
+  EXPECT_FALSE(SymLcp::accepts(g, perNode));
+}
+
+TEST(SymLcp, AdviceBitsAreQuadratic) {
+  EXPECT_EQ(SymLcp::adviceBitsPerNode(16), 16u * 16 + 16 * 4 + 4);
+  // Quadratic growth: quadrupling from n to 2n (up to the log factor).
+  for (std::size_t n : {32u, 64u, 128u}) {
+    double ratio = static_cast<double>(SymLcp::adviceBitsPerNode(2 * n)) /
+                   static_cast<double>(SymLcp::adviceBitsPerNode(n));
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 4.5);
+  }
+}
+
+TEST(GniFullInfo, AcceptsNonIsomorphicPairs) {
+  Rng rng(137);
+  Graph g0 = graph::randomRigidConnected(7, rng);
+  Graph g1 = graph::randomRigidConnected(7, rng);
+  while (graph::areIsomorphic(g0, g1)) g1 = graph::randomRigidConnected(7, rng);
+
+  std::vector<util::DynBitset> inputs;
+  for (graph::Vertex v = 0; v < 7; ++v) inputs.push_back(g1.row(v));
+  std::vector<GniFullInfoAdvice> perNode(7, GniFullInfo::honestAdvice(g0, g1));
+  EXPECT_TRUE(GniFullInfo::accepts(g0, inputs, perNode));
+}
+
+TEST(GniFullInfo, RejectsIsomorphicPairs) {
+  Rng rng(138);
+  Graph g0 = graph::randomRigidConnected(7, rng);
+  Graph g1 = graph::randomIsomorphicCopy(g0, rng);
+  std::vector<util::DynBitset> inputs;
+  for (graph::Vertex v = 0; v < 7; ++v) inputs.push_back(g1.row(v));
+  std::vector<GniFullInfoAdvice> perNode(7, GniFullInfo::honestAdvice(g0, g1));
+  EXPECT_FALSE(GniFullInfo::accepts(g0, inputs, perNode));
+}
+
+TEST(GniFullInfo, RejectsLiesAboutEitherGraph) {
+  // The prover cannot pretend the graphs differ by lying about rows: each
+  // node endorses its own row of both graphs.
+  Rng rng(139);
+  Graph g0 = graph::randomRigidConnected(6, rng);
+  Graph g1 = graph::randomIsomorphicCopy(g0, rng);
+  Graph fake = graph::randomRigidConnected(6, rng);
+  while (graph::areIsomorphic(fake, g0)) fake = graph::randomRigidConnected(6, rng);
+
+  std::vector<util::DynBitset> inputs;
+  for (graph::Vertex v = 0; v < 6; ++v) inputs.push_back(g1.row(v));
+  // Lie: present `fake` as the second graph.
+  std::vector<GniFullInfoAdvice> perNode(6, GniFullInfo::honestAdvice(g0, fake));
+  EXPECT_FALSE(GniFullInfo::accepts(g0, inputs, perNode));
+}
+
+TEST(GniFullInfo, MalformedRowsRejected) {
+  Rng rng(140);
+  Graph g0 = graph::randomRigidConnected(6, rng);
+  Graph g1 = graph::randomRigidConnected(6, rng);
+  while (graph::areIsomorphic(g0, g1)) g1 = graph::randomRigidConnected(6, rng);
+  std::vector<util::DynBitset> inputs;
+  for (graph::Vertex v = 0; v < 6; ++v) inputs.push_back(g1.row(v));
+
+  auto advice = GniFullInfo::honestAdvice(g0, g1);
+  advice.g1Rows[2].set(2);  // Self-loop: not a valid adjacency row. But node
+                            // 2 endorses its own row, so give the tampered
+                            // copy to everyone (consistent lie).
+  std::vector<GniFullInfoAdvice> perNode(6, advice);
+  EXPECT_FALSE(GniFullInfo::accepts(g0, inputs, perNode));
+}
+
+TEST(GniFullInfo, AdviceBitsQuadratic) {
+  EXPECT_EQ(GniFullInfo::adviceBitsPerNode(10), 200u);
+  EXPECT_EQ(GniFullInfo::adviceBitsPerNode(100), 20000u);
+}
+
+}  // namespace
+}  // namespace dip::pls

@@ -1,0 +1,103 @@
+// Tests for the randomized proof-labeling scheme baseline [4].
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pls/sym_rpls.hpp"
+#include "util/rng.hpp"
+
+namespace dip::pls {
+namespace {
+
+using util::Rng;
+
+TEST(SymRpls, HonestAdviceAccepted) {
+  Rng rng(261);
+  for (std::size_t n : {6u, 10u, 14u}) {
+    Rng setup(262 + n);
+    SymRpls rpls = makeSymRpls(n, setup);
+    graph::Graph g = graph::randomSymmetricConnected(n, rng);
+    auto advice = SymLcp::honestAdvice(g);
+    ASSERT_TRUE(advice.has_value());
+    std::vector<SymLcpAdvice> perNode(n, *advice);
+    for (int trial = 0; trial < 10; ++trial) {
+      EXPECT_TRUE(rpls.accepts(g, perNode, rng)) << n;
+    }
+  }
+}
+
+TEST(SymRpls, InconsistentLabelsCaughtByFingerprints) {
+  // Unlike the deterministic LCP, neighbors only compare O(log n)-bit
+  // fingerprints — a disagreement is still caught except with probability
+  // <= labelBits/p.
+  Rng rng(263);
+  const std::size_t n = 10;
+  Rng setup(264);
+  SymRpls rpls = makeSymRpls(n, setup);
+  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  auto advice = SymLcp::honestAdvice(g);
+  ASSERT_TRUE(advice.has_value());
+  std::vector<SymLcpAdvice> perNode(n, *advice);
+  // Give node 4 a label claiming a different witness.
+  perNode[4].witness = (perNode[4].witness + 1) % n;
+
+  std::size_t accepts = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    if (rpls.accepts(g, perNode, rng)) ++accepts;
+  }
+  EXPECT_LE(accepts, 4u);  // Collision budget is tiny.
+}
+
+TEST(SymRpls, SoundOnRigidGraphs) {
+  Rng rng(265);
+  const std::size_t n = 8;
+  Rng setup(266);
+  SymRpls rpls = makeSymRpls(n, setup);
+  graph::Graph rigid = graph::randomRigidConnected(n, rng);
+  // Best adversarial advice: true matrix, fake permutation, consistent
+  // everywhere — the local automorphism check kills it deterministically.
+  SymLcpAdvice advice;
+  for (graph::Vertex v = 0; v < n; ++v) advice.matrixRows.push_back(rigid.row(v));
+  advice.rho = graph::randomPermutation(n, rng);
+  while (graph::isIdentity(advice.rho)) advice.rho = graph::randomPermutation(n, rng);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (advice.rho[v] != v) {
+      advice.witness = v;
+      break;
+    }
+  }
+  std::vector<SymLcpAdvice> perNode(n, advice);
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_FALSE(rpls.accepts(rigid, perNode, rng));
+  }
+}
+
+TEST(SymRpls, CostsShowTheThreeWayTradeoff) {
+  Rng setup(267);
+  const std::size_t n = 256;
+  SymRpls rpls = makeSymRpls(n, setup);
+  SymRplsCosts costs = rpls.costs(n);
+  // Advice is still quadratic (same as the LCP)...
+  EXPECT_GE(costs.adviceBitsPerNode, n * n);
+  // ...but verification across an edge is logarithmic, exponentially less
+  // than shipping the label.
+  EXPECT_LT(costs.verificationBitsPerEdge, 100u);
+  EXPECT_LT(costs.verificationBitsPerEdge * 500, costs.adviceBitsPerNode);
+}
+
+TEST(SymRpls, LabelEncodingIsInjectiveOnComponents) {
+  Rng rng(268);
+  graph::Graph g = graph::randomSymmetricConnected(8, rng);
+  auto advice = SymLcp::honestAdvice(g);
+  ASSERT_TRUE(advice.has_value());
+  auto bits1 = SymRpls::encodeLabel(*advice, 8);
+  SymLcpAdvice altered = *advice;
+  altered.witness = (altered.witness + 1) % 8;
+  auto bits2 = SymRpls::encodeLabel(altered, 8);
+  EXPECT_NE(bits1, bits2);
+  altered = *advice;
+  std::swap(altered.rho[0], altered.rho[1]);
+  EXPECT_NE(SymRpls::encodeLabel(altered, 8), bits1);
+}
+
+}  // namespace
+}  // namespace dip::pls
