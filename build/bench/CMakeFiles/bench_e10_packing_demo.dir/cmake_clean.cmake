@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_packing_demo.dir/bench_e10_packing_demo.cpp.o"
+  "CMakeFiles/bench_e10_packing_demo.dir/bench_e10_packing_demo.cpp.o.d"
+  "bench_e10_packing_demo"
+  "bench_e10_packing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_packing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_general_gni.dir/bench_e11_general_gni.cpp.o"
+  "CMakeFiles/bench_e11_general_gni.dir/bench_e11_general_gni.cpp.o.d"
+  "bench_e11_general_gni"
+  "bench_e11_general_gni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_general_gni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

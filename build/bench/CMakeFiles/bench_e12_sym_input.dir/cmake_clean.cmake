@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_sym_input.dir/bench_e12_sym_input.cpp.o"
+  "CMakeFiles/bench_e12_sym_input.dir/bench_e12_sym_input.cpp.o.d"
+  "bench_e12_sym_input"
+  "bench_e12_sym_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_sym_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sym_dmam.dir/bench_e1_sym_dmam.cpp.o"
+  "CMakeFiles/bench_e1_sym_dmam.dir/bench_e1_sym_dmam.cpp.o.d"
+  "bench_e1_sym_dmam"
+  "bench_e1_sym_dmam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sym_dmam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_separation.cpp" "bench/CMakeFiles/bench_e2_separation.dir/bench_e2_separation.cpp.o" "gcc" "bench/CMakeFiles/bench_e2_separation.dir/bench_e2_separation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dip_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dip_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/CMakeFiles/dip_pls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_sym_dam.dir/bench_e3_sym_dam.cpp.o"
+  "CMakeFiles/bench_e3_sym_dam.dir/bench_e3_sym_dam.cpp.o.d"
+  "bench_e3_sym_dam"
+  "bench_e3_sym_dam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_sym_dam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_gni.dir/bench_e5_gni.cpp.o"
+  "CMakeFiles/bench_e5_gni.dir/bench_e5_gni.cpp.o.d"
+  "bench_e5_gni"
+  "bench_e5_gni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_gni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_hash.dir/bench_e6_hash.cpp.o"
+  "CMakeFiles/bench_e6_hash.dir/bench_e6_hash.cpp.o.d"
+  "bench_e6_hash"
+  "bench_e6_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_cheating.dir/bench_e7_cheating.cpp.o"
+  "CMakeFiles/bench_e7_cheating.dir/bench_e7_cheating.cpp.o.d"
+  "bench_e7_cheating"
+  "bench_e7_cheating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cheating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegated_symmetry_audit.dir/delegated_symmetry_audit.cpp.o"
+  "CMakeFiles/delegated_symmetry_audit.dir/delegated_symmetry_audit.cpp.o.d"
+  "delegated_symmetry_audit"
+  "delegated_symmetry_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegated_symmetry_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

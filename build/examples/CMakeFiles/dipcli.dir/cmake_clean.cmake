@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dipcli.dir/dipcli.cpp.o"
+  "CMakeFiles/dipcli.dir/dipcli.cpp.o.d"
+  "dipcli"
+  "dipcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dipcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dipcli.
+# This may be replaced when dependencies are built.

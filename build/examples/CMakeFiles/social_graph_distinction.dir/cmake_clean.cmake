@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_graph_distinction.dir/social_graph_distinction.cpp.o"
+  "CMakeFiles/social_graph_distinction.dir/social_graph_distinction.cpp.o.d"
+  "social_graph_distinction"
+  "social_graph_distinction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_graph_distinction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

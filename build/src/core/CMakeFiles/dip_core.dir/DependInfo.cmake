@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/dip_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/dsym_dam.cpp" "src/core/CMakeFiles/dip_core.dir/dsym_dam.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/dsym_dam.cpp.o.d"
+  "/root/repo/src/core/gni_amam.cpp" "src/core/CMakeFiles/dip_core.dir/gni_amam.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/gni_amam.cpp.o.d"
+  "/root/repo/src/core/gni_general.cpp" "src/core/CMakeFiles/dip_core.dir/gni_general.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/gni_general.cpp.o.d"
+  "/root/repo/src/core/gni_wire.cpp" "src/core/CMakeFiles/dip_core.dir/gni_wire.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/gni_wire.cpp.o.d"
+  "/root/repo/src/core/sym_dam.cpp" "src/core/CMakeFiles/dip_core.dir/sym_dam.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/sym_dam.cpp.o.d"
+  "/root/repo/src/core/sym_dmam.cpp" "src/core/CMakeFiles/dip_core.dir/sym_dmam.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/sym_dmam.cpp.o.d"
+  "/root/repo/src/core/sym_input.cpp" "src/core/CMakeFiles/dip_core.dir/sym_input.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/sym_input.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/dip_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/dip_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dip_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/CMakeFiles/dip_pls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_core.dir/api.cpp.o"
+  "CMakeFiles/dip_core.dir/api.cpp.o.d"
+  "CMakeFiles/dip_core.dir/dsym_dam.cpp.o"
+  "CMakeFiles/dip_core.dir/dsym_dam.cpp.o.d"
+  "CMakeFiles/dip_core.dir/gni_amam.cpp.o"
+  "CMakeFiles/dip_core.dir/gni_amam.cpp.o.d"
+  "CMakeFiles/dip_core.dir/gni_general.cpp.o"
+  "CMakeFiles/dip_core.dir/gni_general.cpp.o.d"
+  "CMakeFiles/dip_core.dir/gni_wire.cpp.o"
+  "CMakeFiles/dip_core.dir/gni_wire.cpp.o.d"
+  "CMakeFiles/dip_core.dir/sym_dam.cpp.o"
+  "CMakeFiles/dip_core.dir/sym_dam.cpp.o.d"
+  "CMakeFiles/dip_core.dir/sym_dmam.cpp.o"
+  "CMakeFiles/dip_core.dir/sym_dmam.cpp.o.d"
+  "CMakeFiles/dip_core.dir/sym_input.cpp.o"
+  "CMakeFiles/dip_core.dir/sym_input.cpp.o.d"
+  "CMakeFiles/dip_core.dir/wire.cpp.o"
+  "CMakeFiles/dip_core.dir/wire.cpp.o.d"
+  "libdip_core.a"
+  "libdip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builders.cpp" "src/graph/CMakeFiles/dip_graph.dir/builders.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/builders.cpp.o.d"
+  "/root/repo/src/graph/canonical.cpp" "src/graph/CMakeFiles/dip_graph.dir/canonical.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/canonical.cpp.o.d"
+  "/root/repo/src/graph/catalog.cpp" "src/graph/CMakeFiles/dip_graph.dir/catalog.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/catalog.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/dip_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dip_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/graph6.cpp" "src/graph/CMakeFiles/dip_graph.dir/graph6.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/graph6.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/dip_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/dip_graph.dir/isomorphism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

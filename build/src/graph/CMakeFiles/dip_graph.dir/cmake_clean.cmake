@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_graph.dir/builders.cpp.o"
+  "CMakeFiles/dip_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/canonical.cpp.o"
+  "CMakeFiles/dip_graph.dir/canonical.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/catalog.cpp.o"
+  "CMakeFiles/dip_graph.dir/catalog.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/generators.cpp.o"
+  "CMakeFiles/dip_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/graph.cpp.o"
+  "CMakeFiles/dip_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/graph6.cpp.o"
+  "CMakeFiles/dip_graph.dir/graph6.cpp.o.d"
+  "CMakeFiles/dip_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/dip_graph.dir/isomorphism.cpp.o.d"
+  "libdip_graph.a"
+  "libdip_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/distributed_seed.cpp" "src/hash/CMakeFiles/dip_hash.dir/distributed_seed.cpp.o" "gcc" "src/hash/CMakeFiles/dip_hash.dir/distributed_seed.cpp.o.d"
+  "/root/repo/src/hash/eps_api.cpp" "src/hash/CMakeFiles/dip_hash.dir/eps_api.cpp.o" "gcc" "src/hash/CMakeFiles/dip_hash.dir/eps_api.cpp.o.d"
+  "/root/repo/src/hash/linear_hash.cpp" "src/hash/CMakeFiles/dip_hash.dir/linear_hash.cpp.o" "gcc" "src/hash/CMakeFiles/dip_hash.dir/linear_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

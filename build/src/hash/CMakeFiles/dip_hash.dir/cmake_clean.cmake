@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_hash.dir/distributed_seed.cpp.o"
+  "CMakeFiles/dip_hash.dir/distributed_seed.cpp.o.d"
+  "CMakeFiles/dip_hash.dir/eps_api.cpp.o"
+  "CMakeFiles/dip_hash.dir/eps_api.cpp.o.d"
+  "CMakeFiles/dip_hash.dir/linear_hash.cpp.o"
+  "CMakeFiles/dip_hash.dir/linear_hash.cpp.o.d"
+  "libdip_hash.a"
+  "libdip_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

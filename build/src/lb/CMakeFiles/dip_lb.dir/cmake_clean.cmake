@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_lb.dir/census.cpp.o"
+  "CMakeFiles/dip_lb.dir/census.cpp.o.d"
+  "CMakeFiles/dip_lb.dir/packing.cpp.o"
+  "CMakeFiles/dip_lb.dir/packing.cpp.o.d"
+  "CMakeFiles/dip_lb.dir/simple_protocol.cpp.o"
+  "CMakeFiles/dip_lb.dir/simple_protocol.cpp.o.d"
+  "libdip_lb.a"
+  "libdip_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_net.dir/spanning.cpp.o"
+  "CMakeFiles/dip_net.dir/spanning.cpp.o.d"
+  "CMakeFiles/dip_net.dir/transcript.cpp.o"
+  "CMakeFiles/dip_net.dir/transcript.cpp.o.d"
+  "libdip_net.a"
+  "libdip_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pls/gni_fullinfo.cpp" "src/pls/CMakeFiles/dip_pls.dir/gni_fullinfo.cpp.o" "gcc" "src/pls/CMakeFiles/dip_pls.dir/gni_fullinfo.cpp.o.d"
+  "/root/repo/src/pls/sym_lcp.cpp" "src/pls/CMakeFiles/dip_pls.dir/sym_lcp.cpp.o" "gcc" "src/pls/CMakeFiles/dip_pls.dir/sym_lcp.cpp.o.d"
+  "/root/repo/src/pls/sym_rpls.cpp" "src/pls/CMakeFiles/dip_pls.dir/sym_rpls.cpp.o" "gcc" "src/pls/CMakeFiles/dip_pls.dir/sym_rpls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

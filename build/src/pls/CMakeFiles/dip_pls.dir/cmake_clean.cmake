@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_pls.dir/gni_fullinfo.cpp.o"
+  "CMakeFiles/dip_pls.dir/gni_fullinfo.cpp.o.d"
+  "CMakeFiles/dip_pls.dir/sym_lcp.cpp.o"
+  "CMakeFiles/dip_pls.dir/sym_lcp.cpp.o.d"
+  "CMakeFiles/dip_pls.dir/sym_rpls.cpp.o"
+  "CMakeFiles/dip_pls.dir/sym_rpls.cpp.o.d"
+  "libdip_pls.a"
+  "libdip_pls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_pls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

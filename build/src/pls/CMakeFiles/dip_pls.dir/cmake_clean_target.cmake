@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdip_pls.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/biguint.cpp" "src/util/CMakeFiles/dip_util.dir/biguint.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/biguint.cpp.o.d"
+  "/root/repo/src/util/bitio.cpp" "src/util/CMakeFiles/dip_util.dir/bitio.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/bitio.cpp.o.d"
+  "/root/repo/src/util/bitset.cpp" "src/util/CMakeFiles/dip_util.dir/bitset.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/bitset.cpp.o.d"
+  "/root/repo/src/util/mathutil.cpp" "src/util/CMakeFiles/dip_util.dir/mathutil.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/mathutil.cpp.o.d"
+  "/root/repo/src/util/montgomery.cpp" "src/util/CMakeFiles/dip_util.dir/montgomery.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/montgomery.cpp.o.d"
+  "/root/repo/src/util/primes.cpp" "src/util/CMakeFiles/dip_util.dir/primes.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/primes.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/dip_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/dip_util.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_util.dir/biguint.cpp.o"
+  "CMakeFiles/dip_util.dir/biguint.cpp.o.d"
+  "CMakeFiles/dip_util.dir/bitio.cpp.o"
+  "CMakeFiles/dip_util.dir/bitio.cpp.o.d"
+  "CMakeFiles/dip_util.dir/bitset.cpp.o"
+  "CMakeFiles/dip_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/dip_util.dir/mathutil.cpp.o"
+  "CMakeFiles/dip_util.dir/mathutil.cpp.o.d"
+  "CMakeFiles/dip_util.dir/montgomery.cpp.o"
+  "CMakeFiles/dip_util.dir/montgomery.cpp.o.d"
+  "CMakeFiles/dip_util.dir/primes.cpp.o"
+  "CMakeFiles/dip_util.dir/primes.cpp.o.d"
+  "CMakeFiles/dip_util.dir/rng.cpp.o"
+  "CMakeFiles/dip_util.dir/rng.cpp.o.d"
+  "libdip_util.a"
+  "libdip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

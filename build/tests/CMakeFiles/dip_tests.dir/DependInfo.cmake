@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amplify_test.cpp" "tests/CMakeFiles/dip_tests.dir/amplify_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/amplify_test.cpp.o.d"
+  "/root/repo/tests/api_test.cpp" "tests/CMakeFiles/dip_tests.dir/api_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/api_test.cpp.o.d"
+  "/root/repo/tests/biguint_vectors_test.cpp" "tests/CMakeFiles/dip_tests.dir/biguint_vectors_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/biguint_vectors_test.cpp.o.d"
+  "/root/repo/tests/bitio_fuzz_test.cpp" "tests/CMakeFiles/dip_tests.dir/bitio_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/bitio_fuzz_test.cpp.o.d"
+  "/root/repo/tests/canonical_test.cpp" "tests/CMakeFiles/dip_tests.dir/canonical_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/canonical_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/dip_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/distributed_seed_test.cpp" "tests/CMakeFiles/dip_tests.dir/distributed_seed_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/distributed_seed_test.cpp.o.d"
+  "/root/repo/tests/dsym_test.cpp" "tests/CMakeFiles/dip_tests.dir/dsym_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/dsym_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/dip_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/gni_general_test.cpp" "tests/CMakeFiles/dip_tests.dir/gni_general_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/gni_general_test.cpp.o.d"
+  "/root/repo/tests/gni_test.cpp" "tests/CMakeFiles/dip_tests.dir/gni_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/gni_test.cpp.o.d"
+  "/root/repo/tests/gni_wire_test.cpp" "tests/CMakeFiles/dip_tests.dir/gni_wire_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/gni_wire_test.cpp.o.d"
+  "/root/repo/tests/graph6_test.cpp" "tests/CMakeFiles/dip_tests.dir/graph6_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/graph6_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/dip_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/hash_test.cpp" "tests/CMakeFiles/dip_tests.dir/hash_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/hash_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dip_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/isomorphism_test.cpp" "tests/CMakeFiles/dip_tests.dir/isomorphism_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/isomorphism_test.cpp.o.d"
+  "/root/repo/tests/lb_test.cpp" "tests/CMakeFiles/dip_tests.dir/lb_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/lb_test.cpp.o.d"
+  "/root/repo/tests/locality_test.cpp" "tests/CMakeFiles/dip_tests.dir/locality_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/locality_test.cpp.o.d"
+  "/root/repo/tests/montgomery_test.cpp" "tests/CMakeFiles/dip_tests.dir/montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/montgomery_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/dip_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/pls_test.cpp" "tests/CMakeFiles/dip_tests.dir/pls_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/pls_test.cpp.o.d"
+  "/root/repo/tests/protocol_sweep_test.cpp" "tests/CMakeFiles/dip_tests.dir/protocol_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/protocol_sweep_test.cpp.o.d"
+  "/root/repo/tests/rpls_test.cpp" "tests/CMakeFiles/dip_tests.dir/rpls_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/rpls_test.cpp.o.d"
+  "/root/repo/tests/sym_dam_test.cpp" "tests/CMakeFiles/dip_tests.dir/sym_dam_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/sym_dam_test.cpp.o.d"
+  "/root/repo/tests/sym_dmam_test.cpp" "tests/CMakeFiles/dip_tests.dir/sym_dmam_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/sym_dmam_test.cpp.o.d"
+  "/root/repo/tests/sym_input_test.cpp" "tests/CMakeFiles/dip_tests.dir/sym_input_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/sym_input_test.cpp.o.d"
+  "/root/repo/tests/util_biguint_test.cpp" "tests/CMakeFiles/dip_tests.dir/util_biguint_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/util_biguint_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/dip_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/wire_test.cpp" "tests/CMakeFiles/dip_tests.dir/wire_test.cpp.o" "gcc" "tests/CMakeFiles/dip_tests.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dip_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dip_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dip_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pls/CMakeFiles/dip_pls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
