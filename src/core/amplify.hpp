@@ -33,6 +33,8 @@ RunResult runAmplified(const Protocol& protocol, const Instance& instance, Prove
       merged.transcript = single.transcript;
     } else {
       // Sum the per-node charges (round labels kept from the first run).
+      // dip-lint: allow(charge-audit) -- transcript merge, not a wire round;
+      // each inner run was already audit-checked against its own encodings.
       for (graph::Vertex v = 0; v < single.transcript.numNodes(); ++v) {
         merged.transcript.chargeToProver(v, single.transcript.perNode()[v].bitsToProver);
         merged.transcript.chargeFromProver(v,

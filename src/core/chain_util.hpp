@@ -45,4 +45,20 @@ inline bool chainLinkHolds(const util::BigUInt& ownPiece,
   return claimed[v] == expect;
 }
 
+// Accessor form: reads only the children's entries and the own one, so
+// decision code never materializes a whole-graph column of message values.
+template <typename ClaimedAt>
+bool chainLinkHoldsAt(const util::BigUInt& ownPiece,
+                      const std::vector<graph::Vertex>& children,
+                      ClaimedAt&& claimedAt, graph::Vertex v,
+                      const util::BigUInt& prime) {
+  util::BigUInt expect = ownPiece;
+  for (graph::Vertex child : children) {
+    const util::BigUInt& value = claimedAt(child);
+    if (value >= prime) return false;
+    expect = util::addMod(expect, value, prime);
+  }
+  return claimedAt(v) == expect;
+}
+
 }  // namespace dip::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/wire.hpp"
+#include "net/audit.hpp"
 #include "net/spanning.hpp"
 #include "util/bitio.hpp"
 
@@ -85,6 +87,12 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
     challenges.push_back(family_.randomIndex(nodeRng));
     transcript.chargeToProver(v, seedBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge("DSym/A", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(challenges[v], family_).bitCount());
+  }
+#endif
 
   transcript.beginRound("M: index/root/tree/chains");
   DSymMessage msg = prover.respond(g, challenges);
@@ -97,6 +105,10 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
   for (graph::Vertex v = 0; v < n; ++v) {
     transcript.chargeFromProver(v, 2 * idBits + 2 * valueBits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("DSym/M", transcript,
+                         [&] { return wire::encodeDSym(msg, n, family_); });
+#endif
 
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {

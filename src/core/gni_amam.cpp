@@ -5,8 +5,11 @@
 #include <stdexcept>
 
 #include "core/chain_util.hpp"
+#include "core/gni_wire.hpp"
+#include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "net/audit.hpp"
 #include "util/bitio.hpp"
 #include "util/mathutil.hpp"
 #include "util/primes.hpp"
@@ -297,6 +300,12 @@ RunResult GniAmamProtocol::run(const GniInstance& instance, GniProver& prover,
     }
     transcript.chargeToProver(v, k * seedBlockBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge("GniAmam/A1", v, transcript.roundBitsToProver(v),
+                     wire::encodeGniChallenges(challenges[v], params_).bitCount());
+  }
+#endif
 
   // M1: commitments.
   transcript.beginRound("M1: echo + sigma commitments");
@@ -316,6 +325,11 @@ RunResult GniAmamProtocol::run(const GniInstance& instance, GniProver& prover,
                                        + k * idBits  // s values.
                                        + claimBits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("GniAmam/M1", transcript, [&] {
+    return wire::encodeGniFirst(first, instance, params_);
+  });
+#endif
 
   // A2: fresh commitment-check indices.
   transcript.beginRound("A2: check indices");
@@ -326,6 +340,13 @@ RunResult GniAmamProtocol::run(const GniInstance& instance, GniProver& prover,
     checkChallenges.push_back(params_.checkFamily.randomIndex(nodeRng));
     transcript.chargeToProver(v, checkBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge(
+        "GniAmam/A2", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(checkChallenges[v], params_.checkFamily).bitCount());
+  }
+#endif
 
   // M2: chain values.
   transcript.beginRound("M2: check echo + chains");
@@ -342,6 +363,11 @@ RunResult GniAmamProtocol::run(const GniInstance& instance, GniProver& prover,
     }
     transcript.chargeFromProver(v, bits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("GniAmam/M2", transcript, [&] {
+    return wire::encodeGniSecond(second, first, instance, params_);
+  });
+#endif
 
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {

@@ -5,8 +5,12 @@
 #include <stdexcept>
 
 #include "core/chain_util.hpp"
+#include "core/gni_general_wire.hpp"
+#include "core/gni_wire.hpp"
+#include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "net/audit.hpp"
 #include "util/bitio.hpp"
 #include "util/mathutil.hpp"
 #include "util/primes.hpp"
@@ -221,23 +225,21 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
     util::BigUInt gsPiece =
         gsPairPiece(params_.gsHash, n, challenge.seed, sv, av, hRow);
     if (m2.h[j] >= bigP ||
-        !chainLinkHolds(gsPiece, children,
-                        [&] {
-                          std::vector<util::BigUInt> column(n);
-                          for (graph::Vertex u = 0; u < n; ++u) {
-                            column[u] = second.perNode[u].h[j];
-                          }
-                          return column;
-                        }(),
-                        v, bigP)) {
+        !chainLinkHoldsAt(
+            gsPiece, children,
+            [&](graph::Vertex u) -> const util::BigUInt& {
+              return second.perNode[u].h[j];
+            },
+            v, bigP)) {
       return false;
     }
 
-    // (ii)-(vi) check-family chains. Gather each column once.
-    auto column = [&](std::vector<util::BigUInt> GniGenM2PerNode::* field) {
-      std::vector<util::BigUInt> out(n);
-      for (graph::Vertex u = 0; u < n; ++u) out[u] = (second.perNode[u].*field)[j];
-      return out;
+    // (ii)-(vi) check-family chains. The accessor reads children's message
+    // entries only, keeping the decision local to M_{N(v)}.
+    auto entry = [&](std::vector<util::BigUInt> GniGenM2PerNode::* field) {
+      return [&, field](graph::Vertex u) -> const util::BigUInt& {
+        return (second.perNode[u].*field)[j];
+      };
     };
     const auto& cf = params_.checkFamily;
     util::BigUInt idPiece = cf.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
@@ -245,11 +247,11 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
     util::BigUInt permAPiece = cf.hashMatrixEntry(m2.checkSeed, av, av, 1, n);
     util::BigUInt autLPiece = cf.hashMatrixRow(m2.checkSeed, sv, hRow, n);
     util::BigUInt autRPiece = cf.hashMatrixRow(m2.checkSeed, av, alphaHRow, n);
-    if (!chainLinkHolds(idPiece, children, column(&GniGenM2PerNode::identity), v, checkP) ||
-        !chainLinkHolds(permSPiece, children, column(&GniGenM2PerNode::permS), v, checkP) ||
-        !chainLinkHolds(permAPiece, children, column(&GniGenM2PerNode::permA), v, checkP) ||
-        !chainLinkHolds(autLPiece, children, column(&GniGenM2PerNode::autL), v, checkP) ||
-        !chainLinkHolds(autRPiece, children, column(&GniGenM2PerNode::autR), v, checkP)) {
+    if (!chainLinkHoldsAt(idPiece, children, entry(&GniGenM2PerNode::identity), v, checkP) ||
+        !chainLinkHoldsAt(permSPiece, children, entry(&GniGenM2PerNode::permS), v, checkP) ||
+        !chainLinkHoldsAt(permAPiece, children, entry(&GniGenM2PerNode::permA), v, checkP) ||
+        !chainLinkHoldsAt(autLPiece, children, entry(&GniGenM2PerNode::autL), v, checkP) ||
+        !chainLinkHoldsAt(autRPiece, children, entry(&GniGenM2PerNode::autR), v, checkP)) {
       return false;
     }
 
@@ -267,10 +269,10 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
           cf.hashMatrixEntry(m2.checkSeed, v, sv, closed1.size(), n);
       util::BigUInt consATPiece =
           cf.hashMatrixEntry(m2.checkSeed, v, av, closed1.size(), n);
-      if (!chainLinkHolds(consSCPiece, children, column(&GniGenM2PerNode::consSC), v, checkP) ||
-          !chainLinkHolds(consSTPiece, children, column(&GniGenM2PerNode::consST), v, checkP) ||
-          !chainLinkHolds(consACPiece, children, column(&GniGenM2PerNode::consAC), v, checkP) ||
-          !chainLinkHolds(consATPiece, children, column(&GniGenM2PerNode::consAT), v, checkP)) {
+      if (!chainLinkHoldsAt(consSCPiece, children, entry(&GniGenM2PerNode::consSC), v, checkP) ||
+          !chainLinkHoldsAt(consSTPiece, children, entry(&GniGenM2PerNode::consST), v, checkP) ||
+          !chainLinkHoldsAt(consACPiece, children, entry(&GniGenM2PerNode::consAC), v, checkP) ||
+          !chainLinkHoldsAt(consATPiece, children, entry(&GniGenM2PerNode::consAT), v, checkP)) {
         return false;
       }
     }
@@ -321,6 +323,14 @@ RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver&
     }
     transcript.chargeToProver(v, k * seedBlockBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge(
+        "GniGeneral/A1", v, transcript.roundBitsToProver(v),
+        wire::encodeGniChallenges(challenges[v], params_.gsHash, params_.ell)
+            .bitCount());
+  }
+#endif
 
   transcript.beginRound("M1: echo + (sigma, alpha) commitments");
   GniGenFirstMessage first = prover.firstMessage(instance, challenges);
@@ -337,6 +347,11 @@ RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver&
     }
     transcript.chargeFromProver(v, 2 * idBits + 2 * k * idBits + claimBits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("GniGeneral/M1", transcript, [&] {
+    return wire::encodeGniGenFirst(first, instance, params_);
+  });
+#endif
 
   transcript.beginRound("A2: check indices");
   std::vector<util::BigUInt> checkChallenges;
@@ -345,6 +360,13 @@ RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver&
     checkChallenges.push_back(params_.checkFamily.randomIndex(nodeRng));
     transcript.chargeToProver(v, checkBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge(
+        "GniGeneral/A2", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(checkChallenges[v], params_.checkFamily).bitCount());
+  }
+#endif
 
   transcript.beginRound("M2: check echo + chains");
   GniGenSecondMessage second =
@@ -360,6 +382,11 @@ RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver&
     }
     transcript.chargeFromProver(v, bits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("GniGeneral/M2", transcript, [&] {
+    return wire::encodeGniGenSecond(second, first, instance, params_);
+  });
+#endif
 
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {

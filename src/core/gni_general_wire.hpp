@@ -1,0 +1,34 @@
+// Wire formats for the general-graph GNI dAMAM protocol (honest/consistent
+// message shape). Same layout as the rigid-instance formats in
+// gni_wire.hpp with the extra alpha-commitment fields: per repetition the
+// prover unicasts both sigma(v) and alpha(sigma(v)), and M2 carries the
+// five permutation/automorphism chains plus four b=1 consistency chains.
+// With these, every GniGeneralProtocol charge is backed by a real byte
+// stream (cross-checked under DIP_AUDIT).
+#pragma once
+
+#include "core/gni_general.hpp"
+#include "core/gni_wire.hpp"
+
+namespace dip::core::wire {
+
+// M1: broadcast = root + challenge echo + claimed/b bits; unicast = tree,
+// (sigma, alpha) values, and claims for claimed b=1 repetitions.
+EncodedRound encodeGniGenFirst(const GniGenFirstMessage& message,
+                               const GniInstance& instance,
+                               const GniGeneralParams& params);
+GniGenFirstMessage decodeGniGenFirst(const EncodedRound& round,
+                                     const GniInstance& instance,
+                                     const GniGeneralParams& params);
+
+// M2: broadcast = check-seed echo; unicast = per-claimed-repetition chains.
+EncodedRound encodeGniGenSecond(const GniGenSecondMessage& message,
+                                const GniGenFirstMessage& first,
+                                const GniInstance& instance,
+                                const GniGeneralParams& params);
+GniGenSecondMessage decodeGniGenSecond(const EncodedRound& round,
+                                       const GniGenFirstMessage& first,
+                                       const GniInstance& instance,
+                                       const GniGeneralParams& params);
+
+}  // namespace dip::core::wire

@@ -9,7 +9,14 @@
 
 namespace dip::core::wire {
 
-// One node's A1 challenge block (k repetitions of seed + target).
+// One node's A1 challenge block (k repetitions of seed + target). The
+// (gsHash, ell) overloads serve any Goldwasser-Sipser-style parameter set
+// (the rigid dAMAM protocol and the general-graph variant alike).
+util::BitWriter encodeGniChallenges(const std::vector<GniChallenge>& challenges,
+                                    const hash::EpsApiHash& gsHash, std::size_t ell);
+std::vector<GniChallenge> decodeGniChallenges(const util::BitWriter& encoded,
+                                              const hash::EpsApiHash& gsHash,
+                                              std::size_t ell, std::size_t repetitions);
 util::BitWriter encodeGniChallenges(const std::vector<GniChallenge>& challenges,
                                     const GniParams& params);
 std::vector<GniChallenge> decodeGniChallenges(const util::BitWriter& encoded,

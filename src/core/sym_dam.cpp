@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/wire.hpp"
 #include "graph/isomorphism.hpp"
+#include "net/audit.hpp"
 #include "util/bitio.hpp"
 
 namespace dip::core {
@@ -93,6 +95,12 @@ RunResult SymDamProtocol::run(const graph::Graph& g, SymDamProver& prover,
     challenges.push_back(family_.randomIndex(nodeRng));
     transcript.chargeToProver(v, seedBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge("SymDam/A", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(challenges[v], family_).bitCount());
+  }
+#endif
 
   // M: the prover's single response.
   transcript.beginRound("M: rho/index/root/tree/chains");
@@ -109,6 +117,10 @@ RunResult SymDamProtocol::run(const graph::Graph& g, SymDamProver& prover,
     transcript.chargeFromProver(v, 2 * idBits        // t_v, d_v.
                                        + 2 * valueBits);  // a_v, b_v.
   }
+#if DIP_AUDIT
+  net::auditChargedRound("SymDam/M", transcript,
+                         [&] { return wire::encodeSymDam(msg, n, family_); });
+#endif
 
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "net/audit.hpp"
 #include "util/bitio.hpp"
 
 namespace dip::core {
@@ -126,6 +128,10 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   for (graph::Vertex v = 0; v < n; ++v) {
     transcript.chargeFromProver(v, 3 * idBits);  // rho_v, t_v, d_v.
   }
+#if DIP_AUDIT
+  net::auditChargedRound("SymDmam/M1", transcript,
+                         [&] { return wire::encodeSymDmamFirst(first, n); });
+#endif
 
   // A: challenges.
   transcript.beginRound("A: hash indices");
@@ -136,6 +142,12 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
     challenges.push_back(family_.randomIndex(nodeRng));
     transcript.chargeToProver(v, seedBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge("SymDmam/A", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(challenges[v], family_).bitCount());
+  }
+#endif
 
   // M2.
   transcript.beginRound("M2: index echo + chain values");
@@ -147,6 +159,11 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   for (graph::Vertex v = 0; v < n; ++v) {
     transcript.chargeFromProver(v, 2 * valueBits);  // a_v, b_v.
   }
+#if DIP_AUDIT
+  net::auditChargedRound("SymDmam/M2", transcript, [&] {
+    return wire::encodeSymDmamSecond(second, n, family_);
+  });
+#endif
 
   // Decisions.
   result.accepted = true;

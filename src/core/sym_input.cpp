@@ -3,8 +3,11 @@
 #include <stdexcept>
 
 #include "core/chain_util.hpp"
+#include "core/sym_input_wire.hpp"
+#include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "net/audit.hpp"
 #include "net/spanning.hpp"
 #include "util/bitio.hpp"
 
@@ -136,6 +139,11 @@ RunResult SymInputProtocol::run(const SymInputInstance& instance, SymInputProver
   for (graph::Vertex v = 0; v < n; ++v) {
     transcript.chargeFromProver(v, 3 * idBits + first.claims[v].size() * idBits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("SymInput/M1", transcript, [&] {
+    return wire::encodeSymInputFirst(first, instance);
+  });
+#endif
 
   transcript.beginRound("A: hash indices");
   std::vector<util::BigUInt> challenges;
@@ -144,6 +152,12 @@ RunResult SymInputProtocol::run(const SymInputInstance& instance, SymInputProver
     challenges.push_back(family_.randomIndex(nodeRng));
     transcript.chargeToProver(v, seedBits);
   }
+#if DIP_AUDIT
+  for (graph::Vertex v = 0; v < n; ++v) {
+    net::auditCharge("SymInput/A", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(challenges[v], family_).bitCount());
+  }
+#endif
 
   transcript.beginRound("M2: index echo + chains");
   SymInputSecondMessage second = prover.secondMessage(instance, first, challenges);
@@ -155,6 +169,11 @@ RunResult SymInputProtocol::run(const SymInputInstance& instance, SymInputProver
   for (graph::Vertex v = 0; v < n; ++v) {
     transcript.chargeFromProver(v, 4 * valueBits);
   }
+#if DIP_AUDIT
+  net::auditChargedRound("SymInput/M2", transcript, [&] {
+    return wire::encodeSymInputSecond(second, n, family_);
+  });
+#endif
 
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {

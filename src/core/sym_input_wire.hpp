@@ -1,0 +1,25 @@
+// Wire formats for the input-graph symmetry protocol (honest/consistent
+// message shape). Claim counts are determined by the instance's input
+// graph (claims[v] covers v's sorted closed H-neighborhood), so both
+// directions need the instance. With these, every SymInputProtocol charge
+// is backed by a real byte stream (cross-checked under DIP_AUDIT).
+#pragma once
+
+#include "core/sym_input.hpp"
+#include "core/wire.hpp"
+
+namespace dip::core::wire {
+
+// M1: broadcast = witness id; unicast = rho, tree advice, claimed images.
+EncodedRound encodeSymInputFirst(const SymInputFirstMessage& message,
+                                 const SymInputInstance& instance);
+SymInputFirstMessage decodeSymInputFirst(const EncodedRound& round,
+                                         const SymInputInstance& instance);
+
+// M2: broadcast = index echo; unicast = the four chain values per node.
+EncodedRound encodeSymInputSecond(const SymInputSecondMessage& message, std::size_t n,
+                                  const hash::LinearHashFamily& family);
+SymInputSecondMessage decodeSymInputSecond(const EncodedRound& round, std::size_t n,
+                                           const hash::LinearHashFamily& family);
+
+}  // namespace dip::core::wire

@@ -1,6 +1,7 @@
 #include "core/wire.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace dip::core::wire {
 
@@ -16,12 +17,34 @@ void requireConsistentBroadcast(bool consistent) {
   }
 }
 
+void requireFieldCount(std::size_t actual, std::size_t expected, const char* what) {
+  if (actual != expected) {
+    throw std::invalid_argument(std::string("wire: ") + what +
+                                " has wrong per-node count");
+  }
+}
+
+void requireNonEmpty(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("wire: empty round (n must be positive)");
+}
+
 }  // namespace
+
+void requireUnicastCount(const EncodedRound& round, std::size_t n) {
+  if (round.unicast.size() != n) {
+    throw std::invalid_argument("wire: round has wrong unicast payload count");
+  }
+}
 
 // ---- Protocol 1 ----
 
 EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n) {
   const unsigned idBits = idBitsFor(n);
+  requireNonEmpty(n);
+  requireFieldCount(message.rootPerNode.size(), n, "rootPerNode");
+  requireFieldCount(message.rho.size(), n, "rho");
+  requireFieldCount(message.parent.size(), n, "parent");
+  requireFieldCount(message.dist.size(), n, "dist");
   EncodedRound round;
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
@@ -41,6 +64,7 @@ EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t 
 
 SymDmamFirstMessage decodeSymDmamFirst(const EncodedRound& round, std::size_t n) {
   const unsigned idBits = idBitsFor(n);
+  requireUnicastCount(round, n);
   SymDmamFirstMessage message;
   util::BitReader broadcast(round.broadcast);
   graph::Vertex root = static_cast<graph::Vertex>(broadcast.readUInt(idBits));
@@ -59,6 +83,10 @@ SymDmamFirstMessage decodeSymDmamFirst(const EncodedRound& round, std::size_t n)
 
 EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_t n,
                                  const hash::LinearHashFamily& family) {
+  requireNonEmpty(n);
+  requireFieldCount(message.indexPerNode.size(), n, "indexPerNode");
+  requireFieldCount(message.a.size(), n, "a");
+  requireFieldCount(message.b.size(), n, "b");
   EncodedRound round;
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
@@ -77,6 +105,7 @@ EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_
 
 SymDmamSecondMessage decodeSymDmamSecond(const EncodedRound& round, std::size_t n,
                                          const hash::LinearHashFamily& family) {
+  requireUnicastCount(round, n);
   SymDmamSecondMessage message;
   util::BitReader broadcast(round.broadcast);
   message.indexPerNode.assign(n, broadcast.readBig(family.seedBits()));
@@ -95,6 +124,15 @@ SymDmamSecondMessage decodeSymDmamSecond(const EncodedRound& round, std::size_t 
 EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
                           const hash::LinearHashFamily& family) {
   const unsigned idBits = idBitsFor(n);
+  requireNonEmpty(n);
+  requireFieldCount(message.rhoPerNode.size(), n, "rhoPerNode");
+  requireFieldCount(message.indexPerNode.size(), n, "indexPerNode");
+  requireFieldCount(message.rootPerNode.size(), n, "rootPerNode");
+  requireFieldCount(message.parent.size(), n, "parent");
+  requireFieldCount(message.dist.size(), n, "dist");
+  requireFieldCount(message.a.size(), n, "a");
+  requireFieldCount(message.b.size(), n, "b");
+  requireFieldCount(message.rhoPerNode[0].size(), n, "rhoPerNode[0]");
   EncodedRound round;
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
@@ -124,6 +162,7 @@ EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
 SymDamMessage decodeSymDam(const EncodedRound& round, std::size_t n,
                            const hash::LinearHashFamily& family) {
   const unsigned idBits = idBitsFor(n);
+  requireUnicastCount(round, n);
   SymDamMessage message;
   util::BitReader broadcast(round.broadcast);
   std::vector<graph::Vertex> rho(n);
@@ -153,6 +192,13 @@ SymDamMessage decodeSymDam(const EncodedRound& round, std::size_t n,
 EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
                         const hash::LinearHashFamily& family) {
   const unsigned idBits = idBitsFor(n);
+  requireNonEmpty(n);
+  requireFieldCount(message.indexPerNode.size(), n, "indexPerNode");
+  requireFieldCount(message.rootPerNode.size(), n, "rootPerNode");
+  requireFieldCount(message.parent.size(), n, "parent");
+  requireFieldCount(message.dist.size(), n, "dist");
+  requireFieldCount(message.a.size(), n, "a");
+  requireFieldCount(message.b.size(), n, "b");
   EncodedRound round;
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
@@ -178,6 +224,7 @@ EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
 DSymMessage decodeDSym(const EncodedRound& round, std::size_t n,
                        const hash::LinearHashFamily& family) {
   const unsigned idBits = idBitsFor(n);
+  requireUnicastCount(round, n);
   DSymMessage message;
   util::BitReader broadcast(round.broadcast);
   message.indexPerNode.assign(n, broadcast.readBig(family.seedBits()));

@@ -26,12 +26,18 @@ struct EncodedRound {
   std::vector<util::BitWriter> unicast;
 
   std::size_t broadcastBits() const { return broadcast.bitCount(); }
-  std::size_t unicastBits(graph::Vertex v) const { return unicast[v].bitCount(); }
+  std::size_t unicastBits(graph::Vertex v) const { return unicast.at(v).bitCount(); }
   // Bits a single node receives: the broadcast plus its own unicast share.
   std::size_t bitsForNode(graph::Vertex v) const {
     return broadcastBits() + unicastBits(v);
   }
 };
+
+// Decoder-side shape check: throws std::invalid_argument unless the round
+// carries exactly one unicast payload per node. Every decoder calls this
+// before indexing, so a malformed round fails cleanly instead of reading
+// out of bounds (BitReader bounds-checks the payloads themselves).
+void requireUnicastCount(const EncodedRound& round, std::size_t n);
 
 // ---- Protocol 1 (dMAM) ----
 

@@ -1,0 +1,16 @@
+#include "net/audit.hpp"
+
+#include <string>
+
+namespace dip::net {
+
+void auditCharge(const char* label, graph::Vertex v, std::size_t chargedBits,
+                 std::size_t encodedBits) {
+  if (chargedBits == encodedBits) return;
+  throw std::logic_error(std::string("transcript audit [") + label + "]: node " +
+                         std::to_string(v) + " charged " +
+                         std::to_string(chargedBits) + " bits but the wire encoding has " +
+                         std::to_string(encodedBits));
+}
+
+}  // namespace dip::net

@@ -1,0 +1,58 @@
+// DIP_AUDIT: runtime cross-checks between transcript accounting and wire
+// encodings.
+//
+// The paper's cost claims are bit-accounting claims: maxPerNodeBits() is
+// only meaningful if every chargeToProver/chargeFromProver call charges
+// exactly what the corresponding wire encoding emits. Compiling with
+// -DDIP_AUDIT=1 (the `asan-ubsan` CMake preset turns this on) makes every
+// protocol round re-encode its messages through the real wire format and
+// compare, per node, the charged bits against EncodedRound::bitsForNode().
+// A mismatch throws std::logic_error — it is a bug in the library, never a
+// property of the prover's message.
+//
+// auditCharge itself is compiled unconditionally (it is cheap and lets the
+// linter self-test and the unit tests exercise it); the per-round hooks in
+// the protocol run() paths are the part gated behind DIP_AUDIT.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "net/transcript.hpp"
+
+#ifndef DIP_AUDIT
+#define DIP_AUDIT 0
+#endif
+
+namespace dip::net {
+
+inline constexpr bool kAuditEnabled = DIP_AUDIT != 0;
+
+// Throws std::logic_error unless chargedBits == encodedBits for node v.
+void auditCharge(const char* label, graph::Vertex v, std::size_t chargedBits,
+                 std::size_t encodedBits);
+
+// Audits one prover->nodes round: encode() must return an EncodedRound-like
+// object (broadcast + per-node unicast, bitsForNode()); the bits charged to
+// each node since the last beginRound must equal its encoded share.
+//
+// encode() is allowed to throw std::invalid_argument: the wire formats
+// encode only the honest/consistent message shape, and an adversarial
+// prover may send messages with no honest wire form (inconsistent
+// broadcast copies, out-of-range fields). Those messages are rejected by
+// the per-node decision checks; the accounting audit does not apply.
+template <typename EncodeFn>
+void auditChargedRound(const char* label, const Transcript& transcript,
+                       EncodeFn&& encode) {
+  try {
+    auto round = encode();
+    for (graph::Vertex v = 0; v < transcript.numNodes(); ++v) {
+      auditCharge(label, v, transcript.roundBitsFromProver(v), round.bitsForNode(v));
+    }
+  } catch (const std::invalid_argument&) {
+    // No honest wire form: skip (see above).
+  }
+}
+
+}  // namespace dip::net

@@ -1,43 +1,69 @@
 #include "net/transcript.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace dip::net {
 
+namespace {
+
+// Bit totals are size_t; a cheating caller (or a corrupted wire length)
+// must not be able to wrap the accounting silently.
+std::size_t checkedAdd(std::size_t base, std::size_t bits) {
+  if (bits > std::numeric_limits<std::size_t>::max() - base) {
+    throw std::overflow_error("Transcript: bit total overflow");
+  }
+  return base + bits;
+}
+
+}  // namespace
+
 Transcript::Transcript(std::size_t numNodes)
-    : perNode_(numNodes), roundStartTotals_(numNodes, 0) {}
+    : perNode_(numNodes), roundStart_(numNodes) {}
 
 void Transcript::beginRound(std::string label) {
   rounds_.push_back({std::move(label), 0});
-  for (std::size_t v = 0; v < perNode_.size(); ++v) {
-    roundStartTotals_[v] = perNode_[v].total();
-  }
+  roundStart_ = perNode_;
 }
 
 void Transcript::noteRoundCharge(graph::Vertex v) {
   if (rounds_.empty()) return;
-  std::size_t delta = perNode_[v].total() - roundStartTotals_[v];
+  std::size_t delta = perNode_[v].total() - roundStart_[v].total();
   rounds_.back().maxBitsThisRound = std::max(rounds_.back().maxBitsThisRound, delta);
 }
 
-void Transcript::chargeToProver(graph::Vertex v, std::size_t bits) {
+void Transcript::checkVertex(graph::Vertex v) const {
   if (v >= perNode_.size()) throw std::out_of_range("Transcript: bad vertex");
-  perNode_[v].bitsToProver += bits;
+}
+
+void Transcript::chargeToProver(graph::Vertex v, std::size_t bits) {
+  checkVertex(v);
+  perNode_[v].bitsToProver = checkedAdd(perNode_[v].bitsToProver, bits);
   noteRoundCharge(v);
 }
 
 void Transcript::chargeFromProver(graph::Vertex v, std::size_t bits) {
-  if (v >= perNode_.size()) throw std::out_of_range("Transcript: bad vertex");
-  perNode_[v].bitsFromProver += bits;
+  checkVertex(v);
+  perNode_[v].bitsFromProver = checkedAdd(perNode_[v].bitsFromProver, bits);
   noteRoundCharge(v);
 }
 
 void Transcript::chargeBroadcastFromProver(std::size_t bits) {
   for (graph::Vertex v = 0; v < perNode_.size(); ++v) {
-    perNode_[v].bitsFromProver += bits;
+    perNode_[v].bitsFromProver = checkedAdd(perNode_[v].bitsFromProver, bits);
     noteRoundCharge(v);
   }
+}
+
+std::size_t Transcript::roundBitsToProver(graph::Vertex v) const {
+  checkVertex(v);
+  return perNode_[v].bitsToProver - roundStart_[v].bitsToProver;
+}
+
+std::size_t Transcript::roundBitsFromProver(graph::Vertex v) const {
+  checkVertex(v);
+  return perNode_[v].bitsFromProver - roundStart_[v].bitsFromProver;
 }
 
 std::size_t Transcript::maxPerNodeBits() const {

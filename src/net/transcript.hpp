@@ -43,15 +43,22 @@ class Transcript {
   const std::vector<NodeCost>& perNode() const { return perNode_; }
   const std::vector<RoundSummary>& rounds() const { return rounds_; }
 
+  // Bits charged to node v since the last beginRound (since construction if
+  // no round was begun). The DIP_AUDIT cross-checks compare these against
+  // the bitCount() of the real wire encodings of the round's messages.
+  std::size_t roundBitsToProver(graph::Vertex v) const;
+  std::size_t roundBitsFromProver(graph::Vertex v) const;
+
   // Max over nodes of total bits exchanged with the prover (the paper's f(n)).
   std::size_t maxPerNodeBits() const;
   std::size_t totalBits() const;
 
  private:
   void noteRoundCharge(graph::Vertex v);
+  void checkVertex(graph::Vertex v) const;
 
   std::vector<NodeCost> perNode_;
-  std::vector<std::size_t> roundStartTotals_;  // Per-node totals at round start.
+  std::vector<NodeCost> roundStart_;  // Per-node costs at round start.
   std::vector<RoundSummary> rounds_;
 };
 

@@ -1,0 +1,149 @@
+// Edge cases for the Transcript bit accounting plus the DIP_AUDIT runtime
+// cross-check machinery (net/audit.hpp): the charged numbers are the paper's
+// f(n) measure, so wraparound, bad vertices and charge/encoding mismatches
+// must all fail loudly instead of corrupting cost reports.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/wire.hpp"
+#include "net/audit.hpp"
+#include "net/transcript.hpp"
+
+namespace dip::net {
+namespace {
+
+constexpr std::size_t kSizeMax = std::numeric_limits<std::size_t>::max();
+
+TEST(TranscriptEdge, ZeroNodeTranscript) {
+  Transcript t(0);
+  EXPECT_EQ(t.numNodes(), 0u);
+  EXPECT_EQ(t.maxPerNodeBits(), 0u);
+  EXPECT_EQ(t.totalBits(), 0u);
+  t.beginRound("empty");
+  t.chargeBroadcastFromProver(17);  // Broadcast to nobody: a no-op.
+  EXPECT_EQ(t.totalBits(), 0u);
+  EXPECT_THROW(t.chargeToProver(0, 1), std::out_of_range);
+  EXPECT_THROW(t.chargeFromProver(0, 1), std::out_of_range);
+  EXPECT_THROW(t.roundBitsToProver(0), std::out_of_range);
+}
+
+TEST(TranscriptEdge, BeginRoundBeforeAnyCharge) {
+  Transcript t(3);
+  t.beginRound("first");
+  EXPECT_EQ(t.rounds().size(), 1u);
+  EXPECT_EQ(t.rounds().back().maxBitsThisRound, 0u);
+  for (graph::Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(t.roundBitsToProver(v), 0u);
+    EXPECT_EQ(t.roundBitsFromProver(v), 0u);
+  }
+  // Charges before any beginRound are counted "since construction".
+  Transcript untracked(2);
+  untracked.chargeToProver(1, 9);
+  EXPECT_EQ(untracked.roundBitsToProver(1), 9u);
+  EXPECT_TRUE(untracked.rounds().empty());
+}
+
+TEST(TranscriptEdge, ChargeOverflowNearSizeMaxThrows) {
+  Transcript t(2);
+  t.chargeToProver(0, kSizeMax);
+  EXPECT_EQ(t.roundBitsToProver(0), kSizeMax);
+  EXPECT_THROW(t.chargeToProver(0, 1), std::overflow_error);
+  // The failed charge must not have corrupted the stored total.
+  EXPECT_EQ(t.perNode()[0].bitsToProver, kSizeMax);
+
+  Transcript u(2);
+  u.chargeFromProver(1, kSizeMax - 4);
+  EXPECT_THROW(u.chargeFromProver(1, 5), std::overflow_error);
+  u.chargeFromProver(1, 4);  // Exactly reaching the max is still fine.
+  EXPECT_EQ(u.perNode()[1].bitsFromProver, kSizeMax);
+
+  Transcript b(3);
+  b.chargeFromProver(2, kSizeMax);
+  EXPECT_THROW(b.chargeBroadcastFromProver(1), std::overflow_error);
+}
+
+TEST(TranscriptEdge, MaxAndTotalConsistentAfterBroadcastCharging) {
+  Transcript t(4);
+  t.beginRound("M: broadcast");
+  t.chargeBroadcastFromProver(10);
+  EXPECT_EQ(t.maxPerNodeBits(), 10u);
+  EXPECT_EQ(t.totalBits(), 40u);
+  t.chargeToProver(1, 5);
+  t.chargeFromProver(1, 3);
+  EXPECT_EQ(t.maxPerNodeBits(), 18u);
+  EXPECT_EQ(t.totalBits(), 48u);
+  std::size_t sum = 0;
+  for (const NodeCost& cost : t.perNode()) sum += cost.total();
+  EXPECT_EQ(t.totalBits(), sum);
+  EXPECT_EQ(t.rounds().back().maxBitsThisRound, 18u);
+  EXPECT_EQ(t.roundBitsFromProver(1), 13u);
+  EXPECT_EQ(t.roundBitsToProver(1), 5u);
+}
+
+TEST(TranscriptEdge, RoundWindowsResetAtBeginRound) {
+  Transcript t(2);
+  t.beginRound("A");
+  t.chargeToProver(0, 7);
+  EXPECT_EQ(t.roundBitsToProver(0), 7u);
+  t.beginRound("M");
+  EXPECT_EQ(t.roundBitsToProver(0), 0u);
+  t.chargeFromProver(0, 11);
+  EXPECT_EQ(t.roundBitsFromProver(0), 11u);
+  EXPECT_EQ(t.perNode()[0].bitsToProver, 7u);  // Cumulative totals persist.
+}
+
+TEST(AuditCharge, MatchingBitsPass) {
+  EXPECT_NO_THROW(auditCharge("Test/M", 3, 128, 128));
+  EXPECT_NO_THROW(auditCharge("Test/M", 0, 0, 0));
+}
+
+TEST(AuditCharge, MismatchThrowsWithContext) {
+  try {
+    auditCharge("Proto/M1", 5, 100, 96);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("Proto/M1"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+    EXPECT_NE(what.find("96"), std::string::npos) << what;
+  }
+}
+
+TEST(AuditChargedRound, CrossChecksEveryNode) {
+  Transcript t(3);
+  t.beginRound("M");
+  t.chargeBroadcastFromProver(4);
+  t.chargeFromProver(0, 2);
+  t.chargeFromProver(1, 2);
+  t.chargeFromProver(2, 2);
+
+  auto encode = [] {
+    core::wire::EncodedRound round;
+    round.broadcast.writeUInt(9, 4);
+    round.unicast.resize(3);
+    for (auto& w : round.unicast) w.writeUInt(3, 2);
+    return round;
+  };
+  EXPECT_NO_THROW(auditChargedRound("Test/M", t, encode));
+
+  // One node undercharged by one bit: the auditor must notice.
+  t.chargeFromProver(2, 1);
+  EXPECT_THROW(auditChargedRound("Test/M", t, encode), std::logic_error);
+}
+
+TEST(AuditChargedRound, AdversarialEncodingFailureIsSkipped) {
+  // Messages with no honest wire form (the encoder throws invalid_argument)
+  // are skipped by the auditor: the decision checks reject them instead.
+  Transcript t(1);
+  t.beginRound("M");
+  t.chargeFromProver(0, 1);
+  auto encode = []() -> core::wire::EncodedRound {
+    throw std::invalid_argument("no honest wire form");
+  };
+  EXPECT_NO_THROW(auditChargedRound("Test/M", t, encode));
+}
+
+}  // namespace
+}  // namespace dip::net
