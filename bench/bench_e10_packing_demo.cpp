@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "graph/builders.hpp"
 #include "graph/generators.hpp"
@@ -18,7 +19,9 @@
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  // Exhaustive enumerations, no trials: --threads accepted for uniformity.
+  bench::parseTrialOptions(argc, argv);
   bench::printHeader("E10", "Simple-protocol machinery demo (Section 3.4)");
 
   // A small family of side graphs on 3 vertices (all structures).

@@ -9,15 +9,18 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/gni_amam.hpp"
 #include "core/gni_general.hpp"
 #include "graph/isomorphism.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E11", "General-input GNI (automorphism compensation)");
 
   util::Rng setupRng(9000);
@@ -35,16 +38,34 @@ int main() {
                 static_cast<unsigned long long>(graph::countAutomorphisms(yes.g0)),
                 graph::areIsomorphic(yes.g0, yes.g1) ? "no?!" : "yes");
 
-    core::AcceptanceStats genYes = generalProtocol.estimatePerRoundHit(yes, 150, rng);
-    core::AcceptanceStats genNo = generalProtocol.estimatePerRoundHit(no, 150, rng);
+    // Automorphism lists are precomputed once and shared read-only across
+    // the engine's workers.
+    auto yesAut0 = graph::allAutomorphisms(yes.g0);
+    auto yesAut1 = graph::allAutomorphisms(yes.g1);
+    auto noAut0 = graph::allAutomorphisms(no.g0);
+    auto noAut1 = graph::allAutomorphisms(no.g1);
+    sim::TrialStats genYes = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) {
+          return generalProtocol.perRoundHitOnce(yes, yesAut0, yesAut1, ctx.rng);
+        },
+        150, bench::cellConfig(engine, 9101));
+    sim::TrialStats genNo = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) {
+          return generalProtocol.perRoundHitOnce(no, noAut0, noAut1, ctx.rng);
+        },
+        150, bench::cellConfig(engine, 9102));
     std::printf("  compensated protocol:  YES %s   NO %s\n",
                 bench::formatRate(genYes).c_str(), bench::formatRate(genNo).c_str());
 
     // The BASIC protocol on the same symmetric instances: its candidate set
     // shrinks by |Aut| on each symmetric side, so its YES hit rate drops
     // toward the NO band — the failure mode the compensation repairs.
-    core::AcceptanceStats basicYes = basicProtocol.estimatePerRoundHit(yes, 150, rng);
-    core::AcceptanceStats basicNo = basicProtocol.estimatePerRoundHit(no, 150, rng);
+    sim::TrialStats basicYes = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) { return basicProtocol.perRoundHitOnce(yes, ctx.rng); },
+        150, bench::cellConfig(engine, 9103));
+    sim::TrialStats basicNo = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) { return basicProtocol.perRoundHitOnce(no, ctx.rng); },
+        150, bench::cellConfig(engine, 9104));
     std::printf("  basic protocol:        YES %s   NO %s\n",
                 bench::formatRate(basicYes).c_str(), bench::formatRate(basicNo).c_str());
     std::printf("  -> basic YES rate %.3f has fallen BELOW its calibrated YES bound\n"
@@ -58,12 +79,13 @@ int main() {
     util::Rng rng(9200);
     core::GniInstance yes = core::gniGeneralYesInstance(6, rng);
     core::GniInstance no = core::gniGeneralNoInstance(6, rng);
-    core::AcceptanceStats yesStats = generalProtocol.estimateAcceptance(
-        yes, [&] { return std::make_unique<core::HonestGniGeneralProver>(genParams); }, 8,
-        rng);
-    core::AcceptanceStats noStats = generalProtocol.estimateAcceptance(
-        no, [&] { return std::make_unique<core::HonestGniGeneralProver>(genParams); }, 8,
-        rng);
+    auto honestFactory = [&](std::size_t) {
+      return std::make_unique<core::HonestGniGeneralProver>(genParams);
+    };
+    sim::TrialStats yesStats = sim::estimateAcceptance(
+        generalProtocol, yes, honestFactory, 8, bench::cellConfig(engine, 9201));
+    sim::TrialStats noStats = sim::estimateAcceptance(
+        generalProtocol, no, honestFactory, 8, bench::cellConfig(engine, 9202));
     std::printf("  non-isomorphic: %s  (target > 2/3)\n", bench::formatRate(yesStats).c_str());
     std::printf("  isomorphic:     %s  (target < 1/3)\n", bench::formatRate(noStats).c_str());
   }

@@ -8,15 +8,18 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_input.hpp"
 #include "graph/generators.hpp"
 #include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E12", "Symmetry of an input graph (extension)");
 
   std::printf("\n(a) Acceptance (300 trials per soundness cell)\n");
@@ -25,35 +28,36 @@ int main() {
   bench::printRule();
   for (std::size_t n : {8u, 12u, 16u}) {
     util::Rng rng(12000 + n);
-    core::SymInputProtocol protocol(hash::makeProtocol1Family(n, rng));
+    core::SymInputProtocol protocol(hash::makeProtocol1FamilyCached(n));
 
     core::SymInputInstance symInstance{graph::randomConnected(n, n / 2, rng),
                                        graph::randomSymmetricConnected(n, rng)};
-    core::AcceptanceStats honest = protocol.estimateAcceptance(
-        symInstance,
-        [&] { return std::make_unique<core::HonestSymInputProver>(protocol.family()); },
-        100, rng);
+    sim::TrialStats honest = sim::estimateAcceptance(
+        protocol, symInstance,
+        [&](std::size_t) {
+          return std::make_unique<core::HonestSymInputProver>(protocol.family());
+        },
+        100, bench::cellConfig(engine, 12100 + n));
 
     core::SymInputInstance rigidInstance{graph::randomConnected(n, n / 2, rng),
                                          graph::randomRigidConnected(n, rng)};
-    int seed = 0;
-    core::AcceptanceStats fake = protocol.estimateAcceptance(
-        rigidInstance,
-        [&] {
+    sim::TrialStats fake = sim::estimateAcceptance(
+        protocol, rigidInstance,
+        [&](std::size_t trial) {
           return std::make_unique<core::CheatingSymInputProver>(
               protocol.family(),
-              core::CheatingSymInputProver::Strategy::kFakeRhoHonestClaims, seed++);
+              core::CheatingSymInputProver::Strategy::kFakeRhoHonestClaims, trial);
         },
-        300, rng);
+        300, bench::cellConfig(engine, 12200 + n));
 
-    core::AcceptanceStats liar = protocol.estimateAcceptance(
-        symInstance,
-        [&] {
+    sim::TrialStats liar = sim::estimateAcceptance(
+        protocol, symInstance,
+        [&](std::size_t trial) {
           return std::make_unique<core::CheatingSymInputProver>(
               protocol.family(), core::CheatingSymInputProver::Strategy::kClaimLiar,
-              seed++);
+              trial);
         },
-        300, rng);
+        300, bench::cellConfig(engine, 12300 + n));
 
     std::printf("%6zu  %26s  %26s  %26s\n", n, bench::formatRate(honest).c_str(),
                 bench::formatRate(fake).c_str(), bench::formatRate(liar).c_str());

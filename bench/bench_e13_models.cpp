@@ -9,6 +9,7 @@
 // [4]'s compression does not apply to its model.
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dmam.hpp"
 #include "graph/generators.hpp"
@@ -18,7 +19,10 @@
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  // Cost models plus single demonstration runs, no trial cells: --threads
+  // is accepted for uniformity with the Monte Carlo benches.
+  bench::parseTrialOptions(argc, argv);
   bench::printHeader("E13", "Three verification models for Sym");
 
   std::printf("\n(a) Cost per node/edge by model\n");
@@ -43,7 +47,7 @@ int main() {
 
     util::Rng setup(13101);
     pls::SymRpls rpls = pls::makeSymRpls(12, setup);
-    core::SymDmamProtocol protocol(hash::makeProtocol1Family(12, setup));
+    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(12));
     core::HonestSymDmamProver prover(protocol.family());
 
     auto lcpAdvice = pls::SymLcp::honestAdvice(symmetric);

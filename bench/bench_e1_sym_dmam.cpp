@@ -7,44 +7,51 @@
 //   (b) cost table: measured max per-node bits of real executions, the
 //       structural cost model, and the Theta(n^2) LCP baseline — the
 //       exponential gap interaction buys.
+//
+// Trials run on the sim::TrialRunner engine (--threads N / DIP_THREADS);
+// the tables are bit-identical at every thread count.
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dmam.hpp"
 #include "graph/generators.hpp"
 #include "hash/linear_hash.hpp"
 #include "pls/sym_lcp.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E1", "Protocol 1: Sym in dMAM[O(log n)] (Theorem 1.1)");
 
+  double trialSeconds = 0.0;
   std::printf("\n(a) Acceptance (2/3 vs 1/3 thresholds; trials per cell: 400)\n");
   std::printf("%6s  %26s  %26s\n", "n", "honest on symmetric", "cheater on rigid");
   bench::printRule();
   for (std::size_t n : {8u, 12u, 16u, 24u, 32u}) {
     util::Rng rng(1000 + n);
-    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
 
     graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
-    core::AcceptanceStats honest = protocol.estimateAcceptance(
-        symmetric,
-        [&] { return std::make_unique<core::HonestSymDmamProver>(protocol.family()); },
-        400, rng);
+    sim::TrialStats honest = sim::estimateAcceptance(
+        protocol, symmetric,
+        [&](std::size_t) { return std::make_unique<core::HonestSymDmamProver>(protocol.family()); },
+        400, bench::cellConfig(engine, 1100 + n));
 
     graph::Graph rigid = graph::randomRigidConnected(n, rng);
-    int seed = 0;
-    core::AcceptanceStats cheater = protocol.estimateAcceptance(
-        rigid,
-        [&] {
+    sim::TrialStats cheater = sim::estimateAcceptance(
+        protocol, rigid,
+        [&](std::size_t trial) {
           return std::make_unique<core::CheatingRhoProver>(
               protocol.family(), core::CheatingRhoProver::Strategy::kRandomPermutation,
-              seed++);
+              trial);
         },
-        400, rng);
+        400, bench::cellConfig(engine, 1200 + n));
+    trialSeconds += honest.wallSeconds + cheater.wallSeconds;
 
     std::printf("%6zu  %26s  %26s\n", n, bench::formatRate(honest).c_str(),
                 bench::formatRate(cheater).c_str());
@@ -60,7 +67,7 @@ int main() {
     std::string measured = "-";
     if (n <= 256) {
       util::Rng rng(2000 + n);
-      core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+      core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
       graph::Graph g = graph::randomSymmetricConnected(n, rng);
       core::HonestSymDmamProver prover(protocol.family());
       measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());
@@ -71,5 +78,6 @@ int main() {
   std::printf(
       "\nShape check (paper): per-node cost grows additively with log n while\n"
       "the non-interactive baseline grows quadratically.\n");
+  std::fprintf(stderr, "[trial wall time: %.3f s]\n", trialSeconds);
   return 0;
 }

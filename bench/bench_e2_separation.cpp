@@ -3,14 +3,17 @@
 //
 // Regenerates: the cost-vs-n series for the DSym dAM protocol against the
 // Theta(N^2) LCP advice length, plus acceptance checks for the protocol.
+// Acceptance trials run on the sim::TrialRunner engine (--threads N).
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/dsym_dam.hpp"
 #include "graph/builders.hpp"
 #include "graph/generators.hpp"
 #include "pls/sym_lcp.hpp"
+#include "sim/acceptance.hpp"
 #include "util/primes.hpp"
 #include "util/rng.hpp"
 
@@ -18,19 +21,19 @@ using namespace dip;
 
 namespace {
 
-core::DSymDamProtocol makeProtocol(const graph::DSymLayout& layout, std::uint64_t seed) {
-  util::Rng rng(seed);
+core::DSymDamProtocol makeProtocol(const graph::DSymLayout& layout) {
   util::BigUInt n3 = util::BigUInt::pow(util::BigUInt{layout.numVertices}, 3);
   return core::DSymDamProtocol(
       layout,
       hash::LinearHashFamily(
-          util::findPrimeInRange(util::BigUInt{10} * n3, util::BigUInt{100} * n3, rng),
+          util::cachedPrimeInRange(util::BigUInt{10} * n3, util::BigUInt{100} * n3),
           static_cast<std::uint64_t>(layout.numVertices) * layout.numVertices));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E2", "DSym: dAM[O(log n)] vs LCP Omega(n^2) (Theorem 1.2)");
 
   std::printf("\n(a) Cost separation (path radius r = 2), max bits per node\n");
@@ -46,7 +49,7 @@ int main() {
       util::Rng rng(3000 + side);
       graph::Graph f = graph::randomConnected(side, side / 2, rng);
       graph::Graph g = graph::dsymInstance(f, 2);
-      core::DSymDamProtocol protocol = makeProtocol(layout, 100 + side);
+      core::DSymDamProtocol protocol = makeProtocol(layout);
       core::HonestDSymProver prover(layout, protocol.family());
       measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());
     }
@@ -59,23 +62,22 @@ int main() {
   {
     const std::size_t side = 6;
     graph::DSymLayout layout = graph::dsymLayout(side, 1);
-    core::DSymDamProtocol protocol = makeProtocol(layout, 777);
+    core::DSymDamProtocol protocol = makeProtocol(layout);
     util::Rng rng(3100);
 
     graph::Graph f = graph::randomRigidConnected(side, rng);
     graph::Graph yes = graph::dsymInstance(f, 1);
-    core::AcceptanceStats yesStats = protocol.estimateAcceptance(
-        yes,
-        [&] { return std::make_unique<core::HonestDSymProver>(layout, protocol.family()); },
-        300, rng);
+    auto honestFactory = [&](std::size_t) {
+      return std::make_unique<core::HonestDSymProver>(layout, protocol.family());
+    };
+    sim::TrialStats yesStats = sim::estimateAcceptance(
+        protocol, yes, honestFactory, 300, bench::cellConfig(engine, 3101));
 
     graph::Graph fOther = graph::randomRigidConnected(side, rng);
     while (fOther == f) fOther = graph::randomRigidConnected(side, rng);
     graph::Graph no = graph::dsymNoInstance(f, fOther, 1);
-    core::AcceptanceStats noStats = protocol.estimateAcceptance(
-        no,
-        [&] { return std::make_unique<core::HonestDSymProver>(layout, protocol.family()); },
-        300, rng);
+    sim::TrialStats noStats = sim::estimateAcceptance(
+        protocol, no, honestFactory, 300, bench::cellConfig(engine, 3102));
 
     std::printf("  YES instance (G in DSym):      %s\n", bench::formatRate(yesStats).c_str());
     std::printf("  NO instance (mismatched side): %s\n", bench::formatRate(noStats).c_str());

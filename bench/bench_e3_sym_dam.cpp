@@ -3,19 +3,24 @@
 // Regenerates: acceptance of the dAM protocol with the paper's huge hash
 // prime p in [10 n^(n+2), 100 n^(n+2)] (completeness, and soundness against
 // the seed-adaptive collision searcher), and the Theta(n log n) cost curve.
+// The n^(n+2) windows are searched once per process through the prime cache;
+// trials run on the sim::TrialRunner engine (--threads N).
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dam.hpp"
 #include "graph/generators.hpp"
 #include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E3", "Protocol 2: Sym in dAM[O(n log n)] (Theorem 1.3)");
 
   std::printf("\n(a) Acceptance with paper parameters\n");
@@ -24,23 +29,22 @@ int main() {
   bench::printRule();
   for (std::size_t n : {6u, 8u, 10u, 12u}) {
     util::Rng rng(4000 + n);
-    core::SymDamProtocol protocol(hash::makeProtocol2Family(n, rng));
+    core::SymDamProtocol protocol(hash::makeProtocol2FamilyCached(n));
 
     graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
-    core::AcceptanceStats honest = protocol.estimateAcceptance(
-        symmetric,
-        [&] { return std::make_unique<core::HonestSymDamProver>(protocol.family()); },
-        100, rng);
+    sim::TrialStats honest = sim::estimateAcceptance(
+        protocol, symmetric,
+        [&](std::size_t) { return std::make_unique<core::HonestSymDamProver>(protocol.family()); },
+        100, bench::cellConfig(engine, 4200 + n));
 
     graph::Graph rigid = graph::randomRigidConnected(n, rng);
-    int seed = 0;
-    core::AcceptanceStats cheater = protocol.estimateAcceptance(
-        rigid,
-        [&] {
+    sim::TrialStats cheater = sim::estimateAcceptance(
+        protocol, rigid,
+        [&](std::size_t trial) {
           return std::make_unique<core::AdaptiveCollisionProver>(protocol.family(), 1000,
-                                                                 seed++);
+                                                                 trial);
         },
-        60, rng);
+        60, bench::cellConfig(engine, 4300 + n));
 
     std::printf("%6zu  %10zu  %26s  %26s\n", n, protocol.family().seedBits(),
                 bench::formatRate(honest).c_str(), bench::formatRate(cheater).c_str());
@@ -57,7 +61,7 @@ int main() {
     std::string measured = "-";
     if (n <= 16) {
       util::Rng rng(4100 + n);
-      core::SymDamProtocol protocol(hash::makeProtocol2Family(n, rng));
+      core::SymDamProtocol protocol(hash::makeProtocol2FamilyCached(n));
       graph::Graph g = graph::randomSymmetricConnected(n, rng);
       core::HonestSymDamProver prover(protocol.family());
       measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());

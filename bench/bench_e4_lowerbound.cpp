@@ -10,13 +10,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "lb/census.hpp"
 #include "lb/packing.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  // Exhaustive counts, no Monte Carlo trials: --threads is accepted for
+  // uniformity but the tables are computed serially.
+  bench::parseTrialOptions(argc, argv);
   bench::printHeader("E4", "Lower bound machinery (Theorem 1.4)");
 
   std::printf("\n(a) Exact census of the rigid family F(n)\n");

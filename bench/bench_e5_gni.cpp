@@ -10,14 +10,17 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/gni_amam.hpp"
 #include "pls/gni_fullinfo.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E5", "GNI in dAMAM[O(n log n)] (Theorem 1.5)");
 
   util::Rng setupRng(5000);
@@ -34,8 +37,12 @@ int main() {
     util::Rng rng(5100);
     core::GniInstance yes = core::gniYesInstance(6, rng);
     core::GniInstance no = core::gniNoInstance(6, rng);
-    core::AcceptanceStats yesStats = protocol.estimatePerRoundHit(yes, 240, rng);
-    core::AcceptanceStats noStats = protocol.estimatePerRoundHit(no, 240, rng);
+    sim::TrialStats yesStats = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) { return protocol.perRoundHitOnce(yes, ctx.rng); },
+        240, bench::cellConfig(engine, 5101));
+    sim::TrialStats noStats = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) { return protocol.perRoundHitOnce(no, ctx.rng); },
+        240, bench::cellConfig(engine, 5102));
     std::printf("  non-isomorphic (|S| = 2 n!): %s\n", bench::formatRate(yesStats).c_str());
     std::printf("  isomorphic     (|S| =   n!): %s\n", bench::formatRate(noStats).c_str());
     std::printf("  measured ratio: %.2fx (theory: ~2x, shrunk by collisions)\n",
@@ -48,10 +55,13 @@ int main() {
     util::Rng rng(5200);
     core::GniInstance yes = core::gniYesInstance(6, rng);
     core::GniInstance no = core::gniNoInstance(6, rng);
-    core::AcceptanceStats yesStats = protocol.estimateAcceptance(
-        yes, [&] { return std::make_unique<core::HonestGniProver>(params); }, 15, rng);
-    core::AcceptanceStats noStats = protocol.estimateAcceptance(
-        no, [&] { return std::make_unique<core::HonestGniProver>(params); }, 15, rng);
+    auto honestFactory = [&](std::size_t) {
+      return std::make_unique<core::HonestGniProver>(params);
+    };
+    sim::TrialStats yesStats = sim::estimateAcceptance(
+        protocol, yes, honestFactory, 15, bench::cellConfig(engine, 5201));
+    sim::TrialStats noStats = sim::estimateAcceptance(
+        protocol, no, honestFactory, 15, bench::cellConfig(engine, 5202));
     std::printf("  non-isomorphic: %s  (must be > 2/3)\n", bench::formatRate(yesStats).c_str());
     std::printf("  isomorphic:     %s  (must be < 1/3)\n", bench::formatRate(noStats).c_str());
   }

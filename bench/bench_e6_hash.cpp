@@ -5,15 +5,18 @@
 // that the GNI analysis depends on.
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "graph/generators.hpp"
 #include "hash/eps_api.hpp"
 #include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E6", "Hash family statistics (Theorem 3.2, Section 4)");
 
   std::printf("\n(a) Linear family: fingerprint collision rate for non-automorphisms\n");
@@ -21,28 +24,32 @@ int main() {
   bench::printRule();
   for (std::size_t n : {6u, 8u, 12u}) {
     util::Rng rng(6000 + n);
-    hash::LinearHashFamily family = hash::makeProtocol1Family(n, rng);
+    hash::LinearHashFamily family = hash::makeProtocol1FamilyCached(n);
     graph::Graph g = graph::randomRigidConnected(n, rng);
 
-    std::size_t collisions = 0;
-    const std::size_t trials = 3000;
-    for (std::size_t t = 0; t < trials; ++t) {
-      graph::Permutation rho = graph::randomPermutation(n, rng);
-      if (graph::isIdentity(rho)) continue;
-      util::BigUInt a = family.randomIndex(rng);
-      util::BigUInt lhs, rhs;
-      for (graph::Vertex v = 0; v < n; ++v) {
-        lhs = util::addMod(lhs, family.hashMatrixRow(a, v, g.closedRow(v), n),
-                           family.prime());
-        rhs = util::addMod(rhs,
-                           family.hashMatrixRow(
-                               a, rho[v], graph::Graph::imageOf(g.closedRow(v), rho), n),
-                           family.prime());
-      }
-      if (lhs == rhs) ++collisions;
-    }
-    std::printf("%6zu  %12zu  %14.5f  %14.5f\n", n, family.seedBits(),
-                static_cast<double>(collisions) / trials, family.collisionBound());
+    // A trial draws a permutation and a hash index; it "hits" when the
+    // fingerprints of g and its rho-image collide. Identity draws count as
+    // non-collisions (the family is only tested on non-automorphisms).
+    sim::TrialStats stats = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) {
+          graph::Permutation rho = graph::randomPermutation(n, ctx.rng);
+          if (graph::isIdentity(rho)) return false;
+          util::BigUInt a = family.randomIndex(ctx.rng);
+          util::BigUInt lhs, rhs;
+          for (graph::Vertex v = 0; v < n; ++v) {
+            lhs = util::addMod(lhs, family.hashMatrixRow(a, v, g.closedRow(v), n),
+                               family.prime());
+            rhs = util::addMod(
+                rhs,
+                family.hashMatrixRow(a, rho[v],
+                                     graph::Graph::imageOf(g.closedRow(v), rho), n),
+                family.prime());
+          }
+          return lhs == rhs;
+        },
+        3000, bench::cellConfig(engine, 6000 + n));
+    std::printf("%6zu  %12zu  %14.5f  %14.5f\n", n, family.seedBits(), stats.rate(),
+                family.collisionBound());
   }
 
   std::printf("\n(b) eps-API hash: marginal uniformity (Pr[H(x) = y] * 2^ell)\n");
@@ -57,11 +64,21 @@ int main() {
     std::vector<util::DynBitset> rows;
     for (graph::Vertex v = 0; v < n; ++v) rows.push_back(g.closedRow(v));
 
-    std::vector<std::size_t> histogram(1u << ell, 0);
+    // Each trial records its hash bucket in the outcome digest; the
+    // histogram is folded from the index-ordered outcome vector.
     const std::size_t trials = 8000;
-    for (std::size_t t = 0; t < trials; ++t) {
-      histogram[h.hashRows(h.randomSeed(rng), rows).toU64()] += 1;
-    }
+    std::vector<sim::TrialOutcome> outcomes;
+    sim::TrialRunner runner(bench::cellConfig(engine, 6100 + n));
+    runner.run(
+        trials,
+        [&](sim::TrialContext& ctx) {
+          sim::TrialOutcome outcome;
+          outcome.digest = h.hashRows(h.randomSeed(ctx.rng), rows).toU64();
+          return outcome;
+        },
+        &outcomes);
+    std::vector<std::size_t> histogram(1u << ell, 0);
+    for (const sim::TrialOutcome& outcome : outcomes) histogram[outcome.digest] += 1;
     double expected = static_cast<double>(trials) / (1u << ell);
     std::size_t minBucket = trials, maxBucket = 0;
     for (std::size_t count : histogram) {
@@ -86,15 +103,14 @@ int main() {
       rows1.push_back(g1.closedRow(v));
       rows2.push_back(g2.closedRow(v));
     }
-    std::size_t collisions = 0;
-    const std::size_t trials = 10000;
-    for (std::size_t t = 0; t < trials; ++t) {
-      hash::EpsApiHash::Seed seed = h.randomSeed(rng);
-      if (h.hashRows(seed, rows1) == h.hashRows(seed, rows2)) ++collisions;
-    }
+    sim::TrialStats stats = sim::estimateHitRate(
+        [&](sim::TrialContext& ctx) {
+          hash::EpsApiHash::Seed seed = h.randomSeed(ctx.rng);
+          return h.hashRows(seed, rows1) == h.hashRows(seed, rows2);
+        },
+        10000, bench::cellConfig(engine, 6200));
     std::printf("  measured: %.5f   ideal 2^-ell: %.5f   (1+eps) bound: %.5f\n",
-                static_cast<double>(collisions) / trials, 1.0 / (1u << ell),
-                (1.0 + h.epsilonBound()) / (1u << ell));
+                stats.rate(), 1.0 / (1u << ell), (1.0 + h.epsilonBound()) / (1u << ell));
   }
   std::printf(
       "\nShape check: measured collision rates sit below the analytic bounds;\n"

@@ -6,22 +6,25 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dmam.hpp"
 #include "graph/generators.hpp"
 #include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E7", "Protocol 1 cheating-strategy sweep");
 
   std::printf("\n%6s  %-22s  %26s  %12s\n", "n", "strategy", "acceptance", "bound");
   bench::printRule();
   for (std::size_t n : {8u, 16u}) {
     util::Rng rng(7000 + n);
-    core::SymDmamProtocol protocol(hash::makeProtocol1Family(n, rng));
+    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
     graph::Graph rigid = graph::randomRigidConnected(n, rng);
     double bound = protocol.family().collisionBound();
 
@@ -29,20 +32,20 @@ int main() {
       const char* name;
       core::CheatingRhoProver::Strategy strategy;
     };
+    std::uint64_t cell = 7100 + n;
     for (const Row& row : {Row{"random permutation",
                                core::CheatingRhoProver::Strategy::kRandomPermutation},
                            Row{"same-degree transposition",
                                core::CheatingRhoProver::Strategy::kTransposition},
                            Row{"identity (trivial rho)",
                                core::CheatingRhoProver::Strategy::kIdentity}}) {
-      int seed = 0;
-      core::AcceptanceStats stats = protocol.estimateAcceptance(
-          rigid,
-          [&] {
+      sim::TrialStats stats = sim::estimateAcceptance(
+          protocol, rigid,
+          [&](std::size_t trial) {
             return std::make_unique<core::CheatingRhoProver>(protocol.family(),
-                                                             row.strategy, seed++);
+                                                             row.strategy, trial);
           },
-          500, rng);
+          500, bench::cellConfig(engine, cell++));
       std::printf("%6zu  %-22s  %26s  %12.5f\n", n, row.name,
                   bench::formatRate(stats).c_str(), bound);
     }
@@ -50,13 +53,12 @@ int main() {
     // Hash-chain liar on a SYMMETRIC graph: the graph is a YES instance,
     // but the corrupted chain must still be caught (deterministically).
     graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
-    int seed = 0;
-    core::AcceptanceStats liar = protocol.estimateAcceptance(
-        symmetric,
-        [&] {
-          return std::make_unique<core::HashChainLiarProver>(protocol.family(), seed++);
+    sim::TrialStats liar = sim::estimateAcceptance(
+        protocol, symmetric,
+        [&](std::size_t trial) {
+          return std::make_unique<core::HashChainLiarProver>(protocol.family(), trial);
         },
-        200, rng);
+        200, bench::cellConfig(engine, cell++));
     std::printf("%6zu  %-22s  %26s  %12s\n", n, "chain-value liar*",
                 bench::formatRate(liar).c_str(), "0 (exact)");
   }

@@ -6,39 +6,46 @@
 // committing finds a colliding mapping and breaks soundness — which is
 // exactly why Protocol 1 needs its commit-then-challenge (dMAM) order, and
 // Protocol 2 needs its union-bound-sized field.
+#include <atomic>
 #include <cstdio>
 #include <memory>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dam.hpp"
 #include "graph/generators.hpp"
 #include "hash/linear_hash.hpp"
+#include "sim/trial_runner.hpp"
 #include "util/rng.hpp"
 
 using namespace dip;
 
 namespace {
 
-void runRow(const char* label, core::SymDamProtocol& protocol, const graph::Graph& rigid,
-            std::size_t searchBudget, std::size_t trials, util::Rng& rng) {
-  int seed = 0;
-  std::size_t searchHits = 0;
-  core::AcceptanceStats stats;
-  stats.trials = trials;
-  for (std::size_t t = 0; t < trials; ++t) {
-    core::AdaptiveCollisionProver prover(protocol.family(), searchBudget, seed++);
-    if (protocol.run(rigid, prover, rng).accepted) ++stats.accepts;
-    if (prover.lastSearchSucceeded()) ++searchHits;
-  }
+void runRow(const char* label, const core::SymDamProtocol& protocol,
+            const graph::Graph& rigid, std::size_t searchBudget, std::size_t trials,
+            const sim::TrialConfig& config) {
+  // Collision hits are counted with an atomic (order-independent, so still
+  // deterministic across thread counts).
+  std::atomic<std::size_t> searchHits{0};
+  sim::TrialRunner runner(config);
+  sim::TrialStats stats = runner.run(trials, [&](sim::TrialContext& ctx) {
+    core::AdaptiveCollisionProver prover(protocol.family(), searchBudget, ctx.index);
+    sim::TrialOutcome outcome;
+    outcome.accepted = protocol.run(rigid, prover, ctx.rng).accepted;
+    if (prover.lastSearchSucceeded()) searchHits.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  });
   std::printf("%-12s  %10zu  %10zu  %26s  %10.2f\n", label,
               protocol.family().seedBits(), searchBudget,
               bench::formatRate(stats).c_str(),
-              static_cast<double>(searchHits) / trials);
+              static_cast<double>(searchHits.load()) / trials);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E8", "Ablation: adaptive adversary vs hash size (dAM)");
 
   const std::size_t n = 6;
@@ -51,16 +58,15 @@ int main() {
   bench::printRule();
 
   {
-    util::Rng setup(8001);
-    core::SymDamProtocol paperProtocol(hash::makeProtocol2Family(n, setup));
-    runRow("paper n^(n+2)", paperProtocol, rigid, 20000, 25, rng);
+    core::SymDamProtocol paperProtocol(hash::makeProtocol2FamilyCached(n));
+    runRow("paper n^(n+2)", paperProtocol, rigid, 20000, 25,
+           bench::cellConfig(engine, 8001));
   }
   {
-    util::Rng setup(8002);
-    core::SymDamProtocol shortProtocol(hash::makeProtocol1Family(n, setup));
-    runRow("short n^3", shortProtocol, rigid, 20000, 25, rng);
-    runRow("short n^3", shortProtocol, rigid, 1000, 25, rng);
-    runRow("short n^3", shortProtocol, rigid, 1, 200, rng);
+    core::SymDamProtocol shortProtocol(hash::makeProtocol1FamilyCached(n));
+    runRow("short n^3", shortProtocol, rigid, 20000, 25, bench::cellConfig(engine, 8002));
+    runRow("short n^3", shortProtocol, rigid, 1000, 25, bench::cellConfig(engine, 8003));
+    runRow("short n^3", shortProtocol, rigid, 1, 200, bench::cellConfig(engine, 8004));
   }
 
   std::printf(

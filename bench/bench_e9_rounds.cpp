@@ -6,6 +6,7 @@
 // the paper raises (is AM[k] = AM[2] distributively?).
 #include <cstdio>
 
+#include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dam.hpp"
 #include "core/sym_dmam.hpp"
@@ -13,7 +14,9 @@
 
 using namespace dip;
 
-int main() {
+int main(int argc, char** argv) {
+  // Closed-form cost models, no trials: --threads accepted for uniformity.
+  bench::parseTrialOptions(argc, argv);
   bench::printHeader("E9", "Rounds-vs-bits ablation: dMAM vs dAM for Sym");
 
   std::printf("\n%6s  %16s  %16s  %16s  %12s\n", "n", "dMAM (3 rounds)",

@@ -1,0 +1,42 @@
+// Shared command-line handling for the experiment benches.
+//
+// Every bench accepts `--threads N` (equivalently the DIP_THREADS
+// environment variable; an explicit flag wins) to size the trial engine's
+// worker pool. Thread count never changes the tables: trial randomness is
+// counter-derived per trial index and aggregation is index-ordered, so
+// stdout is bit-identical at every pool size. Engine info (resolved thread
+// count) goes to stderr to keep it that way.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/trial_runner.hpp"
+
+namespace dip::bench {
+
+inline sim::TrialConfig parseTrialOptions(int argc, char** argv) {
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
+    }
+  }
+  sim::TrialConfig config;
+  config.threads = sim::resolveThreads(threads);
+  std::fprintf(stderr, "[trial engine: %u thread(s)]\n", config.threads);
+  return config;
+}
+
+// The per-cell config: same pool size, cell-specific master seed.
+inline sim::TrialConfig cellConfig(const sim::TrialConfig& base, std::uint64_t seed) {
+  sim::TrialConfig config = base;
+  config.masterSeed = seed;
+  return config;
+}
+
+}  // namespace dip::bench

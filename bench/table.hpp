@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/result.hpp"
+#include "sim/trial.hpp"
 #include "util/mathutil.hpp"
 
 namespace dip::bench {
@@ -21,12 +22,19 @@ inline void printRule() {
 }
 
 // "0.842 [0.801, 0.876]" — point estimate with a Wilson 95% interval.
-inline std::string formatRate(const dip::core::AcceptanceStats& stats) {
-  auto interval = stats.interval();
+inline std::string formatInterval(const dip::util::WilsonInterval& interval) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.3f [%.3f, %.3f]", interval.pointEstimate,
                 interval.low, interval.high);
   return buffer;
+}
+
+inline std::string formatRate(const dip::core::AcceptanceStats& stats) {
+  return formatInterval(stats.interval());
+}
+
+inline std::string formatRate(const dip::sim::TrialStats& stats) {
+  return formatInterval(stats.interval());
 }
 
 }  // namespace dip::bench

@@ -385,11 +385,15 @@ AcceptanceStats GniAmamProtocol::estimatePerRoundHit(const GniInstance& instance
   AcceptanceStats stats;
   stats.trials = trials;
   for (std::size_t t = 0; t < trials; ++t) {
-    hash::EpsApiHash::Seed seed = params_.gsHash.randomSeed(rng);
-    util::BigUInt y = rng.nextBigBits(params_.ell);
-    if (searchPreimage(instance, params_.gsHash, seed, y)) ++stats.accepts;
+    if (perRoundHitOnce(instance, rng)) ++stats.accepts;
   }
   return stats;
+}
+
+bool GniAmamProtocol::perRoundHitOnce(const GniInstance& instance, util::Rng& rng) const {
+  hash::EpsApiHash::Seed seed = params_.gsHash.randomSeed(rng);
+  util::BigUInt y = rng.nextBigBits(params_.ell);
+  return searchPreimage(instance, params_.gsHash, seed, y).has_value();
 }
 
 CostBreakdown GniAmamProtocol::costModel(std::size_t n, std::size_t repetitions) {

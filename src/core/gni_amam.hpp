@@ -170,6 +170,10 @@ class GniAmamProtocol {
   AcceptanceStats estimatePerRoundHit(const GniInstance& instance, std::size_t trials,
                                       util::Rng& rng) const;
 
+  // One per-repetition hit trial (the loop body of estimatePerRoundHit),
+  // exposed so the trial engine can run hits as independent seeded trials.
+  bool perRoundHitOnce(const GniInstance& instance, util::Rng& rng) const;
+
   // Structural cost model (bits per node) for instance size n with k
   // repetitions; no prime search. Theta(k * n log n).
   static CostBreakdown costModel(std::size_t n, std::size_t repetitions);

@@ -406,13 +406,19 @@ AcceptanceStats GniGeneralProtocol::estimatePerRoundHit(const GniInstance& insta
   AcceptanceStats stats;
   stats.trials = trials;
   for (std::size_t t = 0; t < trials; ++t) {
-    hash::EpsApiHash::Seed seed = params_.gsHash.randomSeed(rng);
-    util::BigUInt y = rng.nextBigBits(params_.ell);
-    if (searchGeneralPreimage(instance, params_.gsHash, params_.n, seed, y, aut0, aut1)) {
-      ++stats.accepts;
-    }
+    if (perRoundHitOnce(instance, aut0, aut1, rng)) ++stats.accepts;
   }
   return stats;
+}
+
+bool GniGeneralProtocol::perRoundHitOnce(const GniInstance& instance,
+                                         const std::vector<graph::Permutation>& aut0,
+                                         const std::vector<graph::Permutation>& aut1,
+                                         util::Rng& rng) const {
+  hash::EpsApiHash::Seed seed = params_.gsHash.randomSeed(rng);
+  util::BigUInt y = rng.nextBigBits(params_.ell);
+  return searchGeneralPreimage(instance, params_.gsHash, params_.n, seed, y, aut0, aut1)
+      .has_value();
 }
 
 CostBreakdown GniGeneralProtocol::costModel(std::size_t n, std::size_t repetitions) {

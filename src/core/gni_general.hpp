@@ -124,6 +124,14 @@ class GniGeneralProtocol {
   AcceptanceStats estimatePerRoundHit(const GniInstance& instance, std::size_t trials,
                                       util::Rng& rng) const;
 
+  // One hit trial against precomputed automorphism lists (compute them once
+  // with graph::allAutomorphisms and share across the trial engine's
+  // workers; the lists are read-only during trials).
+  bool perRoundHitOnce(const GniInstance& instance,
+                       const std::vector<graph::Permutation>& aut0,
+                       const std::vector<graph::Permutation>& aut1,
+                       util::Rng& rng) const;
+
   static CostBreakdown costModel(std::size_t n, std::size_t repetitions);
 
   bool nodeDecision(const GniInstance& instance, graph::Vertex v,

@@ -88,4 +88,20 @@ LinearHashFamily makeProtocol2Family(std::size_t n, util::Rng& rng) {
                           static_cast<std::uint64_t>(n) * n);
 }
 
+LinearHashFamily makeProtocol1FamilyCached(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("makeProtocol1FamilyCached: n < 2");
+  util::BigUInt n3 = util::BigUInt::pow(util::BigUInt{n}, 3);
+  return LinearHashFamily(
+      util::cachedPrimeInRange(util::BigUInt{10} * n3, util::BigUInt{100} * n3),
+      static_cast<std::uint64_t>(n) * n);
+}
+
+LinearHashFamily makeProtocol2FamilyCached(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("makeProtocol2FamilyCached: n < 2");
+  util::BigUInt nPow = util::BigUInt::pow(util::BigUInt{n}, n + 2);
+  return LinearHashFamily(
+      util::cachedPrimeInRange(util::BigUInt{10} * nPow, util::BigUInt{100} * nPow),
+      static_cast<std::uint64_t>(n) * n);
+}
+
 }  // namespace dip::hash

@@ -80,4 +80,11 @@ LinearHashFamily makeProtocol1Family(std::size_t n, util::Rng& rng);
 // n^n mappings after the challenge is revealed (Theorem 3.5).
 LinearHashFamily makeProtocol2Family(std::size_t n, util::Rng& rng);
 
+// Memoized variants: the prime comes from util::cachedPrimeInRange, so the
+// family for a given n is a pure function of n (no caller Rng stream is
+// consumed) and the Miller-Rabin search runs once per window per process —
+// the form the trial engine and the bench drivers use.
+LinearHashFamily makeProtocol1FamilyCached(std::size_t n);
+LinearHashFamily makeProtocol2FamilyCached(std::size_t n);
+
 }  // namespace dip::hash

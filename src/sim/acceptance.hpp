@@ -1,0 +1,66 @@
+// Acceptance estimation on the trial engine.
+//
+// Every protocol in src/core exposes the same execution shape
+//     RunResult run(const Instance&, Prover&, util::Rng&) const
+// (the "instance" is the network graph for Sym/DSym and an instance struct
+// for SymInput/GNI). estimateAcceptance below is the parallel, seeded
+// replacement for the serial Protocol::estimateAcceptance loops: prover
+// factories receive the trial index (use it wherever a per-run seed was
+// threaded before), randomness comes from the trial's child stream, and the
+// outcome digest fingerprints the run's transcript so acceptance tables are
+// regression-checkable bit-for-bit across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "core/result.hpp"
+#include "net/transcript.hpp"
+#include "sim/trial.hpp"
+#include "sim/trial_runner.hpp"
+
+namespace dip::sim {
+
+// 64-bit fingerprint of a run: verdict plus the exact per-node bit account.
+inline std::uint64_t runDigest(const core::RunResult& result) {
+  std::uint64_t digest = result.accepted ? 0x5bd1e995u : 0x1b873593u;
+  for (const auto& node : result.transcript.perNode()) {
+    digest = digestCombine(digest, node.bitsToProver);
+    digest = digestCombine(digest, node.bitsFromProver);
+  }
+  return digest;
+}
+
+// ProverFactory: std::size_t trialIndex -> owning pointer (or value) whose
+// dereference is the prover passed to Protocol::run.
+template <typename Protocol, typename Instance, typename ProverFactory>
+TrialStats estimateAcceptance(const Protocol& protocol, const Instance& instance,
+                              ProverFactory&& proverFactory, std::size_t trials,
+                              const TrialConfig& config,
+                              std::vector<TrialOutcome>* outcomes = nullptr) {
+  TrialRunner runner(config);
+  return runner.run(
+      trials,
+      [&](TrialContext& ctx) {
+        auto prover = proverFactory(ctx.index);
+        core::RunResult result = protocol.run(instance, *prover, ctx.rng);
+        return TrialOutcome{result.accepted, result.transcript.maxPerNodeBits(),
+                            runDigest(result)};
+      },
+      outcomes);
+}
+
+// Parallel per-repetition hit estimation for the GNI protocols. HitFn:
+// (TrialContext&) -> bool; wrap perRoundHitOnce with any precomputed state
+// (e.g. automorphism lists) captured by reference.
+template <typename HitFn>
+TrialStats estimateHitRate(HitFn&& hitOnce, std::size_t trials,
+                           const TrialConfig& config) {
+  TrialRunner runner(config);
+  return runner.run(trials, [&](TrialContext& ctx) {
+    const bool hit = hitOnce(ctx);
+    return TrialOutcome{hit, 0, hit ? 0x9e3779b9ull : 0x85ebca6bull};
+  });
+}
+
+}  // namespace dip::sim

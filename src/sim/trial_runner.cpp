@@ -1,0 +1,97 @@
+#include "sim/trial_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dip::sim {
+
+unsigned resolveThreads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DIP_THREADS")) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+TrialRunner::TrialRunner(TrialConfig config)
+    : config_(config), threads_(resolveThreads(config.threads)) {}
+
+TrialStats TrialRunner::run(std::size_t trials,
+                            const std::function<TrialOutcome(TrialContext&)>& body,
+                            std::vector<TrialOutcome>* outcomes) const {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<TrialOutcome> results(trials);
+  const util::Rng master(config_.masterSeed);
+
+  // Work is claimed from a shared counter (dynamic load balancing — trials
+  // can have very different costs, e.g. adaptive-search provers), but every
+  // per-trial input and output depends only on the claimed index.
+  std::atomic<std::size_t> next{0};
+
+  // First failure by trial index wins, so the surfaced error is stable
+  // across schedules too.
+  std::mutex failureLock;
+  std::size_t failureIndex = trials;
+  std::exception_ptr failure;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= trials) return;
+      TrialContext ctx{index, master.child(index)};
+      try {
+        results[index] = body(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> guard(failureLock);
+        if (index < failureIndex) {
+          failureIndex = index;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned poolSize = trials == 0 ? 0 : static_cast<unsigned>(
+      std::min<std::size_t>(threads_, trials));
+  if (poolSize <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(poolSize - 1);
+    for (unsigned i = 0; i + 1 < poolSize; ++i) pool.emplace_back(worker);
+    worker();  // The calling thread is the pool's last member.
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (failure) std::rethrow_exception(failure);
+
+  TrialStats stats;
+  stats.trials = trials;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const TrialOutcome& outcome = results[t];
+    if (outcome.accepted) ++stats.accepts;
+    if (outcome.maxPerNodeBits > stats.maxPerNodeBits) {
+      stats.maxPerNodeBits = outcome.maxPerNodeBits;
+    }
+    stats.digest = digestCombine(stats.digest, outcome.digest);
+    stats.digest = digestCombine(stats.digest, outcome.accepted ? 1 : 0);
+    stats.digest = digestCombine(stats.digest, outcome.maxPerNodeBits);
+  }
+  stats.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  if (outcomes) *outcomes = std::move(results);
+  return stats;
+}
+
+}  // namespace dip::sim

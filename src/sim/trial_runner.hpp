@@ -1,0 +1,74 @@
+// The deterministic parallel trial engine.
+//
+// TrialRunner fans a batch of independent protocol trials across a
+// std::thread pool. Determinism contract (see docs/SIMULATION.md):
+//
+//   1. Trial t draws all of its randomness from a counter-based stream
+//      derived as Rng(masterSeed).child(t) — a pure function of
+//      (masterSeed, t), independent of scheduling, thread count, and of
+//      every other trial.
+//   2. Each trial writes its TrialOutcome into its own slot of a
+//      preallocated results array; after the workers join, the runner folds
+//      the slots in trial-index order into TrialStats. No accumulator is
+//      shared between workers, so there is no merge-order race to get wrong.
+//   3. Shared inputs (protocol, instance, hash family) are captured by
+//      const reference and must not be mutated by trial bodies. Protocol
+//      run() paths are const and allocate per-run state locally, so
+//      concurrent trials are safe — the tsan preset guards this.
+//
+// Exceptions thrown by a trial body (including the DIP_AUDIT logic_error
+// cross-checks, which stay armed inside workers) are captured, the batch is
+// drained, and the first one (by trial index) is rethrown on the caller's
+// thread.
+//
+// Thread workers belong HERE: dip-lint's thread-containment rule forbids
+// std::thread anywhere else under src/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/trial.hpp"
+#include "util/rng.hpp"
+
+namespace dip::sim {
+
+// Per-trial view handed to the body: the trial's index within the batch and
+// its private counter-derived stream.
+struct TrialContext {
+  std::size_t index = 0;
+  util::RngStream rng{0};
+};
+
+struct TrialConfig {
+  std::uint64_t masterSeed = 0;
+  // 0 = resolve from the DIP_THREADS environment variable, falling back to
+  // the hardware concurrency. Any positive value is taken as-is.
+  unsigned threads = 0;
+};
+
+// The thread count a config resolves to (exposed so benches can report it).
+// resolveThreads(0) consults DIP_THREADS, then std::thread::hardware_concurrency().
+unsigned resolveThreads(unsigned requested);
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialConfig config);
+
+  unsigned threads() const { return threads_; }
+  std::uint64_t masterSeed() const { return config_.masterSeed; }
+
+  // Runs `trials` executions of `body` and folds the outcomes in index
+  // order. If `outcomes` is non-null it receives the full per-trial vector
+  // (the determinism tests compare these across thread counts).
+  TrialStats run(std::size_t trials,
+                 const std::function<TrialOutcome(TrialContext&)>& body,
+                 std::vector<TrialOutcome>* outcomes = nullptr) const;
+
+ private:
+  TrialConfig config_;
+  unsigned threads_;
+};
+
+}  // namespace dip::sim

@@ -1,7 +1,13 @@
 #include "util/primes.hpp"
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "util/montgomery.hpp"
 
@@ -80,6 +86,114 @@ BigUInt findPrimeWithBits(std::size_t bits, Rng& rng) {
   BigUInt lo = BigUInt{1} << (bits - 1);
   BigUInt hi = (BigUInt{1} << bits) - BigUInt{1};
   return findPrimeInRange(lo, hi, rng);
+}
+
+// --- Memoized prime search -----------------------------------------------
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Fold a BigUInt into a running 64-bit digest, bit-length first so windows
+// with shared low bits stay distinct.
+std::uint64_t foldBig(std::uint64_t acc, const BigUInt& value) {
+  acc = mix64(acc ^ value.bitLength());
+  const std::size_t bits = value.bitLength();
+  for (std::size_t base = 0; base < bits; base += 64) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < 64 && base + i < bits; ++i) {
+      if (value.bit(base + i)) word |= (1ull << i);
+    }
+    acc = mix64(acc ^ word);
+  }
+  return acc;
+}
+
+// One memoized window. `done` flips exactly once, under `lock`, after
+// `value` is written; single-flight is the searching/waiting split below.
+struct PrimeCacheEntry {
+  std::mutex lock;
+  std::condition_variable ready;
+  bool done = false;
+  BigUInt value;
+};
+
+struct PrimeCacheState {
+  std::mutex tableLock;
+  std::map<std::pair<BigUInt, BigUInt>, std::shared_ptr<PrimeCacheEntry>> table;
+  std::atomic<std::size_t> searches{0};
+};
+
+PrimeCacheState& primeCacheState() {
+  static PrimeCacheState state;
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t primeSearchSeed(const BigUInt& lo, const BigUInt& hi) {
+  std::uint64_t acc = 0x9E3779B97F4A7C15ull;
+  acc = foldBig(acc, lo);
+  acc = foldBig(acc, hi);
+  return mix64(acc);
+}
+
+BigUInt cachedPrimeInRange(const BigUInt& lo, const BigUInt& hi) {
+  if (hi < lo) throw std::invalid_argument("cachedPrimeInRange: empty range");
+  PrimeCacheState& state = primeCacheState();
+
+  std::shared_ptr<PrimeCacheEntry> entry;
+  bool firstUser = false;
+  {
+    std::lock_guard<std::mutex> guard(state.tableLock);
+    auto [it, inserted] =
+        state.table.try_emplace(std::make_pair(lo, hi), nullptr);
+    if (inserted) {
+      it->second = std::make_shared<PrimeCacheEntry>();
+      firstUser = true;
+    }
+    entry = it->second;
+  }
+
+  if (firstUser) {
+    // Single flight: this thread performs the one search for the window.
+    // The search seed depends only on the window, so the memoized prime is
+    // identical to a cold findPrimeInRange with the same derived Rng.
+    Rng rng(primeSearchSeed(lo, hi));
+    BigUInt prime = findPrimeInRange(lo, hi, rng);
+    state.searches.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(entry->lock);
+    entry->value = std::move(prime);
+    entry->done = true;
+    entry->ready.notify_all();
+    return entry->value;
+  }
+
+  std::unique_lock<std::mutex> guard(entry->lock);
+  entry->ready.wait(guard, [&] { return entry->done; });
+  return entry->value;
+}
+
+BigUInt cachedPrimeWithBits(std::size_t bits) {
+  if (bits < 2) throw std::invalid_argument("cachedPrimeWithBits: need >= 2 bits");
+  BigUInt lo = BigUInt{1} << (bits - 1);
+  BigUInt hi = (BigUInt{1} << bits) - BigUInt{1};
+  return cachedPrimeInRange(lo, hi);
+}
+
+std::size_t primeCacheSearchCount() {
+  return primeCacheState().searches.load(std::memory_order_relaxed);
+}
+
+void primeCacheResetForTests() {
+  PrimeCacheState& state = primeCacheState();
+  std::lock_guard<std::mutex> guard(state.tableLock);
+  state.table.clear();
+  state.searches.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dip::util

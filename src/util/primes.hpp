@@ -27,4 +27,33 @@ BigUInt findPrimeInRange(const BigUInt& lo, const BigUInt& hi, Rng& rng);
 // Finds a (probable) prime with exactly `bits` bits (top bit set).
 BigUInt findPrimeWithBits(std::size_t bits, Rng& rng);
 
+// --- Memoized prime search -----------------------------------------------
+//
+// Protocol families re-derive a prime for the same window [lo, hi] (e.g.
+// [10 n^(n+2), 100 n^(n+2)]) on every construction; under the trial engine
+// many workers would otherwise race to repeat the identical Miller-Rabin
+// search. The cache below memoizes one prime per window for the whole
+// process, with single-flight locking: concurrent first-users of a window
+// block on the one thread performing the search.
+//
+// Determinism contract: the cached prime for a window is a pure function of
+// (lo, hi) — the search runs on Rng(primeSearchSeed(lo, hi)), never on a
+// caller's stream — so results cannot depend on which trial or thread asked
+// first, and a cold search with the same derived seed reproduces the cached
+// value exactly.
+
+// The seed the cache derives for a window (exposed so tests can reproduce
+// the cold search bit-for-bit).
+std::uint64_t primeSearchSeed(const BigUInt& lo, const BigUInt& hi);
+
+// Memoized equivalents of findPrimeInRange / findPrimeWithBits.
+BigUInt cachedPrimeInRange(const BigUInt& lo, const BigUInt& hi);
+BigUInt cachedPrimeWithBits(std::size_t bits);
+
+// Observability hooks for tests: how many real window searches ran since
+// process start (or the last reset), and a test-only reset that drops every
+// memoized window.
+std::size_t primeCacheSearchCount();
+void primeCacheResetForTests();
+
 }  // namespace dip::util

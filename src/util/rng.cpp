@@ -84,4 +84,17 @@ Rng Rng::split(std::uint64_t streamId) {
   return Rng{mixed};
 }
 
+Rng Rng::child(std::uint64_t index) const {
+  // Fold the full 256-bit state and the counter through splitMix64 so
+  // children of distinct parents (or distinct indices) are independent,
+  // without touching the parent's state.
+  std::uint64_t acc = 0x243F6A8885A308D3ull;  // pi, as an arbitrary salt.
+  for (std::uint64_t word : state_) {
+    acc ^= word;
+    acc = splitMix64(acc);
+  }
+  acc ^= index;
+  return Rng{splitMix64(acc)};
+}
+
 }  // namespace dip::util

@@ -31,11 +31,24 @@ class Rng {
   BigUInt nextBigBits(std::size_t bits);
 
   // Derives an independent child stream; child i of a given parent is
-  // deterministic. Used to hand each node its own randomness.
+  // deterministic. Used to hand each node its own randomness. NOTE: split
+  // consumes one output of the parent, so successive split(i) calls with the
+  // same i yield DIFFERENT streams. Use child(i) when the derivation must be
+  // a pure function of (parent state, i).
   Rng split(std::uint64_t streamId);
+
+  // Counter-based stream derivation: a pure function of the CURRENT state
+  // and the index — the parent is not advanced, and child(i) called twice
+  // returns the same stream. This is what gives the trial engine streams
+  // that depend only on (master seed, trial index), independent of how many
+  // trials ran before or on which thread.
+  Rng child(std::uint64_t index) const;
 
  private:
   std::array<std::uint64_t, 4> state_;
 };
+
+// The name the simulation layer uses for a per-trial stream handle.
+using RngStream = Rng;
 
 }  // namespace dip::util
