@@ -6,7 +6,9 @@
 //       is as large as claimed where it can be counted exactly);
 //   (b) the packing inequality curve: the smallest protocol length L not
 //       excluded by 5^(2^(2^(4L))) >= |F(n)| — the paper's log log n.
-// Set DIP_CENSUS7=1 to include the n = 7 sweep (2^21 graphs, ~1 minute).
+// Set DIP_CENSUS7=1 to include the n = 7 sweep (2^21 graphs, ~1 second);
+// DIP_CENSUS8=1 extends to n = 8 (2^28 graphs — minutes of CPU, cut down
+// by --threads; the table itself is thread-count invariant).
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,9 +20,10 @@
 using namespace dip;
 
 int main(int argc, char** argv) {
-  // Exhaustive counts, no Monte Carlo trials: --threads is accepted for
-  // uniformity but the tables are computed serially.
-  bench::parseTrialOptions(argc, argv);
+  // Exhaustive counts, no Monte Carlo trials; the census sweep fans out
+  // over the trial engine's pool (--threads) with a thread-count-invariant
+  // fold, so stdout stays bit-identical at every pool size.
+  sim::TrialConfig config = bench::parseTrialOptions(argc, argv);
   bench::printHeader("E4", "Lower bound machinery (Theorem 1.4)");
 
   std::printf("\n(a) Exact census of the rigid family F(n)\n");
@@ -28,16 +31,18 @@ int main(int argc, char** argv) {
               "|F(n)|", "iso classes");
   bench::printRule();
   std::size_t censusMax = std::getenv("DIP_CENSUS7") ? 7 : 6;
+  if (std::getenv("DIP_CENSUS8")) censusMax = 8;
   for (std::size_t n = 2; n <= censusMax; ++n) {
-    lb::CensusResult census = lb::exhaustiveCensus(n);
+    lb::CensusResult census = lb::exhaustiveCensus(n, config.threads);
     std::printf("%4zu  %14llu  %14llu  %12llu  %12llu\n", n,
                 static_cast<unsigned long long>(census.labeledGraphs),
                 static_cast<unsigned long long>(census.labeledRigid),
                 static_cast<unsigned long long>(census.rigidClasses),
                 static_cast<unsigned long long>(census.isoClasses));
   }
-  std::printf("  (expected: |F| = 0 for n <= 5, 8 at n = 6, 152 at n = 7 — the\n"
-              "   family becomes an overwhelming fraction of all graphs as n grows)\n");
+  std::printf("  (expected: |F| = 0 for n <= 5, 8 at n = 6, 152 at n = 7, 3696 at\n"
+              "   n = 8 — the family becomes an overwhelming fraction of all graphs\n"
+              "   as n grows)\n");
 
   std::printf("\n(b) Packing-inequality lower-bound curve\n");
   std::printf("    (exact |F|: 8 at n = 6, 152 at n = 7; asymptotic bound beyond)\n");

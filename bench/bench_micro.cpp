@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/sym_dmam.hpp"
+#include "graph/canonical.hpp"
 #include "graph/generators.hpp"
+#include "graph/ir.hpp"
 #include "graph/isomorphism.hpp"
 #include "hash/eps_api.hpp"
 #include "hash/linear_hash.hpp"
@@ -112,6 +114,58 @@ static void BM_RigidityProof(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RigidityProof)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_CanonicalForm(benchmark::State& state) {
+  // Lex-min branch-and-bound: practical through n ~ 16 on sparse graphs
+  // (docs/PERFORMANCE.md); larger sizes need the search engine, not a
+  // canonical form.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(9);
+  graph::Graph g = graph::randomConnected(n, n + n / 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::canonicalForm(g));
+  }
+}
+BENCHMARK(BM_CanonicalForm)->Arg(8)->Arg(12)->Arg(16);
+
+static void BM_IsRigid(benchmark::State& state) {
+  // Rigid and symmetric side by side: the rigid case exercises the
+  // discrete-refinement fast path, the symmetric one the full search.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(10);
+  graph::Graph rigid = graph::randomRigidConnected(n, rng);
+  graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::isRigid(rigid));
+    benchmark::DoNotOptimize(graph::isRigid(symmetric));
+  }
+}
+BENCHMARK(BM_IsRigid)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_FindIsomorphism(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  graph::Graph g = graph::randomConnected(n, 2 * n, rng);
+  graph::Graph h = graph::randomIsomorphicCopy(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::findIsomorphism(g, h));
+  }
+}
+BENCHMARK(BM_FindIsomorphism)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_CensusSlice(benchmark::State& state) {
+  // One 2^16-code chunk of the n = 7 census sweep — the exact unit of work
+  // exhaustiveCensus hands to each parallelMap index.
+  graph::IrSolver solver;
+  for (auto _ : state) {
+    std::uint64_t rigid = 0;
+    for (std::uint64_t code = 0; code < (1ull << 16); ++code) {
+      if (solver.isRigidCode(7, code)) ++rigid;
+    }
+    benchmark::DoNotOptimize(rigid);
+  }
+}
+BENCHMARK(BM_CensusSlice);
 
 static void BM_Protocol1FullRun(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));

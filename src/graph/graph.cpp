@@ -122,6 +122,28 @@ Graph Graph::fromUpperTriangleBits(std::size_t numVertices, const util::DynBitse
   return g;
 }
 
+Graph Graph::fromUpperTriangleCode(std::size_t numVertices, std::uint64_t code) {
+  const std::size_t slots = numVertices * (numVertices - 1) / 2;
+  if (slots > 64) {
+    throw std::invalid_argument("Graph::fromUpperTriangleCode: needs n(n-1)/2 <= 64");
+  }
+  if (slots < 64 && (code >> slots) != 0) {
+    throw std::invalid_argument("Graph::fromUpperTriangleCode: code exceeds slot count");
+  }
+  Graph g(numVertices);
+  std::size_t index = 0;
+  for (Vertex u = 0; u < numVertices; ++u) {
+    for (Vertex v = u + 1; v < numVertices; ++v, ++index) {
+      if ((code >> index) & 1ull) {
+        g.rows_[u].set(v);
+        g.rows_[v].set(u);
+        ++g.numEdges_;
+      }
+    }
+  }
+  return g;
+}
+
 std::size_t Graph::hashValue() const {
   std::size_t h = n_;
   for (const auto& row : rows_) {

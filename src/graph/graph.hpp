@@ -63,6 +63,12 @@ class Graph {
   static Graph fromUpperTriangleBits(std::size_t numVertices,
                                      const util::DynBitset& bits);
 
+  // Fast path for exhaustive sweeps: the upper-triangle description packed
+  // into a machine word (bit i = the i-th (u, v) pair, row-major, u < v).
+  // Requires n(n-1)/2 <= 64, i.e. n <= 11; builds the rows directly without
+  // an intermediate DynBitset or edge-by-edge insertion.
+  static Graph fromUpperTriangleCode(std::size_t numVertices, std::uint64_t code);
+
   std::size_t hashValue() const;
 
  private:

@@ -1,0 +1,565 @@
+#include "graph/ir.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dip::graph {
+
+namespace {
+
+inline std::uint32_t popcount64(std::uint64_t word) {
+  return static_cast<std::uint32_t>(__builtin_popcountll(word));
+}
+
+}  // namespace
+
+void IrSolver::prepare(std::size_t n) {
+  n_ = n;
+  words_ = (n + 63) / 64;
+  if (inQueue_.size() != n) inQueue_.assign(n, 0);
+  if (mask_.size() != words_) mask_.assign(words_, 0);
+  mapBuf_.resize(n);
+  queue_.clear();
+  queueHead_ = 0;
+  queue_.reserve(n + 1);
+}
+
+void IrSolver::loadRows(const Graph& g, std::vector<std::uint64_t>& rows) {
+  const std::size_t n = g.numVertices();
+  rows.assign(n * words_, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const util::DynBitset& row = g.row(v);
+    std::memcpy(rows.data() + std::size_t(v) * words_, row.words(),
+                row.wordCount() * sizeof(std::uint64_t));
+  }
+}
+
+void IrSolver::initUnit(Coloring& c) {
+  const std::size_t n = n_;
+  c.order.resize(n);
+  c.pos.resize(n);
+  c.cellStart.resize(n);
+  c.cellLen.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.order[i] = static_cast<Vertex>(i);
+    c.pos[i] = static_cast<std::int32_t>(i);
+    c.cellStart[i] = 0;
+  }
+  if (n > 0) c.cellLen[0] = static_cast<std::int32_t>(n);
+  c.singletons = (n == 1) ? 1 : 0;
+  queue_.clear();
+  queueHead_ = 0;
+  if (n > 0) pushQueue(0);
+}
+
+void IrSolver::pushQueue(std::int32_t start) {
+  if (!inQueue_[static_cast<std::size_t>(start)]) {
+    inQueue_[static_cast<std::size_t>(start)] = 1;
+    queue_.push_back(start);
+  }
+}
+
+void IrSolver::individualize(Coloring& c, Vertex v) {
+  const std::int32_t pv = c.pos[v];
+  const std::int32_t s = c.cellStart[pv];
+  const std::int32_t len = c.cellLen[s];
+  const Vertex w = c.order[s];
+  c.order[s] = v;
+  c.order[pv] = w;
+  c.pos[v] = s;
+  c.pos[w] = pv;
+  if (len > 1) {
+    c.cellLen[s] = 1;
+    c.cellLen[s + 1] = len - 1;
+    for (std::int32_t q = s + 1; q < s + len; ++q) c.cellStart[q] = s + 1;
+    c.singletons += (len == 2) ? 2 : 1;
+  }
+  // The fresh singleton is the only splitter the next refinement needs: all
+  // other cells were already equitable against the pre-split partition.
+  queue_.clear();
+  queueHead_ = 0;
+  pushQueue(s);
+}
+
+bool IrSolver::splitCell(Coloring& c, const std::uint64_t* rows, std::int32_t p,
+                        std::int32_t len, std::int32_t splitter, TraceMode mode,
+                        std::vector<std::uint64_t>* trace) {
+  // Count each member's neighbors inside the splitter set.
+  sortBuf_.clear();
+  bool uniform = true;
+  std::uint32_t firstCount = 0;
+  if (words_ == 1) {
+    const std::uint64_t m0 = mask_[0];
+    for (std::int32_t i = p; i < p + len; ++i) {
+      const Vertex v = c.order[i];
+      const std::uint32_t cnt = popcount64(rows[v] & m0);
+      if (i == p) {
+        firstCount = cnt;
+      } else if (cnt != firstCount) {
+        uniform = false;
+      }
+      sortBuf_.emplace_back(cnt, v);
+    }
+  } else {
+    for (std::int32_t i = p; i < p + len; ++i) {
+      const Vertex v = c.order[i];
+      const std::uint64_t* row = rows + std::size_t(v) * words_;
+      std::uint32_t cnt = 0;
+      for (std::size_t w = 0; w < words_; ++w) cnt += popcount64(row[w] & mask_[w]);
+      if (i == p) {
+        firstCount = cnt;
+      } else if (cnt != firstCount) {
+        uniform = false;
+      }
+      sortBuf_.emplace_back(cnt, v);
+    }
+  }
+  if (uniform) return true;  // No split, no trace event.
+
+  // Insertion sort by count: cells are small and the no-allocation property
+  // matters more than asymptotics in the census inner loop.
+  for (std::int32_t i = 1; i < len; ++i) {
+    const auto item = sortBuf_[static_cast<std::size_t>(i)];
+    std::int32_t j = i - 1;
+    while (j >= 0 && sortBuf_[static_cast<std::size_t>(j)].first > item.first) {
+      sortBuf_[static_cast<std::size_t>(j + 1)] = sortBuf_[static_cast<std::size_t>(j)];
+      --j;
+    }
+    sortBuf_[static_cast<std::size_t>(j + 1)] = item;
+  }
+
+  // Fragment boundaries (counts ascending).
+  fragStart_.clear();
+  fragLen_.clear();
+  for (std::int32_t i = 0; i < len; ++i) {
+    if (i == 0 || sortBuf_[static_cast<std::size_t>(i)].first !=
+                      sortBuf_[static_cast<std::size_t>(i - 1)].first) {
+      fragStart_.push_back(p + i);
+      fragLen_.push_back(1);
+    } else {
+      ++fragLen_.back();
+    }
+  }
+
+  // Emit (record) or match (check) the trace event for this split. Both
+  // sides of a lockstep search execute identical control flow while their
+  // events agree, so the first mismatch is the first structural divergence.
+  auto emit = [&](std::uint64_t value) -> bool {
+    if (mode == TraceMode::kRecord) {
+      trace->push_back(value);
+      return true;
+    }
+    if (mode == TraceMode::kCheck) {
+      if (traceCursor_ >= trace->size() || (*trace)[traceCursor_] != value) return false;
+      ++traceCursor_;
+      return true;
+    }
+    return true;
+  };
+  if (!emit((static_cast<std::uint64_t>(static_cast<std::uint32_t>(splitter)) << 32) |
+            static_cast<std::uint32_t>(p))) {
+    return false;
+  }
+  if (!emit(fragStart_.size())) return false;
+  for (std::size_t k = 0; k < fragStart_.size(); ++k) {
+    const std::uint32_t cnt =
+        sortBuf_[static_cast<std::size_t>(fragStart_[k] - p)].first;
+    if (!emit((static_cast<std::uint64_t>(cnt) << 32) |
+              static_cast<std::uint32_t>(fragLen_[k]))) {
+      return false;
+    }
+  }
+
+  // Rewrite the slice cell by cell.
+  const bool parentQueued = inQueue_[static_cast<std::size_t>(p)] != 0;
+  for (std::size_t k = 0; k < fragStart_.size(); ++k) {
+    const std::int32_t fs = fragStart_[k];
+    const std::int32_t fl = fragLen_[k];
+    c.cellLen[fs] = fl;
+    if (fl == 1) ++c.singletons;
+    for (std::int32_t q = fs; q < fs + fl; ++q) {
+      const Vertex v = sortBuf_[static_cast<std::size_t>(q - p)].second;
+      c.order[q] = v;
+      c.pos[v] = q;
+      c.cellStart[q] = fs;
+    }
+  }
+
+  // Hopcroft rule: if the parent was pending, all fragments must be pending
+  // (the first inherits the flag sitting at position p); otherwise all but
+  // one largest fragment suffice.
+  if (parentQueued) {
+    for (std::size_t k = 1; k < fragStart_.size(); ++k) pushQueue(fragStart_[k]);
+  } else {
+    std::size_t largest = 0;
+    for (std::size_t k = 1; k < fragStart_.size(); ++k) {
+      if (fragLen_[k] > fragLen_[largest]) largest = k;
+    }
+    for (std::size_t k = 0; k < fragStart_.size(); ++k) {
+      if (k != largest) pushQueue(fragStart_[k]);
+    }
+  }
+  return true;
+}
+
+bool IrSolver::refine(Coloring& c, const std::uint64_t* rows, TraceMode mode,
+                      std::vector<std::uint64_t>* trace) {
+  const std::int32_t n = static_cast<std::int32_t>(n_);
+  bool ok = true;
+  while (queueHead_ < queue_.size()) {
+    const std::int32_t s = queue_[queueHead_++];
+    inQueue_[static_cast<std::size_t>(s)] = 0;
+    if (c.singletons == n) continue;  // Discrete; just drain the flags.
+    // Splitter mask over the current cell at s.
+    std::fill(mask_.begin(), mask_.end(), 0);
+    const std::int32_t sLen = c.cellLen[s];
+    for (std::int32_t i = s; i < s + sLen; ++i) {
+      const Vertex v = c.order[i];
+      mask_[v >> 6] |= 1ull << (v & 63);
+    }
+    std::int32_t p = 0;
+    while (p < n) {
+      const std::int32_t len = c.cellLen[p];
+      const std::int32_t next = p + len;
+      if (len > 1 && !splitCell(c, rows, p, len, s, mode, trace)) {
+        ok = false;
+        break;
+      }
+      p = next;
+    }
+    if (!ok) break;
+  }
+  for (std::size_t i = queueHead_; i < queue_.size(); ++i) {
+    inQueue_[static_cast<std::size_t>(queue_[i])] = 0;
+  }
+  queue_.clear();
+  queueHead_ = 0;
+  // A check-side refinement must consume the whole recorded trace: a left
+  // split with no right counterpart is a divergence too.
+  if (ok && mode == TraceMode::kCheck) ok = traceCursor_ == trace->size();
+  return ok;
+}
+
+std::int32_t IrSolver::targetCell(const Coloring& c) const {
+  const std::int32_t n = static_cast<std::int32_t>(n_);
+  std::int32_t best = -1;
+  std::int32_t bestLen = n + 1;
+  for (std::int32_t p = 0; p < n; p += c.cellLen[p]) {
+    const std::int32_t len = c.cellLen[p];
+    if (len > 1 && len < bestLen) {
+      best = p;
+      bestLen = len;
+      if (len == 2) break;
+    }
+  }
+  return best;
+}
+
+bool IrSolver::verifyMapping(const Coloring& left, const Coloring& right) {
+  for (std::size_t i = 0; i < n_; ++i) mapBuf_[left.order[i]] = right.order[i];
+  for (Vertex a = 0; a < n_; ++a) {
+    const std::uint64_t* rowL = leftRows_ + std::size_t(a) * words_;
+    const std::uint64_t* rowR = rightRows_ + std::size_t(mapBuf_[a]) * words_;
+    std::uint32_t degL = 0;
+    std::uint32_t degR = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      degL += popcount64(rowL[w]);
+      degR += popcount64(rowR[w]);
+    }
+    if (degL != degR) return false;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = rowL[w];
+      while (word) {
+        const Vertex b =
+            static_cast<Vertex>(w * 64 + static_cast<unsigned>(__builtin_ctzll(word)));
+        word &= word - 1;
+        const Vertex bm = mapBuf_[b];
+        if (!((rowR[bm >> 6] >> (bm & 63)) & 1ull)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void IrSolver::ensureChain(std::size_t depth) {
+  while (chain_.size() <= depth) chain_.emplace_back();
+  while (chainTraces_.size() <= depth) chainTraces_.emplace_back();
+}
+
+void IrSolver::ensurePair(std::size_t depth) {
+  while (pairLeft_.size() <= depth) pairLeft_.emplace_back();
+  while (pairRight_.size() <= depth) pairRight_.emplace_back();
+  while (pairTraces_.size() <= depth) pairTraces_.emplace_back();
+}
+
+// colL/colR at `depth` hold a matched pair of refined colorings. Finds any
+// completion to a verified isomorphism; the witness is left in mapBuf_.
+bool IrSolver::pairSearchFirst(std::size_t depth) {
+  ensurePair(depth + 1);
+  Coloring& left = pairLeft_[depth];
+  const std::int32_t t = targetCell(left);
+  if (t < 0) return verifyMapping(left, pairRight_[depth]);
+
+  const Vertex v = left.order[t];
+  const std::int32_t tl = left.cellLen[t];
+  std::vector<std::uint64_t>& trace = pairTraces_[depth];
+  trace.clear();
+  pairLeft_[depth + 1] = left;
+  individualize(pairLeft_[depth + 1], v);
+  refine(pairLeft_[depth + 1], leftRows_, TraceMode::kRecord, &trace);
+  for (std::int32_t i = t; i < t + tl; ++i) {
+    const Vertex u = pairRight_[depth].order[i];
+    pairRight_[depth + 1] = pairRight_[depth];
+    individualize(pairRight_[depth + 1], u);
+    traceCursor_ = 0;
+    if (!refine(pairRight_[depth + 1], rightRows_, TraceMode::kCheck, &trace)) continue;
+    if (pairSearchFirst(depth + 1)) return true;
+  }
+  return false;
+}
+
+// Full-group enumeration from a matched pair at `depth`; returns true once
+// `cap` elements have been collected (stop signal, not failure).
+bool IrSolver::enumSearch(std::size_t depth, std::size_t cap,
+                          std::vector<Permutation>& out) {
+  ensurePair(depth + 1);
+  Coloring& left = pairLeft_[depth];
+  const std::int32_t t = targetCell(left);
+  if (t < 0) {
+    if (verifyMapping(left, pairRight_[depth])) out.push_back(mapBuf_);
+    return out.size() >= cap;
+  }
+
+  const Vertex v = left.order[t];
+  const std::int32_t tl = left.cellLen[t];
+  std::vector<std::uint64_t>& trace = pairTraces_[depth];
+  trace.clear();
+  pairLeft_[depth + 1] = left;
+  individualize(pairLeft_[depth + 1], v);
+  refine(pairLeft_[depth + 1], leftRows_, TraceMode::kRecord, &trace);
+  for (std::int32_t i = t; i < t + tl; ++i) {
+    const Vertex u = pairRight_[depth].order[i];
+    pairRight_[depth + 1] = pairRight_[depth];
+    individualize(pairRight_[depth + 1], u);
+    traceCursor_ = 0;
+    if (!refine(pairRight_[depth + 1], rightRows_, TraceMode::kCheck, &trace)) continue;
+    if (enumSearch(depth + 1, cap, out)) return true;
+  }
+  return false;
+}
+
+Vertex IrSolver::ufFind(Vertex v) {
+  while (ufParent_[v] != v) {
+    ufParent_[v] = ufParent_[ufParent_[v]];  // Path halving.
+    v = ufParent_[v];
+  }
+  return v;
+}
+
+void IrSolver::recordGenerator() {
+  gens_.push_back(mapBuf_);
+  for (Vertex a = 0; a < n_; ++a) {
+    const Vertex ra = ufFind(a);
+    const Vertex rb = ufFind(mapBuf_[a]);
+    if (ra != rb) ufParent_[ra] = rb;
+  }
+}
+
+// chain_[level] holds a refined coloring with the branch vertices of all
+// shallower levels individualized. Walks one level deeper on the first
+// vertex of the target cell, then resolves the level's orbit: for every
+// other cell member u, either a previously found generator already places u
+// in the branch vertex's orbit (prune — no search), or a lockstep pair
+// search decides whether some automorphism fixing the prefix maps v to u.
+// |Aut| = orbit size at this level x |stabilizer| from the level below.
+std::uint64_t IrSolver::groupSizeRec(std::size_t level) {
+  ensureChain(level + 1);
+  const std::int32_t t = targetCell(chain_[level]);
+  if (t < 0) return 1;
+
+  const Vertex v = chain_[level].order[t];
+  const std::int32_t tl = chain_[level].cellLen[t];
+  std::vector<std::uint64_t>& trace = chainTraces_[level];
+  trace.clear();
+  chain_[level + 1] = chain_[level];
+  individualize(chain_[level + 1], v);
+  refine(chain_[level + 1], leftRows_, TraceMode::kRecord, &trace);
+
+  const std::uint64_t stabilizer = groupSizeRec(level + 1);
+
+  std::uint64_t orbitSize = 1;
+  for (std::int32_t i = t; i < t + tl; ++i) {
+    const Vertex u = chain_[level].order[i];
+    if (u == v) continue;
+    if (ufFind(u) == ufFind(v)) {
+      // Orbit pruning: some product of discovered generators (all of which
+      // fix the individualized prefix) already maps v to u.
+      ++orbitSize;
+      continue;
+    }
+    ensurePair(0);
+    pairLeft_[0] = chain_[level + 1];
+    pairRight_[0] = chain_[level];
+    individualize(pairRight_[0], u);
+    traceCursor_ = 0;
+    if (!refine(pairRight_[0], rightRows_, TraceMode::kCheck, &trace)) continue;
+    if (pairSearchFirst(0)) {
+      recordGenerator();
+      ++orbitSize;
+    }
+  }
+  if (stabilizer != 0 && orbitSize > UINT64_MAX / stabilizer) return UINT64_MAX;
+  return orbitSize * stabilizer;
+}
+
+// Same chain walk as groupSizeRec, but stops at the first witness. Tries the
+// pair searches at each level before descending so highly symmetric graphs
+// exit on their shallowest moved vertex.
+bool IrSolver::findNontrivialRec(std::size_t level) {
+  ensureChain(level + 1);
+  const std::int32_t t = targetCell(chain_[level]);
+  if (t < 0) return false;
+
+  const Vertex v = chain_[level].order[t];
+  const std::int32_t tl = chain_[level].cellLen[t];
+  std::vector<std::uint64_t>& trace = chainTraces_[level];
+  trace.clear();
+  chain_[level + 1] = chain_[level];
+  individualize(chain_[level + 1], v);
+  refine(chain_[level + 1], leftRows_, TraceMode::kRecord, &trace);
+
+  for (std::int32_t i = t; i < t + tl; ++i) {
+    const Vertex u = chain_[level].order[i];
+    if (u == v) continue;
+    ensurePair(0);
+    pairLeft_[0] = chain_[level + 1];
+    pairRight_[0] = chain_[level];
+    individualize(pairRight_[0], u);
+    traceCursor_ = 0;
+    if (!refine(pairRight_[0], rightRows_, TraceMode::kCheck, &trace)) continue;
+    if (pairSearchFirst(0)) return true;
+  }
+  return findNontrivialRec(level + 1);
+}
+
+bool IrSolver::isRigid(const Graph& g) {
+  const std::size_t n = g.numVertices();
+  if (n < 2) return true;
+  prepare(n);
+  loadRows(g, rowsLeft_);
+  leftRows_ = rightRows_ = rowsLeft_.data();
+  ensureChain(0);
+  initUnit(chain_[0]);
+  refine(chain_[0], leftRows_, TraceMode::kNone, nullptr);
+  if (chain_[0].singletons == static_cast<std::int32_t>(n)) return true;
+  return !findNontrivialRec(0);
+}
+
+bool IrSolver::isRigidCode(std::size_t n, std::uint64_t code) {
+  if (n < 2) return true;
+  prepare(n);
+  rowsLeft_.assign(n, 0);  // words_ == 1 whenever n(n-1)/2 <= 64.
+  std::size_t index = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v, ++index) {
+      if ((code >> index) & 1ull) {
+        rowsLeft_[u] |= 1ull << v;
+        rowsLeft_[v] |= 1ull << u;
+      }
+    }
+  }
+  // Twin prefilter: the transposition (u v) is an automorphism iff
+  // N(u)\{v} == N(v)\{u}; one word compare per pair kills the bulk of the
+  // non-rigid graphs before any partition machinery runs.
+  for (Vertex u = 0; u + 1 < n; ++u) {
+    const std::uint64_t rowU = rowsLeft_[u];
+    for (Vertex v = u + 1; v < n; ++v) {
+      if ((rowU & ~(1ull << v)) == (rowsLeft_[v] & ~(1ull << u))) return false;
+    }
+  }
+  leftRows_ = rightRows_ = rowsLeft_.data();
+  ensureChain(0);
+  initUnit(chain_[0]);
+  refine(chain_[0], leftRows_, TraceMode::kNone, nullptr);
+  if (chain_[0].singletons == static_cast<std::int32_t>(n)) return true;
+  return !findNontrivialRec(0);
+}
+
+std::optional<Permutation> IrSolver::findNontrivialAutomorphism(const Graph& g) {
+  const std::size_t n = g.numVertices();
+  if (n < 2) return std::nullopt;
+  prepare(n);
+  loadRows(g, rowsLeft_);
+  leftRows_ = rightRows_ = rowsLeft_.data();
+  ensureChain(0);
+  initUnit(chain_[0]);
+  refine(chain_[0], leftRows_, TraceMode::kNone, nullptr);
+  if (chain_[0].singletons == static_cast<std::int32_t>(n)) return std::nullopt;
+  if (!findNontrivialRec(0)) return std::nullopt;
+  return Permutation(mapBuf_.begin(), mapBuf_.end());
+}
+
+std::uint64_t IrSolver::countAutomorphisms(const Graph& g, std::uint64_t cap) {
+  const std::size_t n = g.numVertices();
+  if (n < 2) return std::min<std::uint64_t>(1, cap);
+  prepare(n);
+  loadRows(g, rowsLeft_);
+  leftRows_ = rightRows_ = rowsLeft_.data();
+  ensureChain(0);
+  initUnit(chain_[0]);
+  refine(chain_[0], leftRows_, TraceMode::kNone, nullptr);
+  gens_.clear();
+  ufParent_.resize(n);
+  for (Vertex v = 0; v < n; ++v) ufParent_[v] = v;
+  return std::min(groupSizeRec(0), cap);
+}
+
+std::vector<Permutation> IrSolver::automorphismGenerators(const Graph& g) {
+  countAutomorphisms(g, UINT64_MAX);
+  return gens_;
+}
+
+std::vector<Permutation> IrSolver::allAutomorphisms(const Graph& g, std::size_t cap) {
+  std::vector<Permutation> out;
+  const std::size_t n = g.numVertices();
+  if (cap == 0) return out;
+  if (n < 2) {
+    out.push_back(identityPermutation(n));
+    return out;
+  }
+  prepare(n);
+  loadRows(g, rowsLeft_);
+  leftRows_ = rightRows_ = rowsLeft_.data();
+  ensurePair(0);
+  initUnit(pairLeft_[0]);
+  refine(pairLeft_[0], leftRows_, TraceMode::kNone, nullptr);
+  pairRight_[0] = pairLeft_[0];
+  enumSearch(0, cap, out);
+  return out;
+}
+
+std::optional<Permutation> IrSolver::findIsomorphism(const Graph& g0, const Graph& g1) {
+  const std::size_t n = g0.numVertices();
+  if (n != g1.numVertices()) return std::nullopt;
+  if (g0.numEdges() != g1.numEdges()) return std::nullopt;
+  if (n == 0) return Permutation{};
+  prepare(n);
+  loadRows(g0, rowsLeft_);
+  loadRows(g1, rowsRight_);
+  leftRows_ = rowsLeft_.data();
+  rightRows_ = rowsRight_.data();
+  ensurePair(0);
+  initTrace_.clear();
+  initUnit(pairLeft_[0]);
+  refine(pairLeft_[0], leftRows_, TraceMode::kRecord, &initTrace_);
+  initUnit(pairRight_[0]);
+  traceCursor_ = 0;
+  if (!refine(pairRight_[0], rightRows_, TraceMode::kCheck, &initTrace_)) {
+    return std::nullopt;
+  }
+  if (!pairSearchFirst(0)) return std::nullopt;
+  return Permutation(mapBuf_.begin(), mapBuf_.end());
+}
+
+}  // namespace dip::graph

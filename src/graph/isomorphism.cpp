@@ -1,15 +1,18 @@
 #include "graph/isomorphism.hpp"
 
 #include <algorithm>
-#include <map>
+
+#include "graph/ir.hpp"
 
 namespace dip::graph {
 
 namespace {
 
 // One refinement round: new color = rank of (old color, sorted neighbor
-// colors). Ranks are assigned by sorting signatures, so they are canonical
-// (two graphs assign the same color to vertices with identical signatures).
+// colors). Ranks are assigned by sorting index/signature pairs and walking
+// adjacent-unique runs, so they are canonical (two graphs assign the same
+// color to vertices with identical signatures) without the node-per-key
+// overhead of an ordered map.
 std::vector<std::uint32_t> refineOnce(const Graph& g,
                                       const std::vector<std::uint32_t>& colors,
                                       std::size_t& numClasses) {
@@ -23,13 +26,18 @@ std::vector<std::uint32_t> refineOnce(const Graph& g,
     std::sort(around.begin(), around.end());
     signatures[v] = {colors[v], std::move(around)};
   }
-  std::map<Signature, std::uint32_t> ranks;
-  for (const auto& sig : signatures) ranks.emplace(sig, 0);
-  std::uint32_t next = 0;
-  for (auto& [sig, rank] : ranks) rank = next++;
-  numClasses = ranks.size();
+  std::vector<Vertex> bySignature(n);
+  for (Vertex v = 0; v < n; ++v) bySignature[v] = v;
+  std::sort(bySignature.begin(), bySignature.end(), [&](Vertex a, Vertex b) {
+    return signatures[a] < signatures[b];
+  });
   std::vector<std::uint32_t> out(n);
-  for (Vertex v = 0; v < n; ++v) out[v] = ranks.at(signatures[v]);
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && signatures[bySignature[i]] != signatures[bySignature[i - 1]]) ++rank;
+    out[bySignature[i]] = rank;
+  }
+  numClasses = (n == 0) ? 0 : rank + 1;
   return out;
 }
 
@@ -53,8 +61,8 @@ std::vector<std::uint32_t> refinementColors(const Graph& g) {
 
 namespace {
 
-// Backtracking mapper shared by isomorphism search, non-trivial-automorphism
-// search, and automorphism counting.
+// Backtracking mapper: the reference searcher behind the *Backtracking
+// oracles. The IR engine in graph/ir.hpp replaces it on the hot paths.
 class IsoSearcher {
  public:
   IsoSearcher(const Graph& g0, const Graph& g1, bool forbidIdentity)
@@ -64,6 +72,8 @@ class IsoSearcher {
     colors1_ = (&g0 == &g1) ? colors0_ : refinementColors(g1);
     mapping_.assign(n_, kUnmapped);
     used_.assign(n_, false);
+    mappedMask0_ = util::DynBitset(n_);
+    usedMask1_ = util::DynBitset(n_);
   }
 
   // Color class histograms must agree for an isomorphism to exist.
@@ -86,39 +96,57 @@ class IsoSearcher {
   static constexpr Vertex kUnmapped = static_cast<Vertex>(-1);
 
   // Picks the unmapped vertex with the fewest viable targets
-  // (most-constrained-variable heuristic); fills `targets` for it.
-  Vertex selectNext(std::vector<Vertex>& targets) const {
+  // (most-constrained-variable heuristic); fills `targets` for it. Scratch
+  // lives on the searcher so the recursion does not reallocate per call.
+  Vertex selectNext(std::vector<Vertex>& targets) {
     Vertex best = kUnmapped;
     std::size_t bestCount = static_cast<std::size_t>(-1);
-    std::vector<Vertex> bestTargets;
-    std::vector<Vertex> scratch;
+    bestTargets_.clear();
     for (Vertex v = 0; v < n_; ++v) {
       if (mapping_[v] != kUnmapped) continue;
-      scratch.clear();
+      scratchTargets_.clear();
       for (Vertex u = 0; u < n_; ++u) {
-        if (!used_[u] && viable(v, u)) scratch.push_back(u);
+        if (!used_[u] && viable(v, u)) scratchTargets_.push_back(u);
       }
-      if (scratch.size() < bestCount) {
-        bestCount = scratch.size();
+      if (scratchTargets_.size() < bestCount) {
+        bestCount = scratchTargets_.size();
         best = v;
-        bestTargets = scratch;
+        std::swap(bestTargets_, scratchTargets_);
         if (bestCount <= 1) break;
       }
     }
-    targets = std::move(bestTargets);
+    targets = bestTargets_;
     return best;
   }
 
   bool viable(Vertex v, Vertex u) const {
     if (colors0_[v] != colors1_[u]) return false;
     if (g0_.degree(v) != g1_.degree(u)) return false;
-    // Adjacency with every already-mapped vertex must be preserved both ways.
-    for (Vertex w = 0; w < n_; ++w) {
-      Vertex x = mapping_[w];
-      if (x == kUnmapped) continue;
-      if (g0_.hasEdge(v, w) != g1_.hasEdge(u, x)) return false;
+    // Adjacency with every already-mapped vertex must be preserved both
+    // ways: the image of N(v) ∩ mapped must equal N(u) ∩ used. A word-wise
+    // intersection walk replaces the old all-vertices scalar scan.
+    const std::uint64_t* rowV = g0_.row(v).words();
+    const std::uint64_t* mapped = mappedMask0_.words();
+    const util::DynBitset& rowU = g1_.row(u);
+    std::size_t forwardHits = 0;
+    const std::size_t wordCount = g0_.row(v).wordCount();
+    for (std::size_t i = 0; i < wordCount; ++i) {
+      std::uint64_t word = rowV[i] & mapped[i];
+      while (word) {
+        const auto w = static_cast<Vertex>(
+            i * 64 + static_cast<unsigned>(__builtin_ctzll(word)));
+        word &= word - 1;
+        if (!rowU.test(mapping_[w])) return false;
+        ++forwardHits;
+      }
     }
-    return true;
+    const std::uint64_t* rowUWords = rowU.words();
+    const std::uint64_t* usedWords = usedMask1_.words();
+    std::size_t backHits = 0;
+    for (std::size_t i = 0; i < wordCount; ++i) {
+      backHits += static_cast<std::size_t>(__builtin_popcountll(rowUWords[i] & usedWords[i]));
+    }
+    return forwardHits == backHits;
   }
 
   template <typename Visit>
@@ -131,16 +159,16 @@ class IsoSearcher {
     std::vector<Vertex> targets;
     Vertex v = selectNext(targets);
     if (targets.empty()) return false;
-    // Identity-forbidding prune: if the only remaining extension maps every
-    // vertex to itself and the partial map is the identity so far, the
-    // branch can still complete (handled at the leaf); no extra pruning
-    // needed for correctness.
     for (Vertex u : targets) {
       mapping_[v] = u;
       used_[u] = true;
+      mappedMask0_.set(v);
+      usedMask1_.set(u);
       if (recurse(depth + 1, visit)) return true;
       mapping_[v] = kUnmapped;
       used_[u] = false;
+      mappedMask0_.reset(v);
+      usedMask1_.reset(u);
     }
     return false;
   }
@@ -153,11 +181,45 @@ class IsoSearcher {
   std::vector<std::uint32_t> colors1_;
   std::vector<Vertex> mapping_;
   std::vector<bool> used_;
+  util::DynBitset mappedMask0_;
+  util::DynBitset usedMask1_;
+  std::vector<Vertex> scratchTargets_;
+  std::vector<Vertex> bestTargets_;
 };
+
+// One engine per thread: the workspace (partitions, traces, orbit state) is
+// recycled across calls, so tight rejection-sampling loops do not churn the
+// allocator.
+IrSolver& engine() {
+  thread_local IrSolver solver;
+  return solver;
+}
 
 }  // namespace
 
 std::optional<Permutation> findIsomorphism(const Graph& g0, const Graph& g1) {
+  return engine().findIsomorphism(g0, g1);
+}
+
+std::optional<Permutation> findNontrivialAutomorphism(const Graph& g) {
+  return engine().findNontrivialAutomorphism(g);
+}
+
+bool isRigid(const Graph& g) { return engine().isRigid(g); }
+
+bool areIsomorphic(const Graph& g0, const Graph& g1) {
+  return findIsomorphism(g0, g1).has_value();
+}
+
+std::uint64_t countAutomorphisms(const Graph& g, std::uint64_t cap) {
+  return engine().countAutomorphisms(g, cap);
+}
+
+std::vector<Permutation> allAutomorphisms(const Graph& g, std::size_t cap) {
+  return engine().allAutomorphisms(g, cap);
+}
+
+std::optional<Permutation> findIsomorphismBacktracking(const Graph& g0, const Graph& g1) {
   if (g0.numVertices() != g1.numVertices()) return std::nullopt;
   if (g0.numEdges() != g1.numEdges()) return std::nullopt;
   IsoSearcher searcher(g0, g1, /*forbidIdentity=*/false);
@@ -170,24 +232,7 @@ std::optional<Permutation> findIsomorphism(const Graph& g0, const Graph& g1) {
   return found;
 }
 
-std::optional<Permutation> findNontrivialAutomorphism(const Graph& g) {
-  if (g.numVertices() < 2) return std::nullopt;
-  IsoSearcher searcher(g, g, /*forbidIdentity=*/true);
-  std::optional<Permutation> found;
-  searcher.search([&](const Permutation& perm) {
-    found = perm;
-    return true;
-  });
-  return found;
-}
-
-bool isRigid(const Graph& g) { return !findNontrivialAutomorphism(g).has_value(); }
-
-bool areIsomorphic(const Graph& g0, const Graph& g1) {
-  return findIsomorphism(g0, g1).has_value();
-}
-
-std::uint64_t countAutomorphisms(const Graph& g, std::uint64_t cap) {
+std::uint64_t countAutomorphismsBacktracking(const Graph& g, std::uint64_t cap) {
   if (g.numVertices() == 0) return 1;
   IsoSearcher searcher(g, g, /*forbidIdentity=*/false);
   std::uint64_t count = 0;
@@ -196,17 +241,6 @@ std::uint64_t countAutomorphisms(const Graph& g, std::uint64_t cap) {
     return count >= cap;
   });
   return count;
-}
-
-std::vector<Permutation> allAutomorphisms(const Graph& g, std::size_t cap) {
-  if (g.numVertices() == 0) return {Permutation{}};
-  IsoSearcher searcher(g, g, /*forbidIdentity=*/false);
-  std::vector<Permutation> group;
-  searcher.search([&](const Permutation& perm) {
-    group.push_back(perm);
-    return group.size() >= cap;
-  });
-  return group;
 }
 
 }  // namespace dip::graph

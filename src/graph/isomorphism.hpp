@@ -3,11 +3,10 @@
 // The prover (Merlin) in the paper is computationally unbounded: the honest
 // prover for Protocol 1/2 must FIND a non-trivial automorphism, and the
 // honest Goldwasser-Sipser prover must KNOW whether two graphs are
-// isomorphic. This module implements those searches with iterated color
-// refinement (1-dimensional Weisfeiler-Leman) plus pruned backtracking — a
-// miniature nauty. Worst-case exponential (the problem is not known to be
-// polynomial), but fast on the random and structured instances used in the
-// experiments.
+// isomorphic. The public entry points below delegate to the
+// individualization-refinement engine in graph/ir.hpp; the original
+// 1-WL-plus-backtracking searcher is kept (as the *Backtracking functions)
+// as an independently-implemented oracle for differential testing.
 #pragma once
 
 #include <optional>
@@ -42,5 +41,11 @@ std::uint64_t countAutomorphisms(const Graph& g, std::uint64_t cap = UINT64_MAX)
 // S = {(sigma(G_b), alpha)} through this group. Intended for small graphs /
 // small groups.
 std::vector<Permutation> allAutomorphisms(const Graph& g, std::size_t cap = 1u << 20);
+
+// Reference implementations: the original 1-WL + most-constrained-variable
+// backtracking searcher, independent of the IR engine. Slower; used as
+// differential-test oracles.
+std::optional<Permutation> findIsomorphismBacktracking(const Graph& g0, const Graph& g1);
+std::uint64_t countAutomorphismsBacktracking(const Graph& g, std::uint64_t cap = UINT64_MAX);
 
 }  // namespace dip::graph

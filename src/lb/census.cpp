@@ -1,18 +1,67 @@
 #include "lb/census.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/graph.hpp"
-#include "graph/isomorphism.hpp"
-#include "util/bitset.hpp"
-#include "util/mathutil.hpp"
+#include "graph/ir.hpp"
+#include "sim/parallel_map.hpp"
 
 namespace dip::lb {
 
-CensusResult exhaustiveCensus(std::size_t n) {
-  if (n < 1 || n > 7) {
-    throw std::invalid_argument("exhaustiveCensus: supported for 1 <= n <= 7");
+namespace {
+
+// Sum over all n! permutations of 2^(pair cycles): by Burnside/
+// Cauchy-Frobenius the number of graphs fixed by a relabeling pi is
+// 2^(# cycles of pi acting on unordered vertex pairs), and
+//   sum over labeled graphs G of |Aut(G)| = sum over pi of |Fix(pi)|,
+// so the graph-side automorphism sum the census used to accumulate one
+// countAutomorphisms call at a time collapses to an exact n!-term sum —
+// instant next to the 2^(n(n-1)/2) sweep it replaces.
+std::uint64_t pairCycleFixSum(std::size_t n) {
+  const std::size_t slots = n * (n - 1) / 2;
+  std::vector<std::size_t> pairIndex(n * n, 0);
+  {
+    std::size_t index = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v, ++index) {
+        pairIndex[u * n + v] = index;
+        pairIndex[v * n + u] = index;
+      }
+    }
+  }
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  std::vector<std::size_t> pairOf(2 * slots, 0);
+  std::vector<bool> visited(slots);
+  std::uint64_t sum = 0;
+  do {
+    // Image of pair slot {u, v} under perm, as a slot-to-slot map.
+    std::size_t index = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v, ++index) {
+        pairOf[index] = pairIndex[perm[u] * n + perm[v]];
+      }
+    }
+    std::fill(visited.begin(), visited.end(), false);
+    std::size_t cycles = 0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (visited[s]) continue;
+      ++cycles;
+      for (std::size_t t = s; !visited[t]; t = pairOf[t]) visited[t] = true;
+    }
+    sum += 1ull << cycles;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return sum;
+}
+
+}  // namespace
+
+CensusResult exhaustiveCensus(std::size_t n, unsigned threads) {
+  if (n < 1 || n > 8) {
+    throw std::invalid_argument("exhaustiveCensus: supported for 1 <= n <= 8");
   }
   const std::size_t edgeSlots = n * (n - 1) / 2;
   const std::uint64_t total = 1ull << edgeSlots;
@@ -24,20 +73,28 @@ CensusResult exhaustiveCensus(std::size_t n) {
   result.n = n;
   result.labeledGraphs = total;
 
-  std::uint64_t automorphismSum = 0;  // For Burnside.
-  for (std::uint64_t code = 0; code < total; ++code) {
-    util::DynBitset bits(edgeSlots);
-    for (std::size_t i = 0; i < edgeSlots; ++i) {
-      if ((code >> i) & 1ull) bits.set(i);
-    }
-    graph::Graph g = graph::Graph::fromUpperTriangleBits(n, bits);
-    std::uint64_t autCount = graph::countAutomorphisms(g);
-    automorphismSum += autCount;
-    if (autCount == 1) ++result.labeledRigid;
-  }
+  // Rigid sweep: every labeled graph through the IR engine's code-level
+  // rigidity test, fanned over fixed-size chunks of the edge-code space.
+  // The chunk layout depends only on n (never on the thread count), and the
+  // per-chunk counts are folded in chunk order, so the census is
+  // bit-identical at every pool size.
+  const std::size_t chunkBits = std::min<std::size_t>(edgeSlots, 16);
+  const std::size_t chunkCount = static_cast<std::size_t>(total >> chunkBits);
+  const std::vector<std::uint64_t> rigidPerChunk =
+      sim::parallelMap<std::uint64_t>(chunkCount, threads, [&](std::size_t chunk) {
+        graph::IrSolver solver;  // Workspace reused across the whole chunk.
+        const std::uint64_t begin = static_cast<std::uint64_t>(chunk) << chunkBits;
+        const std::uint64_t end = begin + (1ull << chunkBits);
+        std::uint64_t rigid = 0;
+        for (std::uint64_t code = begin; code < end; ++code) {
+          if (solver.isRigidCode(n, code)) ++rigid;
+        }
+        return rigid;
+      });
+  for (const std::uint64_t rigid : rigidPerChunk) result.labeledRigid += rigid;
 
   result.rigidClasses = result.labeledRigid / factorialN;
-  result.isoClasses = automorphismSum / factorialN;
+  result.isoClasses = pairCycleFixSum(n) / factorialN;
   return result;
 }
 

@@ -8,7 +8,10 @@
 //     |F(n)| = (# labeled rigid graphs) / n!,
 // and the number of isomorphism classes overall follows from Burnside:
 //     # classes = (1/n!) * sum over labeled graphs of |Aut(G)|.
-// Both are computed by sweeping all 2^(n(n-1)/2) labeled graphs.
+// The rigid count sweeps all 2^(n(n-1)/2) labeled graphs through the IR
+// engine (parallelized over fixed edge-code chunks on sim::parallelMap);
+// the automorphism sum uses Burnside's other side — sum over the n!
+// relabelings of 2^(pair cycles) — which needs no sweep at all.
 #pragma once
 
 #include <cstdint>
@@ -25,8 +28,10 @@ struct CensusResult {
   std::uint64_t isoClasses = 0;      // All isomorphism classes (Burnside).
 };
 
-// Exhaustive sweep; practical for n <= 7 (n = 7 visits 2^21 graphs).
-CensusResult exhaustiveCensus(std::size_t n);
+// Exhaustive sweep; practical for n <= 8 (n = 8 visits 2^28 graphs).
+// threads = 0 resolves via DIP_THREADS / hardware concurrency; the result
+// is identical at every thread count.
+CensusResult exhaustiveCensus(std::size_t n, unsigned threads = 0);
 
 // log2 of the asymptotic family-size lower bound the paper uses:
 // |F(n)| >= (1 - o(1)) 2^C(n,2) / n!; we report the dominant terms

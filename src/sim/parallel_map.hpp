@@ -1,0 +1,77 @@
+// Deterministic indexed parallel map — TrialRunner's scheduling contract for
+// arbitrary result types.
+//
+// results[i] = fn(i) for i in [0, count): indices are claimed dynamically
+// from a shared counter (load balancing for uneven work items), every result
+// lands in its own preallocated slot, and the caller folds slots in index
+// order — so the returned vector is a pure function of (count, fn),
+// independent of thread count and scheduling. Exceptions from fn are
+// captured and the one with the smallest index is rethrown on the caller's
+// thread after the batch drains, mirroring TrialRunner::run.
+//
+// The census sweeps its edge-code chunks through this. Thread workers
+// belong HERE: dip-lint's thread-containment rule forbids std::thread
+// anywhere else under src/ (library code includes this header; the threads
+// stay in src/sim).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/trial_runner.hpp"
+
+namespace dip::sim {
+
+// R must be default-constructible; fn must be safe to invoke concurrently
+// from several threads (give each invocation its own workspace, or key all
+// state off the index). threads == 0 resolves via DIP_THREADS / hardware
+// concurrency, like TrialConfig.
+template <typename R, typename Fn>
+std::vector<R> parallelMap(std::size_t count, unsigned threads, Fn&& fn) {
+  std::vector<R> results(count);
+  std::atomic<std::size_t> next{0};
+
+  std::mutex failureLock;
+  std::size_t failureIndex = count;
+  std::exception_ptr failure;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        results[index] = fn(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> guard(failureLock);
+        if (index < failureIndex) {
+          failureIndex = index;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned resolved = resolveThreads(threads);
+  const unsigned poolSize =
+      count == 0 ? 0
+                 : static_cast<unsigned>(std::min<std::size_t>(resolved, count));
+  if (poolSize <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(poolSize - 1);
+    for (unsigned i = 0; i + 1 < poolSize; ++i) pool.emplace_back(worker);
+    worker();  // The calling thread is the pool's last member.
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (failure) std::rethrow_exception(failure);
+  return results;
+}
+
+}  // namespace dip::sim

@@ -4,76 +4,93 @@
 
 namespace dip::util {
 
-DynBitset::DynBitset(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+DynBitset::DynBitset(std::size_t size) : size_(size) {
+  if (!small()) heap_.assign(wordCount(), 0);
+}
 
 bool DynBitset::test(std::size_t i) const {
   if (i >= size_) throw std::out_of_range("DynBitset::test: index out of range");
-  return (words_[i / 64] >> (i % 64)) & 1ull;
+  return (words()[i / 64] >> (i % 64)) & 1ull;
 }
 
 void DynBitset::set(std::size_t i, bool value) {
   if (i >= size_) throw std::out_of_range("DynBitset::set: index out of range");
   if (value) {
-    words_[i / 64] |= 1ull << (i % 64);
+    words()[i / 64] |= 1ull << (i % 64);
   } else {
-    words_[i / 64] &= ~(1ull << (i % 64));
+    words()[i / 64] &= ~(1ull << (i % 64));
   }
 }
 
 void DynBitset::clearAll() {
-  for (auto& word : words_) word = 0;
+  std::uint64_t* w = words();
+  for (std::size_t i = 0; i < wordCount(); ++i) w[i] = 0;
 }
 
 std::size_t DynBitset::count() const {
+  const std::uint64_t* w = words();
   std::size_t total = 0;
-  for (auto word : words_) total += static_cast<std::size_t>(__builtin_popcountll(word));
+  for (std::size_t i = 0; i < wordCount(); ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+  }
   return total;
 }
 
 bool DynBitset::any() const {
-  for (auto word : words_) {
-    if (word) return true;
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < wordCount(); ++i) {
+    if (w[i]) return true;
   }
   return false;
 }
 
 DynBitset& DynBitset::operator^=(const DynBitset& other) {
   if (size_ != other.size_) throw std::invalid_argument("DynBitset: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < wordCount(); ++i) w[i] ^= o[i];
   return *this;
 }
 
 DynBitset& DynBitset::operator|=(const DynBitset& other) {
   if (size_ != other.size_) throw std::invalid_argument("DynBitset: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < wordCount(); ++i) w[i] |= o[i];
   return *this;
 }
 
 DynBitset& DynBitset::operator&=(const DynBitset& other) {
   if (size_ != other.size_) throw std::invalid_argument("DynBitset: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < wordCount(); ++i) w[i] &= o[i];
   return *this;
 }
 
 bool DynBitset::intersects(const DynBitset& other) const {
   if (size_ != other.size_) throw std::invalid_argument("DynBitset: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & other.words_[i]) return true;
+  const std::uint64_t* w = words();
+  const std::uint64_t* o = other.words();
+  for (std::size_t i = 0; i < wordCount(); ++i) {
+    if (w[i] & o[i]) return true;
   }
   return false;
 }
 
 std::size_t DynBitset::firstSet() const {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w]) return w * 64 + static_cast<unsigned>(__builtin_ctzll(words_[w]));
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < wordCount(); ++i) {
+    if (w[i]) return i * 64 + static_cast<unsigned>(__builtin_ctzll(w[i]));
   }
   return size_;
 }
 
 std::size_t DynBitset::hashValue() const {
   std::size_t h = size_ * 0x9E3779B97F4A7C15ull;
-  for (auto word : words_) {
-    h ^= word + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0; i < wordCount(); ++i) {
+    h ^= w[i] + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
   }
   return h;
 }

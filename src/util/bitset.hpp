@@ -1,5 +1,10 @@
 // A compact dynamic bitset used for adjacency-matrix rows and neighborhood
 // characteristic vectors (the paper's N(v) in {0,1}^V).
+//
+// Sets of up to 64 bits live in a single inline word — no heap allocation.
+// Adjacency rows at the experiment sizes (and every graph in the exhaustive
+// censuses) stay inline, which keeps Graph construction and row copies off
+// the allocator in the search engine's hot loops.
 #pragma once
 
 #include <cstddef>
@@ -33,11 +38,13 @@ class DynBitset {
   // Invokes fn(i) for each set bit, ascending.
   template <typename Fn>
   void forEachSet(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
+    const std::uint64_t* w = words();
+    const std::size_t count = wordCount();
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t word = w[i];
       while (word) {
         unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
-        fn(w * 64 + bit);
+        fn(i * 64 + bit);
         word &= word - 1;
       }
     }
@@ -48,9 +55,20 @@ class DynBitset {
 
   std::size_t hashValue() const;
 
+  // Raw word access (little-endian bit order within each 64-bit word); the
+  // search engine packs rows from here.
+  std::size_t wordCount() const { return (size_ + 63) / 64; }
+  const std::uint64_t* words() const { return small() ? &word0_ : heap_.data(); }
+
  private:
+  bool small() const { return size_ <= 64; }
+  std::uint64_t* words() { return small() ? &word0_ : heap_.data(); }
+
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  // Inline storage for size_ <= 64; heap_ otherwise (word0_ then stays 0 so
+  // the defaulted operator== remains a representation comparison).
+  std::uint64_t word0_ = 0;
+  std::vector<std::uint64_t> heap_;
 };
 
 }  // namespace dip::util

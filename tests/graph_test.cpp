@@ -84,6 +84,40 @@ TEST(Graph, UpperTriangleRoundTrip) {
   }
 }
 
+TEST(Graph, FromUpperTriangleCodeMatchesBitsPath) {
+  // The census fast path must construct the exact same graph as the
+  // DynBitset decoder, for every code at small n and for spot checks at
+  // the largest code-compatible size.
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const std::size_t slots = n * (n - 1) / 2;
+    for (std::uint64_t code = 0; code < (1ull << slots); ++code) {
+      util::DynBitset bits(slots);
+      for (std::size_t i = 0; i < slots; ++i) {
+        if ((code >> i) & 1ull) bits.set(i);
+      }
+      EXPECT_EQ(Graph::fromUpperTriangleCode(n, code),
+                Graph::fromUpperTriangleBits(n, bits))
+          << "n=" << n << " code=" << code;
+    }
+  }
+  // n = 11 has 55 slots: still one word. A sparse high-bit pattern.
+  const std::uint64_t code = (1ull << 54) | (1ull << 31) | 1ull;
+  util::DynBitset bits(55);
+  bits.set(54);
+  bits.set(31);
+  bits.set(0);
+  EXPECT_EQ(Graph::fromUpperTriangleCode(11, code),
+            Graph::fromUpperTriangleBits(11, bits));
+}
+
+TEST(Graph, FromUpperTriangleCodeValidates) {
+  // n = 12 needs 66 slots > 64: code form unrepresentable.
+  EXPECT_THROW(Graph::fromUpperTriangleCode(12, 0), std::invalid_argument);
+  // Bits beyond the slot count are rejected, not silently dropped.
+  EXPECT_THROW(Graph::fromUpperTriangleCode(3, 1ull << 3), std::invalid_argument);
+  EXPECT_EQ(Graph::fromUpperTriangleCode(3, 0b111).numEdges(), 3u);
+}
+
 TEST(Permutations, Helpers) {
   EXPECT_TRUE(isPermutation({1, 0, 2}, 3));
   EXPECT_FALSE(isPermutation({1, 1, 2}, 3));

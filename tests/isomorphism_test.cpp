@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "graph/catalog.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/isomorphism.hpp"
@@ -112,6 +113,54 @@ TEST(Automorphism, CountMatchesBruteForce) {
 
 TEST(Automorphism, CountRespectsCap) {
   EXPECT_EQ(countAutomorphisms(completeGraph(5), 7), 7u);
+}
+
+TEST(Automorphism, OrbitPrunedCountMatchesKnownGroupOrders) {
+  // The IR engine counts via orbit-stabilizer with pruning; these classical
+  // group orders cross-check the pruning against published values.
+  EXPECT_EQ(countAutomorphisms(petersenGraph()), 120u);       // S5 on 2-subsets.
+  EXPECT_EQ(countAutomorphisms(fruchtGraph()), 1u);           // Smallest rigid cubic.
+  EXPECT_EQ(countAutomorphisms(heawoodGraph()), 336u);        // PGL(2,7).
+  EXPECT_EQ(countAutomorphisms(completeBipartite(3, 4)), 144u);  // 3! * 4!.
+  EXPECT_EQ(countAutomorphisms(completeBipartite(3, 3)), 72u);   // 3!*3!*2.
+  EXPECT_EQ(countAutomorphisms(hypercubeGraph(3)), 48u);      // 2^3 * 3!.
+  EXPECT_EQ(countAutomorphisms(hypercubeGraph(4)), 384u);     // 2^4 * 4!.
+}
+
+TEST(Automorphism, OrbitPrunedCountMatchesUnprunedSearcher) {
+  // Differential test: the orbit-pruned IR counter and the retained
+  // unpruned backtracking searcher must agree on rigid AND symmetric
+  // inputs (pruning may only skip automorphisms it can prove redundant).
+  util::Rng rng(47);
+  for (int i = 0; i < 12; ++i) {
+    Graph rigid = randomRigidConnected(8, rng);
+    EXPECT_EQ(countAutomorphisms(rigid), countAutomorphismsBacktracking(rigid));
+    Graph symmetric = randomSymmetricConnected(10, rng);
+    EXPECT_EQ(countAutomorphisms(symmetric),
+              countAutomorphismsBacktracking(symmetric));
+  }
+  EXPECT_EQ(countAutomorphisms(petersenGraph()),
+            countAutomorphismsBacktracking(petersenGraph()));
+}
+
+TEST(Isomorphism, AgreesWithBacktrackingOracle) {
+  // The IR decider and the original backtracking searcher must return the
+  // same yes/no on every pair, and every witness must be exact.
+  util::Rng rng(48);
+  for (int i = 0; i < 30; ++i) {
+    Graph g0 = erdosRenyi(7, 0.5, rng);
+    Graph g1 =
+        (i % 2 == 0) ? randomIsomorphicCopy(g0, rng) : erdosRenyi(7, 0.5, rng);
+    auto ir = findIsomorphism(g0, g1);
+    auto oracle = findIsomorphismBacktracking(g0, g1);
+    EXPECT_EQ(ir.has_value(), oracle.has_value()) << "iteration " << i;
+    if (ir) {
+      EXPECT_EQ(g0.relabeled(*ir), g1);
+    }
+    if (oracle) {
+      EXPECT_EQ(g0.relabeled(*oracle), g1);
+    }
+  }
 }
 
 TEST(Isomorphism, RelabeledCopiesAreIsomorphic) {

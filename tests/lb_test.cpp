@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "graph/builders.hpp"
 #include "graph/generators.hpp"
@@ -39,6 +40,41 @@ TEST(Census, RigidFamilyAtSix) {
   EXPECT_EQ(census.labeledGraphs, 32768u);
   EXPECT_EQ(census.rigidClasses, 8u);
   EXPECT_EQ(census.labeledRigid, 8u * 720u);
+}
+
+TEST(Census, RigidFamilyAtSeven) {
+  // n = 7: 1044 isomorphism classes (A000088), 152 of them asymmetric
+  // (A003400), so 152 * 7! = 766080 labeled rigid graphs out of 2^21.
+  CensusResult census = exhaustiveCensus(7);
+  EXPECT_EQ(census.labeledGraphs, 1u << 21);
+  EXPECT_EQ(census.isoClasses, 1044u);
+  EXPECT_EQ(census.rigidClasses, 152u);
+  EXPECT_EQ(census.labeledRigid, 766080u);
+}
+
+TEST(Census, ResultIndependentOfThreadCount) {
+  // The determinism contract: identical results at every pool size.
+  CensusResult serial = exhaustiveCensus(6, 1);
+  for (unsigned threads : {2u, 3u, 4u, 8u}) {
+    CensusResult parallel = exhaustiveCensus(6, threads);
+    EXPECT_EQ(parallel.labeledGraphs, serial.labeledGraphs) << threads;
+    EXPECT_EQ(parallel.labeledRigid, serial.labeledRigid) << threads;
+    EXPECT_EQ(parallel.rigidClasses, serial.rigidClasses) << threads;
+    EXPECT_EQ(parallel.isoClasses, serial.isoClasses) << threads;
+  }
+}
+
+TEST(Census, RigidFamilyAtEight) {
+  // Extended tier: 2^28 labeled graphs. ~40 s single-threaded; opt in with
+  // DIP_CENSUS8=1 (the E4 benchmark mirrors this gate).
+  if (std::getenv("DIP_CENSUS8") == nullptr) {
+    GTEST_SKIP() << "set DIP_CENSUS8=1 to run the n = 8 census";
+  }
+  CensusResult census = exhaustiveCensus(8);
+  EXPECT_EQ(census.labeledGraphs, 1u << 28);
+  EXPECT_EQ(census.isoClasses, 12346u);           // OEIS A000088.
+  EXPECT_EQ(census.labeledRigid % 40320u, 0u);    // Rigid orbits have size 8!.
+  EXPECT_EQ(census.rigidClasses, 3696u);          // OEIS A003400.
 }
 
 TEST(Census, OrbitCountingConsistency) {

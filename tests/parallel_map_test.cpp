@@ -1,0 +1,72 @@
+// Tests for sim::parallelMap — the deterministic indexed fan-out that the
+// census (and any future sweep) builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_map.hpp"
+
+namespace dip::sim {
+namespace {
+
+TEST(ParallelMap, ResultsLandAtTheirOwnIndex) {
+  auto results = parallelMap<std::size_t>(100, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelMap, IdenticalAcrossThreadCounts) {
+  // The determinism contract: the result vector is a pure function of
+  // (count, fn), never of the pool size or scheduling.
+  auto reference = parallelMap<std::uint64_t>(
+      257, 1, [](std::size_t i) { return (i * 2654435761u) ^ (i << 7); });
+  for (unsigned threads : {2u, 3u, 8u, 64u}) {
+    auto results = parallelMap<std::uint64_t>(
+        257, threads, [](std::size_t i) { return (i * 2654435761u) ^ (i << 7); });
+    EXPECT_EQ(results, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMap, NonTrivialResultTypes) {
+  auto results = parallelMap<std::string>(
+      10, 4, [](std::size_t i) { return std::string(i, 'x'); });
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i].size(), i);
+}
+
+TEST(ParallelMap, EmptyBatchReturnsEmpty) {
+  auto results = parallelMap<int>(0, 8, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelMap, SmallestIndexFailureWins) {
+  // Several items throw; the caller must see the failure with the smallest
+  // index regardless of which worker hit which item first.
+  for (unsigned threads : {1u, 4u}) {
+    try {
+      parallelMap<int>(64, threads, [](std::size_t i) -> int {
+        if (i % 10 == 7) throw std::runtime_error("item " + std::to_string(i));
+        return static_cast<int>(i);
+      });
+      FAIL() << "expected a rethrown failure";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "item 7") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelMap, EveryIndexRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(200);
+  for (auto& h : hits) h.store(0);
+  parallelMap<int>(200, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    return 0;
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+}  // namespace
+}  // namespace dip::sim

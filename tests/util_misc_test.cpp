@@ -197,6 +197,35 @@ TEST(DynBitset, EqualityAndHash) {
   EXPECT_NE(a, c);
 }
 
+TEST(DynBitset, InlineToHeapBoundary) {
+  // Sizes straddling the single-word small-size optimization (<= 64 bits
+  // inline, > 64 heap-backed) must behave identically through every op.
+  for (std::size_t size : {63u, 64u, 65u, 128u, 129u}) {
+    DynBitset bits(size);
+    EXPECT_EQ(bits.wordCount(), (size + 63) / 64);
+    bits.set(0);
+    bits.set(size - 1);
+    EXPECT_EQ(bits.count(), size == 1 ? 1u : 2u);
+    EXPECT_TRUE(bits.test(size - 1));
+    EXPECT_EQ(bits.firstSet(), 0u);
+    EXPECT_THROW(bits.set(size), std::out_of_range);
+
+    DynBitset other(size);
+    other.set(size - 1);
+    EXPECT_TRUE(bits.intersects(other));
+    bits ^= other;
+    EXPECT_FALSE(bits.test(size - 1));
+    EXPECT_TRUE(bits.test(0));
+
+    // Copies must be independent (deep-copied heap words, detached SSO).
+    DynBitset copy = other;
+    copy.reset(size - 1);
+    EXPECT_TRUE(other.test(size - 1));
+    EXPECT_FALSE(copy.test(size - 1));
+    EXPECT_NE(copy, other);
+  }
+}
+
 // ---- Primes ----
 
 TEST(Primes, SmallKnownValues) {
