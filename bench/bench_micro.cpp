@@ -55,7 +55,92 @@ static void BM_MontgomeryPowMod(benchmark::State& state) {
 }
 BENCHMARK(BM_MontgomeryPowMod)->Arg(64)->Arg(256)->Arg(1024);
 
+// An odd modulus of exactly `bits` bits (top bit forced). Montgomery needs
+// oddness, not primality, and skipping the prime search keeps the 4096-bit
+// setups instant.
+static util::BigUInt randomOddModulus(util::Rng& rng, std::size_t bits) {
+  util::BigUInt m = (util::BigUInt{1} << (bits - 1)) + rng.nextBigBits(bits - 1);
+  if (!m.isOdd()) m += util::BigUInt{1};
+  return m;
+}
+
+static void BM_BigMul(benchmark::State& state) {
+  // Plain product through the allocation-free mulInto entry point:
+  // schoolbook below kKaratsubaThresholdLimbs, Karatsuba above (4096-bit
+  // operands are 64 limbs, well past the threshold).
+  util::Rng rng(20);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt a = rng.nextBigBits(bits);
+  util::BigUInt b = rng.nextBigBits(bits);
+  util::BigUInt out;
+  std::vector<util::BigUInt::Limb> scratch;
+  for (auto _ : state) {
+    util::BigUInt::mulInto(a, b, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BigMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_MulMod(benchmark::State& state) {
+  // In-domain Montgomery multiply: one CIOS pass, no conversions, no
+  // allocations -- the per-term cost of the hash layer's Horner chains.
+  // Compare against BM_BigUIntMulMod (multiply + Knuth division) above.
+  util::Rng rng(21);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = randomOddModulus(rng, bits);
+  util::MontgomeryContext ctx(m);
+  util::MontgomeryContext::Scratch scratch;
+  util::MontgomeryValue a = ctx.toValue(rng.nextBigBelow(m));
+  util::MontgomeryValue b = ctx.toValue(rng.nextBigBelow(m));
+  util::MontgomeryValue out;
+  for (auto _ : state) {
+    ctx.mulValue(a, b, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MulMod)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_PowMod(benchmark::State& state) {
+  // Fixed-window (w = 4) in-domain exponentiation with a full-width
+  // exponent. Compare against BM_BigUIntPowMod above.
+  util::Rng rng(22);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = randomOddModulus(rng, bits);
+  util::MontgomeryContext ctx(m);
+  util::MontgomeryContext::Scratch scratch;
+  util::MontgomeryValue base = ctx.toValue(rng.nextBigBelow(m));
+  util::BigUInt exponent = rng.nextBigBits(bits);
+  util::MontgomeryValue out;
+  for (auto _ : state) {
+    ctx.powValue(base, exponent, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PowMod)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_LinearHashEval(benchmark::State& state) {
+  // One LinearHashEvaluator polynomial walk over a dense 1024-position bit
+  // row, parameterized by modulus width. Multi-limb widths pin the
+  // Montgomery backend (in-domain Horner, one REDC per set bit); the
+  // evaluator is rebound once, so steady state allocates nothing.
+  util::Rng rng(23);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = randomOddModulus(rng, bits);
+  const std::uint64_t dimension = 1024;
+  util::BigUInt a = rng.nextBigBelow(m);
+  hash::LinearHashEvaluator evaluator;
+  evaluator.rebind(m, dimension, a);
+  util::DynBitset row(dimension);
+  for (std::size_t i = 0; i < dimension; ++i) row.set(i, rng.nextBool());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.hashBits(row));
+  }
+}
+BENCHMARK(BM_LinearHashEval)->Arg(256)->Arg(1024)->Arg(4096);
+
 static void BM_MillerRabin(benchmark::State& state) {
+  // 1024-bit setup stays cheap because findPrimeWithBits runs the packed
+  // small-prime sieve before any Miller-Rabin round.
   util::Rng rng(3);
   std::size_t bits = static_cast<std::size_t>(state.range(0));
   util::BigUInt prime = util::findPrimeWithBits(bits, rng);
@@ -63,7 +148,7 @@ static void BM_MillerRabin(benchmark::State& state) {
     benchmark::DoNotOptimize(util::isProbablePrime(prime, rng, 8));
   }
 }
-BENCHMARK(BM_MillerRabin)->Arg(64)->Arg(256);
+BENCHMARK(BM_MillerRabin)->Arg(64)->Arg(256)->Arg(1024);
 
 static void BM_LinearHashRow(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -497,9 +497,10 @@ GniSecondMessage HonestGniProver::secondMessage(
 
     std::vector<util::BigUInt> gsPieces(n), permIPieces(n), permSPieces(n);
     std::vector<util::BigUInt> consCPieces(n), consTPieces(n);
+    hash::EpsApiHash::RowHasher rowHasher(params_.gsHash, challenge.seed);
     for (graph::Vertex v = 0; v < n; ++v) {
       util::DynBitset image = graph::Graph::imageOf(gb.closedRow(v), found.sigma);
-      gsPieces[v] = params_.gsHash.innerRow(challenge.seed, found.sigma[v], image);
+      gsPieces[v] = rowHasher.innerRow(found.sigma[v], image);
       permIPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, v, v, 1, n);
       permSPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, found.sigma[v],
                                                            found.sigma[v], 1, n);
@@ -609,12 +610,13 @@ GniSecondMessage NonPermutationGniProver::secondMessage(
     const GniChallenge& challenge = challenges[0][j];
 
     std::vector<util::BigUInt> gsPieces(n), permIPieces(n), permSPieces(n);
+    hash::EpsApiHash::RowHasher rowHasher(params_.gsHash, challenge.seed);
     for (graph::Vertex v = 0; v < n; ++v) {
       // Mirror exactly what each node will recompute: the image of its
       // closed G0 row under the committed s values.
       util::DynBitset image(n);
       instance.g0.closedRow(v).forEachSet([&](std::size_t u) { image.set(sigma[u]); });
-      gsPieces[v] = params_.gsHash.innerRow(challenge.seed, sigma[v], image);
+      gsPieces[v] = rowHasher.innerRow(sigma[v], image);
       permIPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, v, v, 1, n);
       permSPieces[v] =
           params_.checkFamily.hashMatrixEntry(checkSeed, sigma[v], sigma[v], 1, n);

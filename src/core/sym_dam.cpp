@@ -14,13 +14,16 @@ util::BigUInt mappedMatrixFingerprint(const graph::Graph& g,
                                       const util::BigUInt& index,
                                       const std::vector<graph::Vertex>& sigma) {
   const std::size_t n = g.numVertices();
-  util::BigUInt acc;
+  // The collision search calls this once per candidate sigma with the same
+  // (family, index): rebind short-circuits and the rows accumulate in the
+  // evaluator's backend domain, converting out once per fingerprint.
+  thread_local hash::LinearHashEvaluator evaluator;
+  evaluator.rebind(family.prime(), family.dimension(), index);
+  evaluator.resetAccumulator();
   for (graph::Vertex v = 0; v < n; ++v) {
-    util::BigUInt term = family.hashMatrixRow(
-        index, sigma[v], graph::Graph::imageOf(g.closedRow(v), sigma), n);
-    acc = util::addMod(acc, term, family.prime());
+    evaluator.accumulateMatrixRow(sigma[v], graph::Graph::imageOf(g.closedRow(v), sigma), n);
   }
-  return acc;
+  return evaluator.accumulatedValue();
 }
 
 SymDamProtocol::SymDamProtocol(hash::LinearHashFamily family)

@@ -43,10 +43,14 @@ ChainValues aggregateChains(const graph::Graph& g, const hash::LinearHashFamily&
   ChainValues values;
   values.a.assign(n, util::BigUInt{});
   values.b.assign(n, util::BigUInt{});
+  // One evaluator for the whole bottom-up pass: the index is fixed, so every
+  // row hash reuses the pinned backend state.
+  thread_local hash::LinearHashEvaluator evaluator;
+  evaluator.rebind(family.prime(), family.dimension(), index);
   for (graph::Vertex v : net::bottomUpOrder(tree)) {
-    util::BigUInt a = family.hashMatrixRow(index, v, g.closedRow(v), n);
-    util::BigUInt b = family.hashMatrixRow(index, rho[v],
-                                           localImageOfClosedRow(g, v, rho), n);
+    util::BigUInt a = evaluator.hashMatrixRow(v, g.closedRow(v), n);
+    util::BigUInt b = evaluator.hashMatrixRow(rho[v],
+                                              localImageOfClosedRow(g, v, rho), n);
     for (graph::Vertex child : net::childrenOf(g, tree, v)) {
       a = util::addMod(a, values.a[child], family.prime());
       b = util::addMod(b, values.b[child], family.prime());

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "hash/linear_hash.hpp"
+
 namespace dip::hash {
 
 DistributedSeedHash::DistributedSeedHash(util::BigUInt fieldPrime, std::size_t n)
@@ -18,21 +20,11 @@ util::BigUInt DistributedSeedHash::rowPiece(const util::BigUInt& nodeSeed,
   if (rowBits.size() != n_) {
     throw std::invalid_argument("DistributedSeedHash::rowPiece: row size mismatch");
   }
-  // poly(row, a) = sum over set bits w of a^(w+1), evaluated incrementally.
-  util::BigUInt acc;
-  util::BigUInt power = nodeSeed % p_;
-  std::size_t previous = 0;
-  bool first = true;
-  rowBits.forEachSet([&](std::size_t w) {
-    std::size_t gap = first ? w : w - previous;
-    for (std::size_t step = 0; step < gap; ++step) {
-      power = util::mulMod(power, nodeSeed, p_);
-    }
-    acc = util::addMod(acc, power, p_);
-    previous = w;
-    first = false;
-  });
-  return acc;
+  // poly(row, a) = sum over set bits w of a^(w+1), evaluated incrementally
+  // in the evaluator's backend domain (hashBits starts the walk at a^1).
+  thread_local LinearHashEvaluator evaluator;
+  evaluator.rebind(p_, n_, nodeSeed);
+  return evaluator.hashBits(rowBits);
 }
 
 util::BigUInt DistributedSeedHash::combine(const util::BigUInt& left,

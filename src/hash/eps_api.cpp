@@ -48,6 +48,14 @@ util::BigUInt EpsApiHash::innerRow(const Seed& seed, std::uint64_t rowIndex,
   return inner_.hashMatrixRow(seed.a, rowIndex, rowBits, n_);
 }
 
+EpsApiHash::RowHasher::RowHasher(const EpsApiHash& hash, const Seed& seed)
+    : n_(hash.n()), evaluator_(hash.inner(), seed.a) {}
+
+util::BigUInt EpsApiHash::RowHasher::innerRow(std::uint64_t rowIndex,
+                                              const util::DynBitset& rowBits) {
+  return evaluator_.hashMatrixRow(rowIndex, rowBits, n_);
+}
+
 util::BigUInt EpsApiHash::combine(const util::BigUInt& left,
                                   const util::BigUInt& right) const {
   return util::addMod(left, right, inner_.prime());
@@ -64,21 +72,26 @@ util::BigUInt EpsApiHash::outer(const Seed& seed, const util::BigUInt& innerValu
 util::BigUInt EpsApiHash::hashRows(const Seed& seed,
                                    const std::vector<util::DynBitset>& rows) const {
   if (rows.size() != n_) throw std::invalid_argument("hashRows: row count mismatch");
-  util::BigUInt acc;
+  // One evaluator for the whole matrix: rows accumulate in the backend
+  // domain and convert out once.
+  LinearHashEvaluator evaluator(inner_, seed.a);
+  evaluator.resetAccumulator();
   for (std::size_t u = 0; u < n_; ++u) {
-    acc = combine(acc, innerRow(seed, u, rows[u]));
+    evaluator.accumulateMatrixRow(u, rows[u], n_);
   }
-  return outer(seed, acc);
+  return outer(seed, evaluator.accumulatedValue());
 }
 
 EpsApiHash::PowerTable EpsApiHash::preparePowers(const Seed& seed) const {
   PowerTable table;
   const std::size_t count = n_ * n_;
-  table.powers.reserve(count);
-  util::BigUInt power = seed.a % inner_.prime();
-  for (std::size_t j = 0; j < count; ++j) {
-    table.powers.push_back(power);
-    if (j + 1 < count) power = util::mulMod(power, seed.a, inner_.prime());
+  LinearHashEvaluator evaluator(inner_, seed.a);
+  evaluator.powerTable(count, table.powers);
+  if (inner_.prime().fitsU64()) {
+    table.powers64.reserve(count);
+    for (const util::BigUInt& power : table.powers) {
+      table.powers64.push_back(power.toU64());
+    }
   }
   return table;
 }
@@ -86,6 +99,16 @@ EpsApiHash::PowerTable EpsApiHash::preparePowers(const Seed& seed) const {
 util::BigUInt EpsApiHash::innerRowPrepared(const PowerTable& table,
                                            std::uint64_t rowIndex,
                                            const util::DynBitset& rowBits) const {
+  if (!table.powers64.empty()) {
+    const std::uint64_t p = inner_.prime().toU64();
+    std::uint64_t acc = 0;
+    rowBits.forEachSet([&](std::size_t w) {
+      std::uint64_t term = table.powers64[rowIndex * n_ + w];
+      acc += term;
+      if (acc < term || acc >= p) acc -= p;
+    });
+    return util::BigUInt{acc};
+  }
   util::BigUInt acc;
   const util::BigUInt& p = inner_.prime();
   rowBits.forEachSet([&](std::size_t w) {
@@ -96,6 +119,20 @@ util::BigUInt EpsApiHash::innerRowPrepared(const PowerTable& table,
 
 util::BigUInt EpsApiHash::hashRowsPrepared(const Seed& seed, const PowerTable& table,
                                            const std::vector<util::DynBitset>& rows) const {
+  if (!table.powers64.empty()) {
+    // The prover's hot path: the entire candidate matrix accumulates in one
+    // native word, with a single BigUInt materialized for the outer layer.
+    const std::uint64_t p = inner_.prime().toU64();
+    std::uint64_t acc = 0;
+    for (std::size_t u = 0; u < n_; ++u) {
+      rows[u].forEachSet([&](std::size_t w) {
+        std::uint64_t term = table.powers64[u * n_ + w];
+        acc += term;
+        if (acc < term || acc >= p) acc -= p;
+      });
+    }
+    return outer(seed, util::BigUInt{acc});
+  }
   util::BigUInt acc;
   for (std::size_t u = 0; u < n_; ++u) {
     acc = combine(acc, innerRowPrepared(table, u, rows[u]));

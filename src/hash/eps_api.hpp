@@ -75,6 +75,18 @@ class EpsApiHash {
   // Node-side: inner hash of the matrix [rowIndex, rowBits] (one row).
   util::BigUInt innerRow(const Seed& seed, std::uint64_t rowIndex,
                          const util::DynBitset& rowBits) const;
+  // In-domain row hasher pinned to one seed: each innerRow costs one
+  // convert-out and no steady-state heap allocation. Hoist one of these
+  // outside any loop that hashes many rows under the same seed.
+  class RowHasher {
+   public:
+    RowHasher(const EpsApiHash& hash, const Seed& seed);
+    util::BigUInt innerRow(std::uint64_t rowIndex, const util::DynBitset& rowBits);
+
+   private:
+    std::size_t n_;
+    LinearHashEvaluator evaluator_;
+  };
   // Tree combination: sum of child subtree inner values plus own row term.
   util::BigUInt combine(const util::BigUInt& left, const util::BigUInt& right) const;
   // Root-side: outer layer applied to the completed inner value.
@@ -88,8 +100,13 @@ class EpsApiHash {
   // Precomputed powers a^1 .. a^(n^2) of a seed's evaluation point. The
   // honest Goldwasser-Sipser prover hashes ~n! candidate matrices per
   // repetition; with the table each candidate costs only modular additions.
+  // `powers` stays in the plain domain on purpose: prover-side code adds
+  // table entries straight into plain accumulators. When P fits a 64-bit
+  // word, `powers64` mirrors the table so the whole candidate accumulation
+  // runs in native words with no BigUInt traffic.
   struct PowerTable {
-    std::vector<util::BigUInt> powers;  // powers[j] = a^(j+1) mod P.
+    std::vector<util::BigUInt> powers;     // powers[j] = a^(j+1) mod P.
+    std::vector<std::uint64_t> powers64;   // Same values; filled iff P < 2^64.
   };
   PowerTable preparePowers(const Seed& seed) const;
   util::BigUInt innerRowPrepared(const PowerTable& table, std::uint64_t rowIndex,

@@ -41,12 +41,18 @@ std::vector<bool> SymRpls::verify(const graph::Graph& g,
     throw std::invalid_argument("SymRpls: family dimension too small for labels");
   }
 
+  // Evaluator and entry buffer hoisted out of the per-node loop: each node's
+  // seed fingerprints its own label plus every neighbor's, so the rebind
+  // cost amortizes over the neighborhood.
+  hash::LinearHashEvaluator evaluator;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
   auto fingerprint = [&](const util::BigUInt& seed, const std::vector<bool>& bits) {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.clear();
     for (std::size_t i = 0; i < bits.size(); ++i) {
       if (bits[i]) entries.push_back({i, 1});
     }
-    return family_.hashSparse(seed, entries);
+    evaluator.rebind(family_.prime(), family_.dimension(), seed);
+    return evaluator.hashSparse(entries);
   };
 
   for (graph::Vertex v = 0; v < n; ++v) {

@@ -1,15 +1,33 @@
 #include "util/biguint.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "util/montgomery.hpp"
 
 namespace dip::util {
 
 namespace {
 
-constexpr std::uint64_t kLimbBase = 1ull << 32;
+using Limb = BigUInt::Limb;
+using DLimb = BigUInt::DLimb;
+constexpr unsigned kLimbBits = BigUInt::kLimbBits;
+constexpr DLimb kLimbBase = static_cast<DLimb>(1) << kLimbBits;
+
+// Decimal I/O works in the largest power of ten that fits a limb, so each
+// Horner/division pass over the limbs handles a whole chunk of digits.
+constexpr unsigned kDecChunkDigits = (kLimbBits == 64) ? 19 : 9;
+
+constexpr Limb pow10Limb(unsigned digits) {
+  Limb p = 1;
+  for (unsigned i = 0; i < digits; ++i) p *= 10;
+  return p;
+}
+
+constexpr Limb kDecChunkBase = pow10Limb(kDecChunkDigits);
 
 int hexDigitValue(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -18,22 +36,178 @@ int hexDigitValue(char c) {
   return -1;
 }
 
+// dst[0..dstLen) += src[0..srcLen), srcLen <= dstLen; returns the final carry.
+Limb addRaw(Limb* dst, std::size_t dstLen, const Limb* src, std::size_t srcLen) {
+  Limb carry = 0;
+  std::size_t i = 0;
+  for (; i < srcLen; ++i) {
+    DLimb cur = static_cast<DLimb>(dst[i]) + src[i] + carry;
+    dst[i] = static_cast<Limb>(cur);
+    carry = static_cast<Limb>(cur >> kLimbBits);
+  }
+  for (; carry && i < dstLen; ++i) {
+    DLimb cur = static_cast<DLimb>(dst[i]) + carry;
+    dst[i] = static_cast<Limb>(cur);
+    carry = static_cast<Limb>(cur >> kLimbBits);
+  }
+  return carry;
+}
+
+// dst[0..dstLen) += src[0..srcLen) where the sum is known to fit dstLen limbs.
+void addRawAt(Limb* dst, std::size_t dstLen, const Limb* src, std::size_t srcLen) {
+  addRaw(dst, dstLen, src, srcLen);
+}
+
+// dst[0..dstLen) -= src[0..srcLen); requires dst >= src as numbers.
+void subRaw(Limb* dst, std::size_t dstLen, const Limb* src, std::size_t srcLen) {
+  Limb borrow = 0;
+  std::size_t i = 0;
+  for (; i < srcLen; ++i) {
+    Limb t1 = dst[i] - src[i];
+    Limb b1 = t1 > dst[i];
+    Limb t2 = t1 - borrow;
+    Limb b2 = t2 > t1;
+    dst[i] = t2;
+    borrow = b1 | b2;
+  }
+  for (; borrow && i < dstLen; ++i) {
+    Limb t = dst[i] - borrow;
+    borrow = t > dst[i];
+    dst[i] = t;
+  }
+}
+
+// out[0..an+bn) = a * b, schoolbook. Overwrites out.
+void mulSchoolbookRaw(const Limb* a, std::size_t an, const Limb* b, std::size_t bn,
+                      Limb* out) {
+  std::fill(out, out + an + bn, 0);
+  for (std::size_t i = 0; i < an; ++i) {
+    Limb ai = a[i];
+    if (ai == 0) continue;
+    Limb carry = 0;
+    for (std::size_t j = 0; j < bn; ++j) {
+      DLimb cur = static_cast<DLimb>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> kLimbBits);
+    }
+    out[i + bn] = carry;
+  }
+}
+
+// out[0..2n) = a * b for equal-length operands; scratch must provide
+// karatsubaScratchLimbs(n) limbs. Overwrites out.
+void karatsubaEqualRaw(const Limb* a, const Limb* b, std::size_t n, Limb* out,
+                       Limb* scratch) {
+  if (n < BigUInt::kKaratsubaThresholdLimbs) {
+    mulSchoolbookRaw(a, n, b, n, out);
+    return;
+  }
+  const std::size_t lo = n / 2;
+  const std::size_t hi = n - lo;
+  // z0 = a0*b0 and z2 = a1*b1 land in disjoint halves of out.
+  karatsubaEqualRaw(a, b, lo, out, scratch);
+  karatsubaEqualRaw(a + lo, b + lo, hi, out + 2 * lo, scratch);
+  Limb* asum = scratch;
+  Limb* bsum = asum + (hi + 1);
+  Limb* prod = bsum + (hi + 1);
+  Limb* rest = prod + 2 * (hi + 1);
+  std::copy(a + lo, a + n, asum);
+  asum[hi] = addRaw(asum, hi, a, lo);
+  std::copy(b + lo, b + n, bsum);
+  bsum[hi] = addRaw(bsum, hi, b, lo);
+  karatsubaEqualRaw(asum, bsum, hi + 1, prod, rest);
+  // z1 = (a0+a1)(b0+b1) - z0 - z2 = a0*b1 + a1*b0, added at offset lo. Limbs
+  // of prod beyond 2n - lo are provably zero (z1 < 2*B^n), so clamping the
+  // add length is safe.
+  subRaw(prod, 2 * (hi + 1), out, 2 * lo);
+  subRaw(prod, 2 * (hi + 1), out + 2 * lo, 2 * hi);
+  addRawAt(out + lo, 2 * n - lo, prod, std::min(2 * (hi + 1), 2 * n - lo));
+}
+
+std::size_t karatsubaScratchLimbs(std::size_t n) {
+  std::size_t total = 0;
+  while (n >= BigUInt::kKaratsubaThresholdLimbs) {
+    std::size_t hi = n - n / 2;
+    total += 4 * (hi + 1);
+    n = hi + 1;
+  }
+  return total;
+}
+
+std::size_t mulScratchLimbs(std::size_t an, std::size_t bn) {
+  if (an < bn) std::swap(an, bn);
+  if (bn < BigUInt::kKaratsubaThresholdLimbs) return 0;
+  if (an == bn) return karatsubaScratchLimbs(an);
+  std::size_t rec = karatsubaScratchLimbs(bn);
+  std::size_t tail = an % bn;
+  if (tail != 0) rec = std::max(rec, mulScratchLimbs(bn, tail));
+  return 2 * bn + rec;
+}
+
+// out[0..an+bn) = a * b; dispatches schoolbook / Karatsuba / chopped
+// Karatsuba for unbalanced operands. Overwrites out.
+void mulRaw(const Limb* a, std::size_t an, const Limb* b, std::size_t bn, Limb* out,
+            Limb* scratch) {
+  if (an < bn) {
+    std::swap(a, b);
+    std::swap(an, bn);
+  }
+  if (bn < BigUInt::kKaratsubaThresholdLimbs) {
+    mulSchoolbookRaw(a, an, b, bn, out);
+    return;
+  }
+  if (an == bn) {
+    karatsubaEqualRaw(a, b, an, out, scratch);
+    return;
+  }
+  // Chop the longer operand into bn-limb blocks, each multiplied balanced.
+  std::fill(out, out + an + bn, 0);
+  Limb* temp = scratch;
+  Limb* rest = scratch + 2 * bn;
+  for (std::size_t offset = 0; offset < an; offset += bn) {
+    std::size_t blockLen = std::min(bn, an - offset);
+    if (blockLen == bn) {
+      karatsubaEqualRaw(a + offset, b, bn, temp, rest);
+    } else {
+      mulRaw(a + offset, blockLen, b, bn, temp, rest);
+    }
+    addRawAt(out + offset, an + bn - offset, temp, blockLen + bn);
+  }
+}
+
 }  // namespace
 
 BigUInt::BigUInt(std::uint64_t value) {
-  if (value != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(value));
-    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
-  }
+  if (value == 0) return;
+#if defined(DIP_BIGUINT_LIMB32)
+  limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+#else
+  limbs_.push_back(value);
+#endif
 }
 
 void BigUInt::normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
 }
 
-BigUInt BigUInt::fromLimbs(std::vector<std::uint32_t> limbs) {
+BigUInt BigUInt::fromWords(std::vector<Limb> words) {
   BigUInt out;
-  out.limbs_ = std::move(limbs);
+  out.limbs_ = std::move(words);
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::fromLimbs(const std::vector<std::uint32_t>& limbs) {
+  BigUInt out;
+#if defined(DIP_BIGUINT_LIMB32)
+  out.limbs_ = limbs;
+#else
+  out.limbs_.assign((limbs.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    out.limbs_[i / 2] |= static_cast<Limb>(limbs[i]) << (32 * (i & 1));
+  }
+#endif
   out.normalize();
   return out;
 }
@@ -41,18 +215,28 @@ BigUInt BigUInt::fromLimbs(std::vector<std::uint32_t> limbs) {
 BigUInt BigUInt::fromDecimal(std::string_view text) {
   if (text.empty()) throw std::invalid_argument("BigUInt::fromDecimal: empty string");
   BigUInt out;
-  for (char c : text) {
-    if (c < '0' || c > '9') {
-      throw std::invalid_argument("BigUInt::fromDecimal: non-digit character");
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t len = (pos == 0) ? (text.size() % kDecChunkDigits) : kDecChunkDigits;
+    if (len == 0) len = kDecChunkDigits;
+    Limb chunk = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      char c = text[pos + i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("BigUInt::fromDecimal: non-digit character");
+      }
+      chunk = chunk * 10 + static_cast<Limb>(c - '0');
     }
-    // out = out * 10 + digit, fused in one limb pass.
-    std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+    // out = out * 10^len + chunk, fused in one limb pass.
+    Limb mult = pow10Limb(static_cast<unsigned>(len));
+    Limb carry = chunk;
     for (auto& limb : out.limbs_) {
-      std::uint64_t cur = static_cast<std::uint64_t>(limb) * 10 + carry;
-      limb = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      DLimb cur = static_cast<DLimb>(limb) * mult + carry;
+      limb = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> kLimbBits);
     }
-    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    if (carry) out.limbs_.push_back(carry);
+    pos += len;
   }
   return out;
 }
@@ -60,47 +244,45 @@ BigUInt BigUInt::fromDecimal(std::string_view text) {
 BigUInt BigUInt::fromHex(std::string_view text) {
   if (text.empty()) throw std::invalid_argument("BigUInt::fromHex: empty string");
   BigUInt out;
-  for (char c : text) {
-    int digit = hexDigitValue(c);
+  out.limbs_.assign((4 * text.size() + kLimbBits - 1) / kLimbBits, 0);
+  std::size_t bitPos = 0;
+  for (std::size_t i = text.size(); i-- > 0;) {
+    int digit = hexDigitValue(text[i]);
     if (digit < 0) throw std::invalid_argument("BigUInt::fromHex: non-hex character");
-    out <<= 4;
-    if (digit != 0) {
-      if (out.limbs_.empty()) out.limbs_.push_back(0);
-      out.limbs_[0] |= static_cast<std::uint32_t>(digit);
-    }
+    out.limbs_[bitPos / kLimbBits] |=
+        static_cast<Limb>(digit) << (bitPos % kLimbBits);
+    bitPos += 4;
   }
+  out.normalize();
   return out;
 }
 
 std::size_t BigUInt::bitLength() const {
   if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return (limbs_.size() - 1) * kLimbBits +
+         static_cast<std::size_t>(std::bit_width(limbs_.back()));
 }
 
 bool BigUInt::bit(std::size_t i) const {
-  std::size_t limb = i / 32;
+  std::size_t limb = i / kLimbBits;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
 }
 
 std::uint64_t BigUInt::toU64() const {
   if (!fitsU64()) throw std::overflow_error("BigUInt::toU64: value exceeds 64 bits");
   std::uint64_t value = 0;
-  if (limbs_.size() > 1) value = static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (!limbs_.empty()) value |= limbs_[0];
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    value = (value << (kLimbBits - 1)) << 1 | limbs_[i];
+  }
   return value;
 }
 
 double BigUInt::toDouble() const {
   double value = 0.0;
+  const double base = std::ldexp(1.0, kLimbBits);
   for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
-    value = value * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+    value = value * base + static_cast<double>(*it);
     if (!std::isfinite(value)) return std::numeric_limits<double>::infinity();
   }
   return value;
@@ -108,31 +290,44 @@ double BigUInt::toDouble() const {
 
 double BigUInt::log2() const {
   if (limbs_.empty()) return -std::numeric_limits<double>::infinity();
-  // Use the top (up to) 96 bits for the mantissa and count the rest as shift.
+  // Use the top (up to) two limbs for the mantissa and count the rest as shift.
   std::size_t nLimbs = limbs_.size();
+  const double base = std::ldexp(1.0, kLimbBits);
   double mantissa = 0.0;
-  std::size_t used = std::min<std::size_t>(3, nLimbs);
+  std::size_t used = std::min<std::size_t>(2, nLimbs);
   for (std::size_t i = 0; i < used; ++i) {
-    mantissa = mantissa * static_cast<double>(kLimbBase) +
-               static_cast<double>(limbs_[nLimbs - 1 - i]);
+    mantissa = mantissa * base + static_cast<double>(limbs_[nLimbs - 1 - i]);
   }
-  return std::log2(mantissa) + 32.0 * static_cast<double>(nLimbs - used);
+  return std::log2(mantissa) +
+         static_cast<double>(kLimbBits) * static_cast<double>(nLimbs - used);
 }
 
 std::string BigUInt::toDecimal() const {
   if (limbs_.empty()) return "0";
-  std::string digits;
-  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;  // Least significant first; reversed at the end.
+  std::vector<Limb> work = limbs_;
   while (!work.empty()) {
-    // Divide `work` by 10 in place, collecting the remainder.
-    std::uint64_t remainder = 0;
+    // Divide `work` by 10^kDecChunkDigits in place; the remainder yields a
+    // whole chunk of digits per pass.
+    DLimb remainder = 0;
     for (std::size_t i = work.size(); i-- > 0;) {
-      std::uint64_t cur = (remainder << 32) | work[i];
-      work[i] = static_cast<std::uint32_t>(cur / 10);
-      remainder = cur % 10;
+      DLimb cur = (remainder << kLimbBits) | work[i];
+      work[i] = static_cast<Limb>(cur / kDecChunkBase);
+      remainder = cur % kDecChunkBase;
     }
     while (!work.empty() && work.back() == 0) work.pop_back();
-    digits.push_back(static_cast<char>('0' + remainder));
+    Limb chunk = static_cast<Limb>(remainder);
+    if (work.empty()) {
+      while (chunk) {
+        digits.push_back(static_cast<char>('0' + chunk % 10));
+        chunk /= 10;
+      }
+    } else {
+      for (unsigned i = 0; i < kDecChunkDigits; ++i) {
+        digits.push_back(static_cast<char>('0' + chunk % 10));
+        chunk /= 10;
+      }
+    }
   }
   std::reverse(digits.begin(), digits.end());
   return digits;
@@ -143,7 +338,7 @@ std::string BigUInt::toHex() const {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    for (int shift = 28; shift >= 0; shift -= 4) {
+    for (int shift = kLimbBits - 4; shift >= 0; shift -= 4) {
       out.push_back(kHex[(limbs_[i] >> shift) & 0xF]);
     }
   }
@@ -163,56 +358,43 @@ std::strong_ordering BigUInt::operator<=>(const BigUInt& other) const {
 
 BigUInt& BigUInt::operator+=(const BigUInt& rhs) {
   if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) + carry;
-    if (i < rhs.limbs_.size()) cur += rhs.limbs_[i];
-    limbs_[i] = static_cast<std::uint32_t>(cur);
-    carry = cur >> 32;
-  }
-  if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  Limb carry = addRaw(limbs_.data(), limbs_.size(), rhs.limbs_.data(),
+                      rhs.limbs_.size());
+  if (carry) limbs_.push_back(carry);
   return *this;
 }
 
 BigUInt& BigUInt::operator-=(const BigUInt& rhs) {
   if (*this < rhs) throw std::underflow_error("BigUInt::operator-=: negative result");
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::int64_t cur = static_cast<std::int64_t>(limbs_[i]) - borrow;
-    if (i < rhs.limbs_.size()) cur -= rhs.limbs_[i];
-    if (cur < 0) {
-      cur += static_cast<std::int64_t>(kLimbBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    limbs_[i] = static_cast<std::uint32_t>(cur);
-  }
+  subRaw(limbs_.data(), limbs_.size(), rhs.limbs_.data(), rhs.limbs_.size());
   normalize();
   return *this;
 }
 
-BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs) {
-  if (lhs.isZero() || rhs.isZero()) return BigUInt{};
-  BigUInt out;
-  out.limbs_.assign(lhs.limbs_.size() + rhs.limbs_.size(), 0);
-  for (std::size_t i = 0; i < lhs.limbs_.size(); ++i) {
-    std::uint64_t carry = 0;
-    std::uint64_t a = lhs.limbs_[i];
-    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
-      std::uint64_t cur = a * rhs.limbs_[j] + out.limbs_[i + j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + rhs.limbs_.size();
-    while (carry) {
-      std::uint64_t cur = out.limbs_[k] + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
+void BigUInt::mulInto(const BigUInt& lhs, const BigUInt& rhs, BigUInt& out,
+                      std::vector<Limb>& scratch) {
+  if (&out == &lhs || &out == &rhs) {
+    out = lhs * rhs;
+    return;
   }
+  if (lhs.isZero() || rhs.isZero()) {
+    out.limbs_.clear();
+    return;
+  }
+  const std::size_t an = lhs.limbs_.size();
+  const std::size_t bn = rhs.limbs_.size();
+  std::size_t need = mulScratchLimbs(an, bn);
+  if (scratch.size() < need) scratch.resize(need);
+  out.limbs_.resize(an + bn);
+  mulRaw(lhs.limbs_.data(), an, rhs.limbs_.data(), bn, out.limbs_.data(),
+         scratch.data());
   out.normalize();
+}
+
+BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs) {
+  BigUInt out;
+  std::vector<BigUInt::Limb> scratch;
+  BigUInt::mulInto(lhs, rhs, out, scratch);
   return out;
 }
 
@@ -223,34 +405,40 @@ BigUInt& BigUInt::operator*=(const BigUInt& rhs) {
 
 BigUInt& BigUInt::operator<<=(std::size_t bits) {
   if (limbs_.empty() || bits == 0) return *this;
-  std::size_t limbShift = bits / 32;
-  unsigned bitShift = static_cast<unsigned>(bits % 32);
-  std::vector<std::uint32_t> shifted(limbs_.size() + limbShift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) << bitShift;
-    shifted[i + limbShift] |= static_cast<std::uint32_t>(cur);
-    shifted[i + limbShift + 1] |= static_cast<std::uint32_t>(cur >> 32);
+  const std::size_t limbShift = bits / kLimbBits;
+  const unsigned bitShift = static_cast<unsigned>(bits % kLimbBits);
+  const std::size_t oldSize = limbs_.size();
+  limbs_.resize(oldSize + limbShift + (bitShift ? 1 : 0), 0);
+  if (bitShift) {
+    limbs_[oldSize + limbShift] = limbs_[oldSize - 1] >> (kLimbBits - bitShift);
+    for (std::size_t i = oldSize - 1; i-- > 0;) {
+      limbs_[i + limbShift + 1] =
+          (limbs_[i + 1] << bitShift) | (limbs_[i] >> (kLimbBits - bitShift));
+    }
+    limbs_[limbShift] = limbs_[0] << bitShift;
+  } else {
+    for (std::size_t i = oldSize; i-- > 0;) limbs_[i + limbShift] = limbs_[i];
   }
-  limbs_ = std::move(shifted);
+  std::fill(limbs_.begin(), limbs_.begin() + limbShift, 0);
   normalize();
   return *this;
 }
 
 BigUInt& BigUInt::operator>>=(std::size_t bits) {
   if (limbs_.empty()) return *this;
-  std::size_t limbShift = bits / 32;
-  unsigned bitShift = static_cast<unsigned>(bits % 32);
+  std::size_t limbShift = bits / kLimbBits;
+  unsigned bitShift = static_cast<unsigned>(bits % kLimbBits);
   if (limbShift >= limbs_.size()) {
     limbs_.clear();
     return *this;
   }
   std::size_t newSize = limbs_.size() - limbShift;
   for (std::size_t i = 0; i < newSize; ++i) {
-    std::uint64_t cur = limbs_[i + limbShift] >> bitShift;
+    Limb cur = limbs_[i + limbShift] >> bitShift;
     if (bitShift && i + limbShift + 1 < limbs_.size()) {
-      cur |= static_cast<std::uint64_t>(limbs_[i + limbShift + 1]) << (32 - bitShift);
+      cur |= limbs_[i + limbShift + 1] << (kLimbBits - bitShift);
     }
-    limbs_[i] = static_cast<std::uint32_t>(cur);
+    limbs_[i] = cur;
   }
   limbs_.resize(newSize);
   normalize();
@@ -261,9 +449,30 @@ std::uint32_t BigUInt::modU32(std::uint32_t modulus) const {
   if (modulus == 0) throw std::domain_error("BigUInt::modU32: division by zero");
   std::uint64_t remainder = 0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
+#if defined(DIP_BIGUINT_LIMB32)
     remainder = ((remainder << 32) | limbs_[i]) % modulus;
+#else
+    // Split each 64-bit limb into 32-bit halves so the running value stays
+    // within a native 64-bit division.
+    remainder = ((remainder << 32) | (limbs_[i] >> 32)) % modulus;
+    remainder = ((remainder << 32) | (limbs_[i] & 0xFFFFFFFFull)) % modulus;
+#endif
   }
   return static_cast<std::uint32_t>(remainder);
+}
+
+std::uint64_t BigUInt::modU64(std::uint64_t modulus) const {
+  if (modulus == 0) throw std::domain_error("BigUInt::modU64: division by zero");
+#if defined(DIP_BIGUINT_LIMB32)
+  return (*this % BigUInt{modulus}).toU64();
+#else
+  DLimb remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    DLimb cur = (remainder << kLimbBits) | limbs_[i];
+    remainder = cur % modulus;
+  }
+  return static_cast<std::uint64_t>(remainder);
+#endif
 }
 
 DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor) {
@@ -272,32 +481,28 @@ DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor) {
 
   // Single-limb divisor fast path.
   if (divisor.limbs_.size() == 1) {
-    std::uint32_t d = divisor.limbs_[0];
+    Limb d = divisor.limbs_[0];
     BigUInt quotient;
     quotient.limbs_.assign(dividend.limbs_.size(), 0);
-    std::uint64_t remainder = 0;
+    DLimb remainder = 0;
     for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
-      std::uint64_t cur = (remainder << 32) | dividend.limbs_[i];
-      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      DLimb cur = (remainder << kLimbBits) | dividend.limbs_[i];
+      quotient.limbs_[i] = static_cast<Limb>(cur / d);
       remainder = cur % d;
     }
     quotient.normalize();
-    return {std::move(quotient), BigUInt{remainder}};
+    BigUInt rem;
+    if (remainder) rem.limbs_.push_back(static_cast<Limb>(remainder));
+    return {std::move(quotient), std::move(rem)};
   }
 
-  // Knuth TAOCP vol. 2, Algorithm D (4.3.1), base 2^32.
+  // Knuth TAOCP vol. 2, Algorithm D (4.3.1), base 2^kLimbBits.
   const std::size_t n = divisor.limbs_.size();
   const std::size_t m = dividend.limbs_.size() - n;
 
   // D1: normalize so the divisor's top limb has its high bit set.
-  unsigned shift = 0;
-  {
-    std::uint32_t top = divisor.limbs_.back();
-    while ((top & 0x80000000u) == 0) {
-      top <<= 1;
-      ++shift;
-    }
-  }
+  const unsigned shift = static_cast<unsigned>(
+      kLimbBits - std::bit_width(divisor.limbs_.back()));
   BigUInt u = dividend << shift;
   BigUInt v = divisor << shift;
   u.limbs_.resize(dividend.limbs_.size() + 1, 0);  // Room for u[m + n].
@@ -305,57 +510,53 @@ DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor) {
   BigUInt quotient;
   quotient.limbs_.assign(m + 1, 0);
 
-  const std::uint64_t vTop = v.limbs_[n - 1];
-  const std::uint64_t vSecond = v.limbs_[n - 2];
+  const DLimb vTop = v.limbs_[n - 1];
+  const DLimb vSecond = v.limbs_[n - 2];
 
   for (std::size_t j = m + 1; j-- > 0;) {
     // D3: estimate the quotient digit.
-    std::uint64_t numerator =
-        (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
-    std::uint64_t qHat = numerator / vTop;
-    std::uint64_t rHat = numerator % vTop;
+    DLimb numerator =
+        (static_cast<DLimb>(u.limbs_[j + n]) << kLimbBits) | u.limbs_[j + n - 1];
+    DLimb qHat = numerator / vTop;
+    DLimb rHat = numerator % vTop;
     while (qHat >= kLimbBase ||
-           qHat * vSecond > ((rHat << 32) | u.limbs_[j + n - 2])) {
+           qHat * vSecond > ((rHat << kLimbBits) | u.limbs_[j + n - 2])) {
       --qHat;
       rHat += vTop;
       if (rHat >= kLimbBase) break;
     }
 
     // D4: multiply-and-subtract u[j .. j+n] -= qHat * v.
-    std::int64_t borrow = 0;
-    std::uint64_t carry = 0;
+    Limb q = static_cast<Limb>(qHat);
+    Limb borrow = 0;
+    Limb mulCarry = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t product = qHat * v.limbs_[i] + carry;
-      carry = product >> 32;
-      std::int64_t sub = static_cast<std::int64_t>(u.limbs_[j + i]) -
-                         static_cast<std::int64_t>(product & 0xFFFFFFFFull) - borrow;
-      if (sub < 0) {
-        sub += static_cast<std::int64_t>(kLimbBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u.limbs_[j + i] = static_cast<std::uint32_t>(sub);
+      DLimb product = static_cast<DLimb>(q) * v.limbs_[i] + mulCarry;
+      mulCarry = static_cast<Limb>(product >> kLimbBits);
+      Limb pLow = static_cast<Limb>(product);
+      Limb t1 = u.limbs_[j + i] - pLow;
+      Limb b1 = t1 > u.limbs_[j + i];
+      Limb t2 = t1 - borrow;
+      Limb b2 = t2 > t1;
+      u.limbs_[j + i] = t2;
+      borrow = b1 | b2;
     }
-    std::int64_t subTop = static_cast<std::int64_t>(u.limbs_[j + n]) -
-                          static_cast<std::int64_t>(carry) - borrow;
-    bool negative = subTop < 0;
-    u.limbs_[j + n] = static_cast<std::uint32_t>(subTop);  // Wraps mod 2^32 if negative.
+    Limb top = u.limbs_[j + n];
+    Limb t1 = top - mulCarry;
+    Limb b1 = t1 > top;
+    Limb t2 = t1 - borrow;
+    Limb b2 = t2 > t1;
+    u.limbs_[j + n] = t2;  // Wraps mod 2^kLimbBits if negative.
+    bool negative = b1 || b2;
 
     // D5/D6: if we subtracted too much, add v back and decrement the digit.
     if (negative) {
-      --qHat;
-      std::uint64_t addCarry = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t sum =
-            static_cast<std::uint64_t>(u.limbs_[j + i]) + v.limbs_[i] + addCarry;
-        u.limbs_[j + i] = static_cast<std::uint32_t>(sum);
-        addCarry = sum >> 32;
-      }
-      u.limbs_[j + n] = static_cast<std::uint32_t>(u.limbs_[j + n] + addCarry);
+      --q;
+      Limb addCarry = addRaw(&u.limbs_[j], n, v.limbs_.data(), n);
+      u.limbs_[j + n] = static_cast<Limb>(u.limbs_[j + n] + addCarry);
     }
 
-    quotient.limbs_[j] = static_cast<std::uint32_t>(qHat);
+    quotient.limbs_[j] = q;
   }
 
   quotient.normalize();
@@ -394,20 +595,35 @@ BigUInt mulMod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
     U128 product = static_cast<U128>(a.toU64()) * b.toU64();
     return BigUInt{static_cast<std::uint64_t>(product % m.toU64())};
   }
+  if (m.isOdd()) {
+    // Two REDC passes via the memoized context beat a Karatsuba multiply
+    // followed by Knuth-D division.
+    return cachedMontgomeryContext(m)->mulMod(a, b);
+  }
   return (a * b) % m;
 }
 
 BigUInt powMod(const BigUInt& base, const BigUInt& exponent, const BigUInt& m) {
   if (m.isZero()) throw std::domain_error("powMod: zero modulus");
   if (m == BigUInt{1}) return BigUInt{};
-  BigUInt result{1};
-  BigUInt square = base % m;
-  std::size_t bits = exponent.bitLength();
-  for (std::size_t i = 0; i < bits; ++i) {
-    if (exponent.bit(i)) result = mulMod(result, square, m);
-    if (i + 1 < bits) square = mulMod(square, square, m);
+  if (m.fitsU64()) {
+    const std::uint64_t mv = m.toU64();
+    __extension__ using U128 = unsigned __int128;
+    std::uint64_t result = 1 % mv;
+    std::uint64_t square = base.modU64(mv);
+    std::size_t bits = exponent.bitLength();
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (exponent.bit(i)) {
+        result = static_cast<std::uint64_t>(static_cast<U128>(result) * square % mv);
+      }
+      if (i + 1 < bits) {
+        square = static_cast<std::uint64_t>(static_cast<U128>(square) * square % mv);
+      }
+    }
+    return BigUInt{result};
   }
-  return result;
+  if (m.isOdd()) return cachedMontgomeryContext(m)->powMod(base, exponent);
+  return BarrettContext(m).powMod(base, exponent);
 }
 
 }  // namespace dip::util

@@ -8,10 +8,13 @@
 // protocols need: comparison, +, -, *, divmod, shifts, bit access, modular
 // exponentiation, and textual I/O.
 //
-// Representation: little-endian vector of 32-bit limbs, always normalized
-// (no trailing zero limbs); zero is the empty vector. 32-bit limbs keep the
-// schoolbook multiply and Knuth Algorithm D division simple, with 64-bit
-// intermediates.
+// Representation: little-endian vector of 64-bit limbs, always normalized
+// (no trailing zero limbs); zero is the empty vector. Products use
+// unsigned __int128 double-limbs; -DDIP_BIGUINT_LIMB32 falls back to 32-bit
+// limbs with 64-bit intermediates for targets without a 128-bit type.
+// Multiplication is schoolbook below kKaratsubaThresholdLimbs and Karatsuba
+// above it. The frozen seed implementation lives on as BigUIntRef
+// (biguint_ref.hpp), the differential-test oracle for this engine.
 #pragma once
 
 #include <compare>
@@ -29,6 +32,21 @@ DivModResult divMod(const BigUInt& dividend, const BigUInt& divisor);
 
 class BigUInt {
  public:
+#if defined(DIP_BIGUINT_LIMB32)
+  using Limb = std::uint32_t;
+  using DLimb = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+#else
+  using Limb = std::uint64_t;
+  __extension__ using DLimb = unsigned __int128;
+  static constexpr unsigned kLimbBits = 64;
+#endif
+
+  // Operands with at least this many limbs on both sides go through
+  // Karatsuba; below it schoolbook wins (tuned on the 1-CPU bench container;
+  // boundary behavior is pinned by tests/biguint_diff_test.cpp).
+  static constexpr std::size_t kKaratsubaThresholdLimbs = 24;
+
   BigUInt() = default;
   BigUInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
 
@@ -46,7 +64,7 @@ class BigUInt {
   // Value of bit i (little-endian); false beyond bitLength().
   bool bit(std::size_t i) const;
 
-  bool fitsU64() const { return limbs_.size() <= 2; }
+  bool fitsU64() const { return limbs_.size() * kLimbBits <= 64; }
   // Requires fitsU64(); throws std::overflow_error otherwise.
   std::uint64_t toU64() const;
   // Approximate conversion (for plotting/scaling); +inf if enormous.
@@ -67,21 +85,41 @@ class BigUInt {
   BigUInt& operator<<=(std::size_t bits);
   BigUInt& operator>>=(std::size_t bits);
 
+  // In-place aliases for the hot paths: after warm-up these reuse the limb
+  // vector's capacity, so steady-state Horner chains allocate nothing.
+  BigUInt& addInPlace(const BigUInt& rhs) { return *this += rhs; }
+  BigUInt& subInPlace(const BigUInt& rhs) { return *this -= rhs; }
+  BigUInt& shiftLeftInPlace(std::size_t bits) { return *this <<= bits; }
+
   friend BigUInt operator+(BigUInt lhs, const BigUInt& rhs) { return lhs += rhs; }
   friend BigUInt operator-(BigUInt lhs, const BigUInt& rhs) { return lhs -= rhs; }
   friend BigUInt operator*(const BigUInt& lhs, const BigUInt& rhs);
   friend BigUInt operator<<(BigUInt lhs, std::size_t bits) { return lhs <<= bits; }
   friend BigUInt operator>>(BigUInt lhs, std::size_t bits) { return lhs >>= bits; }
 
+  // out = lhs * rhs without touching the heap once out and scratch have
+  // warmed up to the working size. out must not alias lhs or rhs (falls back
+  // to an allocating multiply if it does). scratch is resized as needed and
+  // can be shared across calls of any size.
+  static void mulInto(const BigUInt& lhs, const BigUInt& rhs, BigUInt& out,
+                      std::vector<Limb>& scratch);
+
   // Fast path: remainder by a non-zero 32-bit modulus.
   std::uint32_t modU32(std::uint32_t modulus) const;
+  // Remainder by a non-zero 64-bit modulus (one pass; feeds the small-prime
+  // sieve in primes.cpp).
+  std::uint64_t modU64(std::uint64_t modulus) const;
 
   // Raises base to the given (machine-word) exponent; no modulus.
   static BigUInt pow(const BigUInt& base, std::uint64_t exponent);
 
-  // The limbs, little-endian (for serialization).
-  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
-  static BigUInt fromLimbs(std::vector<std::uint32_t> limbs);
+  // The native limbs, little-endian (for Montgomery/Barrett kernels).
+  const std::vector<Limb>& words() const { return limbs_; }
+  static BigUInt fromWords(std::vector<Limb> words);
+
+  // Compat: 32-bit little-endian limbs (wire codecs, Rng::nextBigBits keep
+  // their exact historical layout and consumption).
+  static BigUInt fromLimbs(const std::vector<std::uint32_t>& limbs);
 
  private:
   friend struct DivModResult;
@@ -89,7 +127,7 @@ class BigUInt {
 
   void normalize();
 
-  std::vector<std::uint32_t> limbs_;
+  std::vector<Limb> limbs_;
 };
 
 struct DivModResult {
@@ -110,7 +148,8 @@ BigUInt addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
 BigUInt subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
 // (a * b) mod m. Requires m != 0. Has a 64-bit fast path when m fits a word.
 BigUInt mulMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
-// (base ^ exponent) mod m via square-and-multiply. Requires m != 0.
+// (base ^ exponent) mod m. Requires m != 0. Dispatches to a word-sized fast
+// path, Montgomery (odd m) or Barrett (even m) — see montgomery.hpp.
 BigUInt powMod(const BigUInt& base, const BigUInt& exponent, const BigUInt& m);
 
 }  // namespace dip::util

@@ -1,44 +1,160 @@
-// Montgomery modular arithmetic for odd moduli.
+// Montgomery and Barrett modular arithmetic for fixed moduli.
 //
-// Miller-Rabin primality testing (the prime searches behind every hash
-// family here) spends nearly all of its time in modular multiplications
-// with a FIXED modulus. Montgomery representation replaces each division by
-// the modulus with shifts and multiplications: with k-limb operands, a
-// Montgomery product (CIOS) costs ~2k^2 word multiplications and no
-// division, versus mul + Knuth-D division otherwise.
+// Miller-Rabin primality testing and the protocols' Horner hash chains spend
+// nearly all of their time in modular multiplications with a FIXED modulus.
+// Montgomery representation replaces each division by the modulus with
+// shifts and multiplications: with k-limb operands, a Montgomery product
+// (CIOS, coarsely integrated operand scanning) costs ~2k^2 word
+// multiplications and no division, versus mul + Knuth-D division otherwise.
 //
-// Usage: construct one context per modulus, then powMod/mulMod through it.
+// Two usage tiers:
+//  - Plain compat API (mulMod/powMod on BigUInt): one context per modulus,
+//    conversions handled internally per call.
+//  - In-domain value API (MontgomeryValue + Scratch): pin operands in the
+//    Montgomery domain once, chain multiplies/adds at one REDC per multiply
+//    and zero heap allocations after scratch warm-up, convert out once at
+//    the end. Montgomery form is linear, so in-domain add/sub are ordinary
+//    modular add/sub, and equality in-domain is equality of residues.
+//
+// BarrettContext covers fixed moduli of either parity (HAC Algorithm 14.42)
+// for the paths Montgomery cannot serve (even moduli).
 #pragma once
+
+#include <memory>
+#include <vector>
 
 #include "util/biguint.hpp"
 
 namespace dip::util {
 
+class MontgomeryContext;
+
+// A value pinned in the Montgomery domain (x * R mod m) of one fixed
+// context: exactly numLimbs() little-endian limbs, always < m. The domain
+// map is a bijection, so operator== compares the underlying residues.
+// Values must originate from the owning context (toValue / oneValue /
+// zeroValue / mulValue / powValue); a default-constructed value is only a
+// target slot.
+class MontgomeryValue {
+ public:
+  MontgomeryValue() = default;
+  bool operator==(const MontgomeryValue&) const = default;
+  const std::vector<BigUInt::Limb>& limbs() const { return limbs_; }
+
+ private:
+  friend class MontgomeryContext;
+  std::vector<BigUInt::Limb> limbs_;
+};
+
 class MontgomeryContext {
  public:
+  using Limb = BigUInt::Limb;
+
+  // Flat caller-provided scratch, lazily sized to the context: t is the
+  // CIOS accumulator (k + 2 limbs), table the fixed-window powMod table
+  // (16 * k limbs), stage the padded plain-operand buffer (k limbs).
+  // Reusing one Scratch across a hash chain keeps the steady state
+  // allocation-free; a Scratch may serve contexts of any size.
+  struct Scratch {
+    std::vector<Limb> t;
+    std::vector<Limb> table;
+    std::vector<Limb> stage;
+  };
+
   // Requires an odd modulus >= 3.
   explicit MontgomeryContext(BigUInt modulus);
 
   const BigUInt& modulus() const { return m_; }
+  std::size_t numLimbs() const { return numLimbs_; }
 
-  // (a * b) mod m via to/from Montgomery round trips.
+  // --- In-domain value API -----------------------------------------------
+
+  // x * R mod m (reduces x mod m first if needed).
+  MontgomeryValue toValue(const BigUInt& x) const;
+  void toValue(const BigUInt& x, MontgomeryValue& out, Scratch& scratch) const;
+  // v * R^-1 mod m: back to a plain residue.
+  BigUInt fromValue(const MontgomeryValue& v) const;
+  const MontgomeryValue& oneValue() const { return one_; }  // Mont(1) = R mod m.
+  const MontgomeryValue& zeroValue() const { return zero_; }
+  // out = a * b in-domain (one REDC); out may alias a or b.
+  void mulValue(const MontgomeryValue& a, const MontgomeryValue& b,
+                MontgomeryValue& out, Scratch& scratch) const;
+  // In-domain linear ops: Mont(x) ± Mont(y) = Mont(x ± y).
+  void addValue(const MontgomeryValue& a, const MontgomeryValue& b,
+                MontgomeryValue& out) const;
+  void subValue(const MontgomeryValue& a, const MontgomeryValue& b,
+                MontgomeryValue& out) const;
+  // out = base ^ exponent in-domain, fixed 4-bit windows (4 squarings plus
+  // at most one table multiply per window).
+  void powValue(const MontgomeryValue& base, const BigUInt& exponent,
+                MontgomeryValue& out, Scratch& scratch) const;
+
+  // --- Plain-domain compat API -------------------------------------------
+
+  // (a * b) mod m: two REDC passes (stage a, fold b into the domain), no
+  // convert-out needed.
   BigUInt mulMod(const BigUInt& a, const BigUInt& b) const;
-  // (base ^ exponent) mod m; the whole ladder runs in Montgomery form.
+  // (base ^ exponent) mod m; the whole windowed ladder runs in-domain.
   BigUInt powMod(const BigUInt& base, const BigUInt& exponent) const;
 
   // Representation converters (exposed for tests).
-  BigUInt toMontgomery(const BigUInt& x) const;    // x * R mod m, R = 2^(32k).
+  BigUInt toMontgomery(const BigUInt& x) const;    // x * R mod m, R = B^k.
   BigUInt fromMontgomery(const BigUInt& x) const;  // x * R^-1 mod m.
 
  private:
-  // REDC product: a * b * R^-1 mod m for a, b in Montgomery form (CIOS).
-  BigUInt montgomeryProduct(const BigUInt& a, const BigUInt& b) const;
+  // CIOS REDC product into t (k + 2 limbs): t = a * b * R^-1 mod m, with a
+  // and b exactly k limbs. On return t[0..k) holds the reduced result.
+  // t never aliases a, b, or the modulus; a may equal b (squaring) since
+  // both are read-only.
+  void montMulRaw(const Limb* __restrict a, const Limb* __restrict b,
+                  Limb* __restrict t) const;
+  // Pads a reduced plain value (< m) to k limbs in scratch.stage.
+  const Limb* stagePlain(const BigUInt& x, Scratch& scratch) const;
 
   BigUInt m_;
-  std::size_t numLimbs_ = 0;   // k: limbs of m.
-  std::uint32_t mPrime_ = 0;   // -m^-1 mod 2^32.
-  BigUInt rModM_;              // R mod m (Montgomery form of 1).
-  BigUInt rSquared_;           // R^2 mod m (for toMontgomery).
+  std::size_t numLimbs_ = 0;    // k: limbs of m.
+  Limb mPrime_ = 0;             // -m^-1 mod 2^kLimbBits.
+  std::vector<Limb> plainOne_;  // 1, padded to k limbs (for fromValue).
+  MontgomeryValue one_;         // R mod m (Montgomery form of 1).
+  MontgomeryValue zero_;
+  MontgomeryValue rSquared_;    // R^2 mod m (raw limbs; toValue multiplier).
 };
+
+// Barrett reduction for a fixed modulus of any parity (HAC 14.42): one
+// precomputed mu = floor(B^2k / m) turns each reduction into two
+// multiplications and a couple of subtractions.
+class BarrettContext {
+ public:
+  // Requires modulus >= 2.
+  explicit BarrettContext(BigUInt modulus);
+
+  const BigUInt& modulus() const { return m_; }
+
+  // x mod m; requires x < B^2k (always true for products of reduced values).
+  BigUInt reduce(const BigUInt& x) const;
+  BigUInt mulMod(const BigUInt& a, const BigUInt& b) const;
+  BigUInt powMod(const BigUInt& base, const BigUInt& exponent) const;
+
+ private:
+  BigUInt m_;
+  BigUInt mu_;        // floor(B^2k / m).
+  std::size_t k_ = 0; // Limbs of m.
+};
+
+// --- Memoized Montgomery contexts ----------------------------------------
+//
+// Hash families and the free mulMod/powMod fast paths all reduce by the same
+// handful of field primes; constructing a context costs a full divMod for
+// R^2 mod m. The cache memoizes one immutable context per modulus with
+// single-flight locking (same discipline as util::cachedPrimeInRange):
+// concurrent first-users of a modulus block on the one thread building it.
+// Throws std::invalid_argument for moduli a context cannot serve (even or
+// < 3) before touching the cache.
+std::shared_ptr<const MontgomeryContext> cachedMontgomeryContext(const BigUInt& modulus);
+
+// Observability hooks for tests: how many contexts were actually built since
+// process start (or the last reset), and a test-only reset.
+std::size_t montgomeryCacheBuildCount();
+void montgomeryCacheResetForTests();
 
 }  // namespace dip::util

@@ -24,6 +24,14 @@ bool isProbablePrime(const BigUInt& candidate, Rng& rng, int rounds = 24);
 // ranges [x, 10x] by the prime number theorem).
 BigUInt findPrimeInRange(const BigUInt& lo, const BigUInt& hi, Rng& rng);
 
+// Like findPrimeInRange, but prefilters each candidate through a packed
+// small-prime sieve (all odd primes < 2^16, folded into 64-bit products; one
+// modU64 + gcd pass per product) before any Miller-Rabin witness round.
+// Faster for big windows, but consumes the Rng differently from
+// findPrimeInRange (sieve-rejected candidates never draw witness bases), so
+// the two searchers find different primes for the same window and seed.
+BigUInt findPrimeInRangeSieved(const BigUInt& lo, const BigUInt& hi, Rng& rng);
+
 // Finds a (probable) prime with exactly `bits` bits (top bit set).
 BigUInt findPrimeWithBits(std::size_t bits, Rng& rng);
 
@@ -40,7 +48,9 @@ BigUInt findPrimeWithBits(std::size_t bits, Rng& rng);
 // (lo, hi) — the search runs on Rng(primeSearchSeed(lo, hi)), never on a
 // caller's stream — so results cannot depend on which trial or thread asked
 // first, and a cold search with the same derived seed reproduces the cached
-// value exactly.
+// value exactly. Windows whose hi is below 64 bits reproduce a cold
+// findPrimeInRange; wider windows (the new big-prime acceptance tiers) use
+// findPrimeInRangeSieved.
 
 // The seed the cache derives for a window (exposed so tests can reproduce
 // the cold search bit-for-bit).
