@@ -3,16 +3,15 @@
 // Regenerates: acceptance rate of each cheating-prover strategy on rigid
 // graphs, showing which lies are caught deterministically (structure lies)
 // and which survive only with the hash-collision probability (<= 1/(10n)).
+//
+// The sweep itself lives in src/adv/classic_cheaters.{hpp,cpp} (with unit
+// tests pinning each row under its bound); this bench only prints it. The
+// systematic wire-mutation battery is E14 (bench_e14_adversary).
 #include <cstdio>
-#include <memory>
 
+#include "adv/classic_cheaters.hpp"
 #include "bench/options.hpp"
 #include "bench/table.hpp"
-#include "core/sym_dmam.hpp"
-#include "graph/generators.hpp"
-#include "hash/linear_hash.hpp"
-#include "sim/acceptance.hpp"
-#include "util/rng.hpp"
 
 using namespace dip;
 
@@ -22,45 +21,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n%6s  %-22s  %26s  %12s\n", "n", "strategy", "acceptance", "bound");
   bench::printRule();
-  for (std::size_t n : {8u, 16u}) {
-    util::Rng rng(7000 + n);
-    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
-    graph::Graph rigid = graph::randomRigidConnected(n, rng);
-    double bound = protocol.family().collisionBound();
-
-    struct Row {
-      const char* name;
-      core::CheatingRhoProver::Strategy strategy;
-    };
-    std::uint64_t cell = 7100 + n;
-    for (const Row& row : {Row{"random permutation",
-                               core::CheatingRhoProver::Strategy::kRandomPermutation},
-                           Row{"same-degree transposition",
-                               core::CheatingRhoProver::Strategy::kTransposition},
-                           Row{"identity (trivial rho)",
-                               core::CheatingRhoProver::Strategy::kIdentity}}) {
-      sim::TrialStats stats = sim::estimateAcceptance(
-          protocol, rigid,
-          [&](std::size_t trial) {
-            return std::make_unique<core::CheatingRhoProver>(protocol.family(),
-                                                             row.strategy, trial);
-          },
-          500, bench::cellConfig(engine, cell++));
-      std::printf("%6zu  %-22s  %26s  %12.5f\n", n, row.name,
-                  bench::formatRate(stats).c_str(), bound);
+  for (const adv::CheaterCell& cell : adv::protocol1CheaterSweep(engine)) {
+    if (cell.exactCatch) {
+      std::printf("%6zu  %-22s  %26s  %12s\n", cell.n, cell.strategy.c_str(),
+                  bench::formatRate(cell.stats).c_str(), "0 (exact)");
+    } else {
+      std::printf("%6zu  %-22s  %26s  %12.5f\n", cell.n, cell.strategy.c_str(),
+                  bench::formatRate(cell.stats).c_str(), cell.bound);
     }
-
-    // Hash-chain liar on a SYMMETRIC graph: the graph is a YES instance,
-    // but the corrupted chain must still be caught (deterministically).
-    graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
-    sim::TrialStats liar = sim::estimateAcceptance(
-        protocol, symmetric,
-        [&](std::size_t trial) {
-          return std::make_unique<core::HashChainLiarProver>(protocol.family(), trial);
-        },
-        200, bench::cellConfig(engine, cell++));
-    std::printf("%6zu  %-22s  %26s  %12s\n", n, "chain-value liar*",
-                bench::formatRate(liar).c_str(), "0 (exact)");
   }
   std::printf(
       "\n* the chain liar corrupts one subtree sum on a symmetric (YES)\n"

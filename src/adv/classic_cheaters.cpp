@@ -1,0 +1,200 @@
+#include "adv/classic_cheaters.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/dsym_dam.hpp"
+#include "core/gni_amam.hpp"
+#include "core/gni_general.hpp"
+#include "core/sym_dam.hpp"
+#include "core/sym_dmam.hpp"
+#include "core/sym_input.hpp"
+#include "graph/builders.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
+#include "util/biguint.hpp"
+#include "util/primes.hpp"
+#include "util/rng.hpp"
+
+namespace dip::adv {
+namespace {
+
+sim::TrialConfig cellConfig(const sim::TrialConfig& base, std::uint64_t seed) {
+  sim::TrialConfig config = base;
+  config.masterSeed = seed;
+  return config;
+}
+
+constexpr double kSoundnessError = 1.0 / 3.0;
+
+}  // namespace
+
+std::vector<CheaterCell> protocol1CheaterSweep(const sim::TrialConfig& engine) {
+  std::vector<CheaterCell> cells;
+  for (std::size_t n : {8u, 16u}) {
+    util::Rng rng(7000 + n);
+    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
+    graph::Graph rigid = graph::randomRigidConnected(n, rng);
+    const double bound = protocol.family().collisionBound();
+
+    struct Row {
+      const char* name;
+      core::CheatingRhoProver::Strategy strategy;
+    };
+    std::uint64_t cell = 7100 + n;
+    for (const Row& row : {Row{"random permutation",
+                               core::CheatingRhoProver::Strategy::kRandomPermutation},
+                           Row{"same-degree transposition",
+                               core::CheatingRhoProver::Strategy::kTransposition},
+                           Row{"identity (trivial rho)",
+                               core::CheatingRhoProver::Strategy::kIdentity}}) {
+      sim::TrialStats stats = sim::estimateAcceptance(
+          protocol, rigid,
+          [&](std::size_t trial) {
+            return std::make_unique<core::CheatingRhoProver>(protocol.family(),
+                                                             row.strategy, trial);
+          },
+          500, cellConfig(engine, cell++));
+      cells.push_back({"sym_dmam", n, row.name, stats, bound, false});
+    }
+
+    // Hash-chain liar on a SYMMETRIC graph: the graph is a YES instance,
+    // but the corrupted chain must still be caught (deterministically).
+    graph::Graph symmetric = graph::randomSymmetricConnected(n, rng);
+    sim::TrialStats liar = sim::estimateAcceptance(
+        protocol, symmetric,
+        [&](std::size_t trial) {
+          return std::make_unique<core::HashChainLiarProver>(protocol.family(), trial);
+        },
+        200, cellConfig(engine, cell++));
+    cells.push_back({"sym_dmam", n, "chain-value liar*", liar, 0.0, true});
+  }
+  return cells;
+}
+
+std::vector<CheaterCell> crossProtocolCheaterSweep(const sim::TrialConfig& engine) {
+  std::vector<CheaterCell> cells;
+
+  // Protocol 2 (dAM): the challenge-adaptive collision searcher on a rigid
+  // graph — adaptivity is bounded by budget * collisions, far under 1/3.
+  {
+    const std::size_t n = 8;
+    util::Rng rng(14000);
+    core::SymDamProtocol protocol(hash::makeProtocol2FamilyCached(n));
+    graph::Graph rigid = graph::randomRigidConnected(n, rng);
+    sim::TrialStats stats = sim::estimateAcceptance(
+        protocol, rigid,
+        [&](std::size_t trial) {
+          return std::make_unique<core::AdaptiveCollisionProver>(protocol.family(), 25,
+                                                                 trial);
+        },
+        300, cellConfig(engine, 14001));
+    cells.push_back({"sym_dam", n, "adaptive collision (25)", stats, kSoundnessError,
+                     false});
+  }
+
+  // DSym (dAM): honest play on a mismatched-sides NO instance is the
+  // optimal cheating strategy (all messages forced up to collisions).
+  {
+    const std::size_t side = 6;
+    util::Rng rng(14010);
+    graph::DSymLayout layout = graph::dsymLayout(side, 1);
+    util::BigUInt n3 = util::BigUInt::pow(util::BigUInt{layout.numVertices}, 3);
+    core::DSymDamProtocol protocol(
+        layout,
+        hash::LinearHashFamily(
+            util::cachedPrimeInRange(util::BigUInt{10} * n3, util::BigUInt{100} * n3),
+            static_cast<std::uint64_t>(layout.numVertices) * layout.numVertices));
+    graph::Graph f = graph::randomRigidConnected(side, rng);
+    graph::Graph fOther = graph::randomRigidConnected(side, rng);
+    while (fOther == f) fOther = graph::randomRigidConnected(side, rng);
+    graph::Graph no = graph::dsymNoInstance(f, fOther, 1);
+    sim::TrialStats stats = sim::estimateAcceptance(
+        protocol, no,
+        [&](std::size_t) {
+          return std::make_unique<core::CheatingDSymProver>(layout, protocol.family());
+        },
+        300, cellConfig(engine, 14011));
+    cells.push_back({"dsym_dam", layout.numVertices, "honest play on NO", stats,
+                     kSoundnessError, false});
+  }
+
+  // Input symmetry (dMAM): fake rho on a rigid input, and the claim liar
+  // whose fabricated neighbor images must break the consistency pair.
+  {
+    const std::size_t n = 8;
+    util::Rng rng(14020);
+    core::SymInputProtocol protocol(hash::makeProtocol1FamilyCached(n));
+    core::SymInputInstance rigidInput{graph::randomConnected(n, n / 2, rng),
+                                      graph::randomRigidConnected(n, rng)};
+    sim::TrialStats fake = sim::estimateAcceptance(
+        protocol, rigidInput,
+        [&](std::size_t trial) {
+          return std::make_unique<core::CheatingSymInputProver>(
+              protocol.family(),
+              core::CheatingSymInputProver::Strategy::kFakeRhoHonestClaims, trial);
+        },
+        300, cellConfig(engine, 14021));
+    cells.push_back({"sym_input", n, "fake rho, honest claims", fake, kSoundnessError,
+                     false});
+
+    core::SymInputInstance symInput{graph::randomConnected(n, n / 2, rng),
+                                    graph::randomSymmetricConnected(n, rng)};
+    sim::TrialStats liar = sim::estimateAcceptance(
+        protocol, symInput,
+        [&](std::size_t trial) {
+          return std::make_unique<core::CheatingSymInputProver>(
+              protocol.family(), core::CheatingSymInputProver::Strategy::kClaimLiar,
+              trial);
+        },
+        200, cellConfig(engine, 14022));
+    cells.push_back({"sym_input", n, "claim liar", liar, kSoundnessError, false});
+  }
+
+  // GNI (dAMAM): honest play on an isomorphic instance IS the optimal
+  // cheater; the non-permutation prober attacks the commitment checks.
+  {
+    const std::size_t n = 6;
+    util::Rng rng(14030);
+    core::GniAmamProtocol protocol(core::GniParams::choose(n, rng));
+    core::GniInstance no = core::gniNoInstance(n, rng);
+    sim::TrialStats honest = sim::estimateAcceptance(
+        protocol, no,
+        [&](std::size_t) { return std::make_unique<core::HonestGniProver>(protocol.params()); },
+        60, cellConfig(engine, 14031));
+    cells.push_back({"gni_amam", n, "honest play on NO", honest, kSoundnessError,
+                     false});
+
+    sim::TrialStats nonPerm = sim::estimateAcceptance(
+        protocol, no,
+        [&](std::size_t trial) {
+          return std::make_unique<core::NonPermutationGniProver>(protocol.params(),
+                                                                 trial);
+        },
+        40, cellConfig(engine, 14032));
+    cells.push_back({"gni_amam", n, "non-permutation sigma", nonPerm, kSoundnessError,
+                     false});
+  }
+
+  // General GNI (dAMAM, symmetric inputs): honest play on an isomorphic
+  // symmetric instance.
+  {
+    const std::size_t n = 4;
+    util::Rng rng(14040);
+    core::GniGeneralProtocol protocol(core::GniGeneralParams::choose(n, rng));
+    core::GniInstance no = core::gniGeneralNoInstance(n, rng);
+    sim::TrialStats stats = sim::estimateAcceptance(
+        protocol, no,
+        [&](std::size_t) {
+          return std::make_unique<core::HonestGniGeneralProver>(protocol.params());
+        },
+        60, cellConfig(engine, 14041));
+    cells.push_back({"gni_general", n, "honest play on NO", stats, kSoundnessError,
+                     false});
+  }
+
+  return cells;
+}
+
+}  // namespace dip::adv

@@ -1,0 +1,40 @@
+// The classic (hand-written) cheating-prover sweeps, folded out of
+// bench_e7_cheating.cpp into library code so unit tests can pin each
+// strategy's measured success under its paper bound. The benches are thin
+// printers over these sweeps; the instance/seed scheme of the original E7
+// table is preserved verbatim, so its stdout is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/trial.hpp"
+#include "sim/trial_runner.hpp"
+
+namespace dip::adv {
+
+struct CheaterCell {
+  std::string protocol;
+  std::size_t n = 0;          // Network size (layout vertices for DSym).
+  std::string strategy;       // Row label, as the E7 table prints it.
+  sim::TrialStats stats;
+  double bound = 0.0;         // Paper's success bound for this row.
+  bool exactCatch = false;    // Deterministic catch: accepts must be 0.
+};
+
+// The E7 Protocol 1 sweep: CheatingRhoProver's three strategies on rigid
+// graphs (bounded by the collision bound n^2/p <= 1/(10 n)) plus the
+// chain-value liar on a symmetric YES instance (caught exactly). Instance
+// seeds 7000+n and cell seeds 7100+n match the historical bench so the
+// regenerated table is byte-identical.
+std::vector<CheaterCell> protocol1CheaterSweep(const sim::TrialConfig& engine);
+
+// One representative classic cheater per remaining protocol, all bounded
+// by the protocols' soundness error 1/3: the adaptive collision searcher
+// (sym_dam), honest-play-on-NO (dsym_dam, gni_amam, gni_general — optimal
+// there), the fake-rho and claim-liar strategies (sym_input), and the
+// non-permutation commitment prober (gni_amam, caught exactly).
+std::vector<CheaterCell> crossProtocolCheaterSweep(const sim::TrialConfig& engine);
+
+}  // namespace dip::adv

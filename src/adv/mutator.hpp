@@ -1,0 +1,236 @@
+// The wire-mutation adversary engine: protocol-agnostic, seeded, structured
+// corruption of prover rounds.
+//
+// The soundness theorems quantify over ALL provers, but hand-written
+// cheaters only probe the strategies their author thought of. This engine
+// probes the wire itself: a MessageMutator consumes the encoded form of an
+// honest (or classically cheating) prover's round — the EncodedRound a real
+// network would carry — and applies a structured mutation before the round
+// is decoded back and handed to the verifiers. Mutations live at two
+// levels:
+//
+//   * raw bit level (flip/burst/transplant/replay/truncate) — these need no
+//     protocol knowledge and attack the serialization surface directly;
+//   * typed field level (parent rewrite, distance skew, hash perturbation,
+//     root swap) — these go through the per-protocol FieldSurface that each
+//     adapter in adapters_wire.hpp implements by decode -> tweak ->
+//     re-encode, so the mutation is expressed in the decoder's own type
+//     system.
+//
+// Every mutator is deterministic in the Rng it is handed; the stress driver
+// derives that Rng from the trial engine's counter-based child streams, so
+// any accepting mutant is reproducible from (master seed, trial index).
+//
+// Lint contract: every concrete MessageMutator subclass must carry a
+// registered self-test seed in mutatorSelfTests() (dip-lint rule
+// `mutator-selftest`), and the adv_mutator unit tests replay each seed to
+// assert the mutator is deterministic and actually perturbs the round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "util/rng.hpp"
+
+namespace dip::adv {
+
+// Thrown by the protocol adapters when a mutated round no longer decodes
+// (the wire codec raised invalid_argument or out_of_range): the cheating
+// prover was caught at the serialization boundary. The stress driver counts
+// these trials as rejections.
+class MutantRejected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Typed mutation surface for one protocol round. Adapters implement the
+// fields their round actually carries; the default "this round has no such
+// field" answer makes the calling mutator fall back to a raw bit flip, so a
+// field mutator is never a silent no-op on rounds without its field.
+// Implementations mutate a typed copy of the message and report dirty();
+// the adapter then re-encodes the tweaked message over the raw round.
+class FieldSurface {
+ public:
+  virtual ~FieldSurface() = default;
+
+  // Rewrites one node's spanning-tree parent pointer to a random idBits
+  // value (possibly >= n: decoders pass such values through for the
+  // decision layer to reject).
+  virtual bool rewriteParent(util::Rng& /*rng*/) { return false; }
+  // Skews one node's claimed tree distance by +-1 (mod the field width).
+  virtual bool skewDistance(util::Rng& /*rng*/) { return false; }
+  // Replaces one hash-domain value (chain sum, index echo, check seed) with
+  // a fresh random value of the same encoded width.
+  virtual bool perturbHashValue(util::Rng& /*rng*/) { return false; }
+  // Replaces the broadcast root (or witness) with a random vertex id,
+  // consistently at every node — the broadcast stream carries it once.
+  virtual bool swapRoot(util::Rng& /*rng*/) { return false; }
+
+  bool dirty() const { return dirty_; }
+
+ protected:
+  void markDirty() { dirty_ = true; }
+
+ private:
+  bool dirty_ = false;
+};
+
+// Everything a mutator may condition on beyond the round payload itself.
+struct MutationContext {
+  std::size_t roundIndex = 0;   // 0-based prover round within the interaction.
+  bool finalRound = true;       // Last prover round (the adaptive surface).
+  std::size_t numNodes = 0;
+  // 64-bit digest of every verifier challenge the prover has seen so far
+  // (0 before the first challenge round). Adapters also fold this into the
+  // mutation Rng, so post-challenge mutations are challenge-adaptive — the
+  // Theorem 1.3 attack surface.
+  std::uint64_t challengeDigest = 0;
+  // The previous prover round's encoded form (nullptr in round 0); replay
+  // mutators resend it in place of the current round.
+  const core::wire::EncodedRound* previousRound = nullptr;
+};
+
+class MessageMutator {
+ public:
+  virtual ~MessageMutator() = default;
+  virtual const char* name() const = 0;
+  // Mutates `round` in place. `surface` is the typed view of the same round
+  // (never owns it; may be nullptr in raw-only harnesses). If the mutator
+  // used the surface, the adapter re-encodes the typed message; otherwise
+  // the raw payload edit stands.
+  virtual void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+                      const MutationContext& ctx, util::Rng& rng) const = 0;
+};
+
+// ---- Raw bit-level mutators ----
+
+// Flips exactly one uniformly chosen bit (broadcast or any unicast payload).
+class SingleBitFlipMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "single-bit-flip"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// Flips a burst of 2..8 uniformly chosen bits.
+class BurstBitFlipMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "burst-bit-flip"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// Flips one bit of the broadcast stream specifically: broadcast fields
+// (root, index echo, claimed/b flags, full rho) are the highest-leverage
+// bits on the wire — one flip perturbs every node's copy consistently.
+class BroadcastFlipMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "broadcast-flip"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// Copies node u's unicast payload over node v's (cross-node advice
+// transplant): both payloads are individually well-formed, so this probes
+// whether per-node advice is actually bound to its addressee.
+class TransplantMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "advice-transplant"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// Replays the previous prover round verbatim in place of the current one
+// (round 0 falls back to a single bit flip).
+class ReplayMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "round-replay"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// Truncates one payload to a random proper prefix (message-shortening; the
+// decoder must fail cleanly, never read out of bounds).
+class TruncateMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "payload-truncate"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// ---- Typed field-level mutators (via FieldSurface) ----
+
+class ParentRewriteMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "parent-rewrite"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+class DistanceSkewMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "distance-skew"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+class HashPerturbMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "hash-perturb"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+class RootSwapMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "root-swap"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// ---- Adaptive mode ----
+
+// Leaves every committing round untouched and corrupts only the FINAL
+// prover round, with randomness re-derived from the challenge digest: the
+// commitment is honest, the response adapts to the verifier's coins after
+// seeing them — exactly the adaptivity the dAM lower-bound discussion
+// (Theorem 1.3's huge hash) defends against.
+class AdaptiveReMutator final : public MessageMutator {
+ public:
+  const char* name() const override { return "adaptive-remutate"; }
+  void mutate(core::wire::EncodedRound& round, FieldSurface* surface,
+              const MutationContext& ctx, util::Rng& rng) const override;
+};
+
+// ---- Registry ----
+
+// The standard adversary battery the stress tier runs: one instance of
+// every mutator above, in a fixed order (report rows are keyed by name()).
+std::vector<std::unique_ptr<MessageMutator>> standardMutators();
+
+// Factory by name() (nullptr for unknown names); lets tests and repro
+// tooling rebuild a specific adversary from a report row.
+std::unique_ptr<MessageMutator> makeMutator(const std::string& name);
+
+// Registered self-test seed per mutator class. dip-lint's mutator-selftest
+// rule checks that every MessageMutator subclass appears here; the
+// adv_mutator tests replay each seed and assert determinism + actual
+// perturbation.
+struct MutatorSelfTestEntry {
+  const char* className;
+  const char* mutatorName;  // name() of the instance.
+  std::uint64_t seed;
+};
+const std::vector<MutatorSelfTestEntry>& mutatorSelfTests();
+
+// Raw-bit helpers shared with the tests (bit position indexing covers the
+// broadcast stream first, then each unicast stream in node order).
+std::size_t totalRoundBits(const core::wire::EncodedRound& round);
+void flipRoundBit(core::wire::EncodedRound& round, std::size_t position);
+
+}  // namespace dip::adv

@@ -1,0 +1,81 @@
+// The gated adversary stress tier (ctest label `adv_stress`, its own
+// dip_adv_stress binary): runs the standard mutator battery against a
+// soundness instance of every protocol and asserts the measured cheating
+// success is certified under the paper's 1/3 bound by a 95% Wilson upper
+// bound.
+//
+// Two profiles share this source:
+//   * quick (default)        — 4 trials/mutator/protocol; runs in the
+//                              release and asan CI jobs on every push.
+//   * full (DIP_ADV_STRESS_FULL=1) — 96 trials/mutator = 1056 per protocol;
+//                              the nightly scheduled job. This is the
+//                              >= 1000-mutated-trials-per-protocol
+//                              certification from the PR acceptance bar.
+//
+// Reports are reproducible from the master seed alone and independent of
+// the thread count (asserted below), so a nightly failure replays locally
+// with: DIP_ADV_STRESS_FULL=1 ./dip_adv_stress.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "adv/stress.hpp"
+
+namespace dip::adv {
+namespace {
+
+bool fullProfile() {
+  const char* flag = std::getenv("DIP_ADV_STRESS_FULL");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+StressOptions profileOptions() {
+  StressOptions options;
+  options.trialsPerMutator = fullProfile() ? 96 : 4;
+  return options;
+}
+
+class AdversaryStress : public ::testing::TestWithParam<StressProtocolEntry> {};
+
+TEST_P(AdversaryStress, MutantSuccessCertifiedUnderOneThird) {
+  const StressProtocolEntry& entry = GetParam();
+  SoundnessStressReport report = entry.run(profileOptions());
+  EXPECT_EQ(report.protocol, entry.name);
+  ASSERT_EQ(report.cells.size(), 11u);  // One cell per standard mutator.
+  ASSERT_EQ(report.totalTrials(), profileOptions().trialsPerMutator * 11);
+  if (fullProfile()) {
+    ASSERT_GE(report.totalTrials(), 1000u);
+  }
+  EXPECT_TRUE(report.soundnessCertified())
+      << report.protocol << ": " << report.totalAccepts() << "/"
+      << report.totalTrials() << " mutants accepted, Wilson95 upper "
+      << report.overall().high << " > 1/3 (master seed 0x" << std::hex
+      << report.masterSeed << ")";
+}
+
+std::string protocolName(const ::testing::TestParamInfo<StressProtocolEntry>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, AdversaryStress,
+                         ::testing::ValuesIn(stressProtocols()), protocolName);
+
+TEST(AdversaryStressDeterminism, ReportsAreThreadCountInvariant) {
+  // One protocol suffices: all six share the battery loop and the trial
+  // engine, and this is the cheapest (bench_e14 re-checks the full table).
+  StressOptions one = profileOptions();
+  one.threads = 1;
+  StressOptions four = profileOptions();
+  four.threads = 4;
+  SoundnessStressReport a = stressSymDmam(one);
+  SoundnessStressReport b = stressSymDmam(four);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t m = 0; m < a.cells.size(); ++m) {
+    EXPECT_TRUE(a.cells[m].stats.sameResults(b.cells[m].stats)) << a.cells[m].mutator;
+    EXPECT_EQ(a.cells[m].decodeRejected, b.cells[m].decodeRejected)
+        << a.cells[m].mutator;
+  }
+}
+
+}  // namespace
+}  // namespace dip::adv

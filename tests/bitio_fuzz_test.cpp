@@ -4,6 +4,8 @@
 // the core/wire decoders: truncated and garbage prover streams must fail
 // with a clean exception, never an out-of-bounds read (run under the
 // asan-ubsan preset to make that claim meaningful).
+// Each fuzz iteration draws from its own counter-based child stream (see
+// fuzz_seed.hpp), so a failure reproduces from the printed seed line alone.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -12,11 +14,15 @@
 
 #include "core/wire.hpp"
 #include "graph/generators.hpp"
+#include "fuzz_seed.hpp"
 #include "util/bitio.hpp"
 #include "util/rng.hpp"
 
 namespace dip::util {
 namespace {
+
+using testutil::fuzzStream;
+using testutil::seedLine;
 
 struct UIntOp {
   std::uint64_t value;
@@ -32,8 +38,10 @@ struct VarOp {
 using Op = std::variant<UIntOp, BigOp, VarOp>;
 
 TEST(BitIoFuzz, RandomHeterogeneousSequencesRoundTrip) {
-  Rng rng(351);
-  for (int sequence = 0; sequence < 50; ++sequence) {
+  constexpr std::uint64_t kSeed = 351;
+  for (std::uint64_t sequence = 0; sequence < 50; ++sequence) {
+    SCOPED_TRACE(seedLine(kSeed, sequence));
+    Rng rng = fuzzStream(kSeed, sequence);
     std::vector<Op> ops;
     BitWriter writer;
     std::size_t expectedFixedBits = 0;
@@ -83,7 +91,7 @@ TEST(BitIoFuzz, RandomHeterogeneousSequencesRoundTrip) {
 }
 
 TEST(BitIoFuzz, InterleavedBitsAndFields) {
-  Rng rng(352);
+  Rng rng = fuzzStream(352, 0);
   BitWriter writer;
   std::vector<bool> bits;
   for (int i = 0; i < 200; ++i) {
@@ -109,6 +117,8 @@ TEST(BitIoFuzz, InterleavedBitsAndFields) {
 namespace dip::core {
 namespace {
 
+using testutil::fuzzStream;
+using testutil::seedLine;
 using util::BitReader;
 using util::BitWriter;
 using util::Rng;
@@ -142,10 +152,12 @@ class WireDecoderFuzz : public ::testing::Test {
 };
 
 TEST_F(WireDecoderFuzz, TruncatedSymDmamFirstStreamsFailCleanly) {
+  constexpr std::uint64_t kSeed = 943;
   HonestSymDmamProver prover(family_);
   wire::EncodedRound round = wire::encodeSymDmamFirst(prover.firstMessage(g_), n_);
-  Rng rng(943);
-  for (int trial = 0; trial < 40; ++trial) {
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE(seedLine(kSeed, trial));
+    Rng rng = fuzzStream(kSeed, trial);
     wire::EncodedRound cut = round;
     if (rng.nextBool()) {
       cut.broadcast = truncated(round.broadcast, rng.nextBelow(round.broadcastBits()));
@@ -159,14 +171,19 @@ TEST_F(WireDecoderFuzz, TruncatedSymDmamFirstStreamsFailCleanly) {
 }
 
 TEST_F(WireDecoderFuzz, TruncatedSymDmamSecondStreamsFailCleanly) {
-  Rng rng(944);
+  constexpr std::uint64_t kSeed = 944;
+  Rng setupRng = fuzzStream(kSeed, 0);
   HonestSymDmamProver prover(family_);
   SymDmamFirstMessage first = prover.firstMessage(g_);
   std::vector<util::BigUInt> challenges;
-  for (graph::Vertex v = 0; v < n_; ++v) challenges.push_back(family_.randomIndex(rng));
+  for (graph::Vertex v = 0; v < n_; ++v) {
+    challenges.push_back(family_.randomIndex(setupRng));
+  }
   wire::EncodedRound round = wire::encodeSymDmamSecond(
       prover.secondMessage(g_, first, challenges), n_, family_);
-  for (int trial = 0; trial < 40; ++trial) {
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE(seedLine(kSeed, trial + 1));
+    Rng rng = fuzzStream(kSeed, trial + 1);
     wire::EncodedRound cut = round;
     graph::Vertex victim = static_cast<graph::Vertex>(rng.nextBelow(n_));
     cut.unicast[victim] =
@@ -190,18 +207,20 @@ TEST_F(WireDecoderFuzz, GarbageStreamsEitherDecodeOrThrowCleanly) {
   // Arbitrary bitstreams must never read out of bounds: a decoder either
   // produces a (garbage, range-unchecked) message for the decision layer to
   // reject, or throws out_of_range from the bounds-checked BitReader.
-  Rng rng(945);
+  constexpr std::uint64_t kSeed = 945;
   Rng setup(946);
   hash::LinearHashFamily family2 = hash::makeProtocol2Family(n_, setup);
   int decoded = 0, rejected = 0;
-  for (int trial = 0; trial < 60; ++trial) {
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(seedLine(kSeed, trial));
+    Rng rng = fuzzStream(kSeed, trial);
     wire::EncodedRound garbage;
     garbage.broadcast = randomBits(rng, rng.nextBelow(600));
     garbage.unicast.resize(n_);
     for (auto& payload : garbage.unicast) {
       payload = randomBits(rng, rng.nextBelow(400));
     }
-    const int decoder = trial % 3;
+    const int decoder = static_cast<int>(trial % 3);
     try {
       switch (decoder) {
         case 0: wire::decodeSymDmamFirst(garbage, n_); break;
@@ -220,7 +239,7 @@ TEST_F(WireDecoderFuzz, GarbageStreamsEitherDecodeOrThrowCleanly) {
 }
 
 TEST_F(WireDecoderFuzz, TruncatedChallengeFailsCleanly) {
-  Rng rng(947);
+  Rng rng = fuzzStream(947, 0);
   util::BigUInt index = family_.randomIndex(rng);
   BitWriter encoded = wire::encodeChallenge(index, family_);
   for (std::size_t keep = 0; keep < encoded.bitCount(); keep += 7) {

@@ -1,0 +1,87 @@
+// Pins every classic cheating strategy (src/adv/classic_cheaters.*) under
+// its paper bound: committed-rho cheaters on Protocol 1 succeed at most at
+// the collision rate n^2/p <= 1/(10 n), structural liars are caught every
+// single time, and the representative cheater for each remaining protocol
+// stays under the 1/3 soundness error. The E7 bench prints these same
+// sweeps; this test makes the bounds a regression gate rather than a table
+// someone has to eyeball.
+//
+// The measured-rate assertion is rate() <= bound, not a Wilson-interval
+// containment: a 0/200 cell has Wilson upper ~0.019, above the 1/80
+// collision bound for n=8, so interval containment would reject perfectly
+// sound rows. (The interval-based certification lives in the E14 mutation
+// stress, whose per-protocol trial counts give it room against 1/3.)
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "adv/classic_cheaters.hpp"
+
+namespace dip::adv {
+namespace {
+
+sim::TrialConfig testEngine() {
+  sim::TrialConfig engine;
+  engine.threads = 0;  // Results are thread-count invariant by construction.
+  return engine;
+}
+
+void expectCellSound(const CheaterCell& cell) {
+  SCOPED_TRACE(cell.protocol + " / " + cell.strategy);
+  ASSERT_GT(cell.stats.trials, 0u);
+  if (cell.exactCatch) {
+    EXPECT_EQ(cell.stats.accepts, 0u)
+        << "structural lie must be caught deterministically";
+  } else {
+    EXPECT_GT(cell.bound, 0.0);
+    EXPECT_LE(cell.stats.rate(), cell.bound);
+  }
+}
+
+TEST(ClassicCheaters, Protocol1SweepStaysUnderCollisionBound) {
+  auto cells = protocol1CheaterSweep(testEngine());
+  ASSERT_EQ(cells.size(), 8u);  // 3 rho strategies x {8,16} + chain liar x 2.
+  int exact = 0;
+  for (const CheaterCell& cell : cells) {
+    EXPECT_EQ(cell.protocol, "sym_dmam");
+    expectCellSound(cell);
+    if (cell.exactCatch) ++exact;
+  }
+  EXPECT_EQ(exact, 2);  // The chain-value liar rows, one per n.
+}
+
+TEST(ClassicCheaters, CrossProtocolSweepStaysUnderSoundnessError) {
+  auto cells = crossProtocolCheaterSweep(testEngine());
+  ASSERT_FALSE(cells.empty());
+  std::set<std::string> protocols;
+  for (const CheaterCell& cell : cells) {
+    protocols.insert(cell.protocol);
+    expectCellSound(cell);
+    if (!cell.exactCatch) {
+      EXPECT_LE(cell.bound, 1.0 / 3.0 + 1e-12);
+    }
+  }
+  // Every non-Protocol-1 protocol has at least one representative cheater.
+  for (const char* protocol :
+       {"sym_dam", "dsym_dam", "sym_input", "gni_amam", "gni_general"}) {
+    EXPECT_TRUE(protocols.count(protocol)) << protocol;
+  }
+}
+
+TEST(ClassicCheaters, SweepsAreDeterministicAcrossThreadCounts) {
+  sim::TrialConfig one;
+  one.threads = 1;
+  sim::TrialConfig four;
+  four.threads = 4;
+  auto a = protocol1CheaterSweep(one);
+  auto b = protocol1CheaterSweep(four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].stats.sameResults(b[i].stats))
+        << a[i].protocol << " / " << a[i].strategy;
+  }
+}
+
+}  // namespace
+}  // namespace dip::adv

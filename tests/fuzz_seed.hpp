@@ -1,0 +1,32 @@
+// Shared seed plumbing for the fuzz tests: every fuzz iteration draws all
+// of its randomness from a counter-based child stream, exactly like the
+// trial engine (Rng(masterSeed).child(index) — a pure function of the
+// pair), and failures carry a reproduction line naming that pair. To replay
+// one failing iteration, construct fuzzStream(seed, trial) and run the loop
+// body once.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dip::testutil {
+
+inline util::Rng fuzzStream(std::uint64_t masterSeed, std::uint64_t trial) {
+  return util::Rng(masterSeed).child(trial);
+}
+
+// The line a failing assertion prints, in the same --seed vocabulary the
+// benches use for the trial engine.
+inline std::string seedLine(std::uint64_t masterSeed, std::uint64_t trial) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "repro: --seed 0x%llX trial %llu (stream = Rng(seed).child(trial))",
+                static_cast<unsigned long long>(masterSeed),
+                static_cast<unsigned long long>(trial));
+  return buffer;
+}
+
+}  // namespace dip::testutil

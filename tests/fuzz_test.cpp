@@ -5,6 +5,8 @@
 //       still verify (when the corruption misses every read field) or are
 //       rejected; corrupted messages can never make a NO instance accepted
 //       beyond the hash-collision budget.
+// Each fuzz round draws from its own counter-based child stream (see
+// fuzz_seed.hpp), so a failure reproduces from the printed seed line alone.
 #include <gtest/gtest.h>
 
 #include "core/dsym_dam.hpp"
@@ -13,12 +15,15 @@
 #include "core/sym_dmam.hpp"
 #include "graph/builders.hpp"
 #include "graph/generators.hpp"
+#include "fuzz_seed.hpp"
 #include "util/primes.hpp"
 #include "util/rng.hpp"
 
 namespace dip::core {
 namespace {
 
+using testutil::fuzzStream;
+using testutil::seedLine;
 using util::Rng;
 
 // Applies one random structured mutation to a Protocol 1 message pair.
@@ -55,16 +60,19 @@ void mutateSymDmam(Rng& rng, std::size_t n, const hash::LinearHashFamily& family
 }
 
 TEST(Fuzz, SymDmamNeverCrashesAndCatchesCorruption) {
-  Rng rng(221);
+  constexpr std::uint64_t kSeed = 221;
   const std::size_t n = 10;
   Rng setup(222);
   SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
-  graph::Graph g = graph::randomSymmetricConnected(n, rng);
+  Rng graphRng(kSeed);
+  graph::Graph g = graph::randomSymmetricConnected(n, graphRng);
   HonestSymDmamProver prover(protocol.family());
 
   std::size_t corruptedAccepts = 0;
-  const int rounds = 300;
-  for (int round = 0; round < rounds; ++round) {
+  const std::uint64_t rounds = 300;
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    SCOPED_TRACE(seedLine(kSeed, round));
+    Rng rng = fuzzStream(kSeed, round);
     SymDmamFirstMessage first = prover.firstMessage(g);
     std::vector<util::BigUInt> challenges;
     for (graph::Vertex v = 0; v < n; ++v) {
@@ -95,13 +103,15 @@ TEST(Fuzz, SymDamRejectsRandomGarbageMessages) {
   // Entirely random (well-shaped) messages on a rigid graph: acceptance
   // would require simultaneously forging tree, chains, and the root
   // equality — never happens.
-  Rng rng(223);
+  constexpr std::uint64_t kSeed = 223;
   const std::size_t n = 8;
   Rng setup(224);
   SymDamProtocol protocol(hash::makeProtocol1Family(n, setup));  // Short hash: hardest case.
-  graph::Graph g = graph::randomRigidConnected(n, rng);
+  Rng graphRng(kSeed);
+  graph::Graph g = graph::randomRigidConnected(n, graphRng);
 
-  for (int round = 0; round < 200; ++round) {
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    Rng rng = fuzzStream(kSeed, round);
     SymDamMessage msg;
     std::vector<graph::Vertex> rho(n);
     for (auto& x : rho) x = static_cast<graph::Vertex>(rng.nextBelow(n));
@@ -123,7 +133,7 @@ TEST(Fuzz, SymDamRejectsRandomGarbageMessages) {
     for (graph::Vertex v = 0; v < n && allAccept; ++v) {
       allAccept = protocol.nodeDecision(g, v, msg, ownChallenge);
     }
-    EXPECT_FALSE(allAccept) << "round " << round;
+    EXPECT_FALSE(allAccept) << seedLine(kSeed, round);
   }
 }
 
@@ -131,7 +141,7 @@ TEST(Fuzz, DSymSurvivesArbitraryGraphInputs) {
   // Feed the DSym verifier graphs that are NOT DSym-shaped at all (wrong
   // sizes handled by run(); here: right size, random structure). No crash,
   // and the structural checks reject.
-  Rng rng(225);
+  constexpr std::uint64_t kSeed = 225;
   const std::size_t side = 5;
   graph::DSymLayout layout = graph::dsymLayout(side, 1);
   Rng setup(226);
@@ -142,23 +152,25 @@ TEST(Fuzz, DSymSurvivesArbitraryGraphInputs) {
                                          util::BigUInt{100} * n3, setup),
                   static_cast<std::uint64_t>(layout.numVertices) * layout.numVertices));
 
-  for (int round = 0; round < 20; ++round) {
+  for (std::uint64_t round = 0; round < 20; ++round) {
+    Rng rng = fuzzStream(kSeed, round);
     graph::Graph g = graph::randomConnected(layout.numVertices, layout.numVertices, rng);
     HonestDSymProver prover(layout, protocol.family());
     RunResult result = protocol.run(g, prover, rng);
     // Random connected graphs essentially never satisfy the rigid DSym
     // wiring; acceptance would need every structural check to pass.
-    EXPECT_FALSE(result.accepted) << "round " << round;
+    EXPECT_FALSE(result.accepted) << seedLine(kSeed, round);
   }
 }
 
 TEST(Fuzz, BigUIntMessageFieldsAtDomainBoundaries) {
   // Boundary values (0, p-1, p, p+1) in every chain slot: domain checks
   // must handle them without exceptions leaking through nodeDecision.
-  Rng rng(227);
+  constexpr std::uint64_t kSeed = 227;
   const std::size_t n = 8;
   Rng setup(228);
   SymDmamProtocol protocol(hash::makeProtocol1Family(n, setup));
+  Rng rng = fuzzStream(kSeed, 0);
   graph::Graph g = graph::randomSymmetricConnected(n, rng);
   HonestSymDmamProver prover(protocol.family());
 
@@ -186,7 +198,8 @@ TEST(Fuzz, GniMessagesSurviveStructuredCorruption) {
   // and every all-nodes-accept outcome must trace back to a mutation that
   // hit an unclaimed repetition (whose fields nobody reads) or was a
   // self-replacement.
-  Rng rng(229);
+  constexpr std::uint64_t kSeed = 229;
+  Rng rng(kSeed);
   Rng setup(230);
   GniParams params = GniParams::choose(6, setup);
   GniAmamProtocol protocol(params);
@@ -209,31 +222,32 @@ TEST(Fuzz, GniMessagesSurviveStructuredCorruption) {
   }
   GniSecondMessage second = prover.secondMessage(yes, challenges, first, checkChallenges);
 
-  for (int round = 0; round < 60; ++round) {
+  for (std::uint64_t round = 0; round < 60; ++round) {
+    Rng stream = fuzzStream(kSeed, round);
     GniFirstMessage corruptedFirst = first;
     GniSecondMessage corruptedSecond = second;
-    graph::Vertex victim = static_cast<graph::Vertex>(rng.nextBelow(6));
-    std::size_t rep = rng.nextBelow(params.repetitions);
+    graph::Vertex victim = static_cast<graph::Vertex>(stream.nextBelow(6));
+    std::size_t rep = stream.nextBelow(params.repetitions);
     bool hitClaimed = first.perNode[0].claimed[rep] != 0;
-    switch (rng.nextBelow(5)) {
+    switch (stream.nextBelow(5)) {
       case 0:
         corruptedFirst.perNode[victim].s[rep] =
-            static_cast<graph::Vertex>(rng.nextBelow(6));
+            static_cast<graph::Vertex>(stream.nextBelow(6));
         break;
       case 1:
         corruptedFirst.perNode[victim].b[rep] ^= 1;
         break;
       case 2:
         corruptedSecond.perNode[victim].h[rep] =
-            rng.nextBigBelow(params.gsHash.fieldPrime());
+            stream.nextBigBelow(params.gsHash.fieldPrime());
         break;
       case 3:
         corruptedSecond.perNode[victim].permS[rep] =
-            rng.nextBigBelow(params.checkFamily.prime());
+            stream.nextBigBelow(params.checkFamily.prime());
         break;
       case 4:
         corruptedFirst.perNode[victim].parent =
-            static_cast<graph::Vertex>(rng.nextBelow(6));
+            static_cast<graph::Vertex>(stream.nextBelow(6));
         break;
     }
     bool allAccept = true;
@@ -254,7 +268,7 @@ TEST(Fuzz, GniMessagesSurviveStructuredCorruption) {
       // A read-field corruption of a claimed repetition slipped through:
       // only possible for the b-flip of a rep whose OTHER fields happen to
       // verify — flag anything else.
-      ADD_FAILURE() << "corruption accepted at round " << round;
+      ADD_FAILURE() << "corruption accepted: " << seedLine(kSeed, round);
     }
   }
 }

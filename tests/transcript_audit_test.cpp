@@ -1,15 +1,30 @@
 // Edge cases for the Transcript bit accounting plus the DIP_AUDIT runtime
 // cross-check machinery (net/audit.hpp): the charged numbers are the paper's
 // f(n) measure, so wraparound, bad vertices and charge/encoding mismatches
-// must all fail loudly instead of corrupting cost reports.
+// must all fail loudly instead of corrupting cost reports. The final section
+// drives wire-mutated provers through real protocol runs: an adversarial
+// round must be cleanly accepted/rejected (or die at the decoder as
+// MutantRejected) — a std::logic_error would mean the mutation desynced the
+// charge accounting from the wire, which is an implementation bug, not a
+// cheater being caught.
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "adv/adapters_wire.hpp"
+#include "adv/mutator.hpp"
+#include "core/sym_dmam.hpp"
+#include "core/sym_input.hpp"
 #include "core/wire.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
 #include "net/audit.hpp"
 #include "net/transcript.hpp"
+#include "util/rng.hpp"
 
 namespace dip::net {
 namespace {
@@ -147,3 +162,82 @@ TEST(AuditChargedRound, AdversarialEncodingFailureIsSkipped) {
 
 }  // namespace
 }  // namespace dip::net
+
+namespace dip::adv {
+namespace {
+
+// Runs every standard mutator against a protocol a few times and classifies
+// each trial. The contract under test: a mutated round either runs to a
+// verdict (the charge-vs-wire audit holds — decisive when the suite is
+// compiled with DIP_AUDIT, as the asan preset is) or throws MutantRejected
+// at the decode boundary; std::logic_error must never escape, because run()
+// charges from the decoded message the verifiers actually consume.
+struct MutantAuditCounts {
+  int verdicts = 0;
+  int rejected = 0;
+};
+
+template <typename RunTrial>
+MutantAuditCounts auditMutants(RunTrial&& runTrial, int trialsPerMutator) {
+  MutantAuditCounts counts;
+  const auto mutators = standardMutators();
+  for (std::size_t m = 0; m < mutators.size(); ++m) {
+    for (int t = 0; t < trialsPerMutator; ++t) {
+      SCOPED_TRACE(std::string(mutators[m]->name()) + " trial " + std::to_string(t));
+      util::Rng trialRng = util::Rng(0xA0D1'7000 + m).child(static_cast<std::uint64_t>(t));
+      try {
+        runTrial(*mutators[m], trialRng);
+        ++counts.verdicts;
+      } catch (const MutantRejected&) {
+        ++counts.rejected;
+      } catch (const std::logic_error& err) {
+        ADD_FAILURE() << "mutated round desynced the charge audit: " << err.what();
+      }
+    }
+  }
+  return counts;
+}
+
+TEST(MutantChargeAudit, SymDmamMutantsNeverDesyncCharges) {
+  const std::size_t n = 8;
+  util::Rng setup(0xA0D17);
+  core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
+  // Symmetric graph: the honest base prover needs a real automorphism, and
+  // honest-round mutants are the sharpest audit probe (their charges come
+  // from a round that WOULD have passed).
+  graph::Graph g = graph::randomSymmetricConnected(n, setup);
+  MutantAuditCounts counts = auditMutants(
+      [&](const MessageMutator& mutator, util::Rng& rng) {
+        auto base = std::make_unique<core::HonestSymDmamProver>(protocol.family());
+        MutantSymDmamProver prover(std::move(base), mutator, protocol.family(),
+                                   rng.child(1));
+        protocol.run(g, prover, rng);
+      },
+      10);
+  EXPECT_GT(counts.verdicts, 0);
+  // The truncation mutator (at least) must actually exercise the decoder
+  // rejection path, otherwise this test is vacuously green.
+  EXPECT_GT(counts.rejected, 0);
+}
+
+TEST(MutantChargeAudit, SymInputMutantsNeverDesyncCharges) {
+  const std::size_t n = 8;
+  util::Rng setup(0xA0D18);
+  core::SymInputProtocol protocol(hash::makeProtocol1FamilyCached(n));
+  // Symmetric input: the honest prover needs a real automorphism to commit.
+  core::SymInputInstance instance{graph::randomConnected(n, n / 2, setup),
+                                  graph::randomSymmetricConnected(n, setup)};
+  MutantAuditCounts counts = auditMutants(
+      [&](const MessageMutator& mutator, util::Rng& rng) {
+        auto base = std::make_unique<core::HonestSymInputProver>(protocol.family());
+        MutantSymInputProver prover(std::move(base), mutator, protocol.family(),
+                                    rng.child(1));
+        protocol.run(instance, prover, rng);
+      },
+      10);
+  EXPECT_GT(counts.verdicts, 0);
+  EXPECT_GT(counts.rejected, 0);
+}
+
+}  // namespace
+}  // namespace dip::adv
