@@ -1,0 +1,223 @@
+// Engine-level tests for dip-analyze: the lexer invariants the rules rely
+// on, suppression window semantics, the baseline round-trip, and the golden
+// SARIF snapshot.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "baseline.hpp"
+#include "lexer.hpp"
+#include "sarif.hpp"
+#include "source.hpp"
+
+namespace dip::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(AnalyzeLexer, CommentsNeverBecomeTokens) {
+  LexedFile lexed = lex("int a; // rand();\n/* std::thread t; */ int b;\n");
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "rand");
+    EXPECT_NE(token.text, "thread");
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_NE(lexed.comments[0].text.find("rand"), std::string::npos);
+}
+
+TEST(AnalyzeLexer, StringAndRawStringAreSingleTokens) {
+  LexedFile lexed = lex(
+      "const char* s = \"rand() inside\";\n"
+      "const char* r = R\"doc( printf(\"x\") )doc\";\n");
+  int strings = 0;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kString) ++strings;
+    EXPECT_NE(token.text, "rand");
+    EXPECT_NE(token.text, "printf");
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(AnalyzeLexer, LineSplicePreservesPhysicalLines) {
+  // `ra\<newline>nd` splices to the identifier `rand` on physical line 1.
+  LexedFile lexed = lex("ra\\\nnd();\nint after;\n");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_TRUE(lexed.tokens[0].isIdent("rand"));
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  // The token after the spliced construct still knows its physical line.
+  bool sawAfter = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.isIdent("after")) {
+      EXPECT_EQ(token.line, 3);
+      sawAfter = true;
+    }
+  }
+  EXPECT_TRUE(sawAfter);
+}
+
+TEST(AnalyzeLexer, SplicedLineCommentSwallowsNextLine) {
+  LexedFile lexed = lex("// comment \\\nrand();\nint x;\n");
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "rand");
+  }
+}
+
+TEST(AnalyzeLexer, AuditRegionsMarkTokens) {
+  LexedFile lexed = lex(
+      "int a;\n"
+      "#if DIP_AUDIT\n"
+      "int audited;\n"
+      "#else\n"
+      "int normal;\n"
+      "#endif\n"
+      "#if OTHER_FLAG\n"
+      "int other;\n"
+      "#else\n"
+      "int alsoNotAudit;\n"
+      "#endif\n");
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokenKind::kIdentifier || token.text == "int") continue;
+    EXPECT_EQ(token.inAudit, token.text == "audited") << token.text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+constexpr const char* kRandFile =
+    "#include <cstdlib>\n"
+    "// dip-lint: allow(nondeterminism) -- test fixture\n"
+    "int f() { return rand(); }\n";
+
+TEST(AnalyzeSuppression, AnnotationInWindowSuppresses) {
+  AnalysisReport report = analyzeInMemory({{"src/core/a.cpp", kRandFile}});
+  EXPECT_EQ(report.activeCount, 0u)
+      << (report.findings.empty() ? std::string()
+                                  : report.findings.front().message);
+}
+
+TEST(AnalyzeSuppression, AnnotationBeyondWindowDoesNotSuppress) {
+  std::string content =
+      "#include <cstdlib>\n"
+      "// dip-lint: allow(nondeterminism) -- too far away\n";
+  for (int i = 0; i < kSuppressionWindow; ++i) content += "int pad" + std::to_string(i) + ";\n";
+  content += "int f() { return rand(); }\n";
+  AnalysisReport report = analyzeInMemory({{"src/core/a.cpp", content}});
+  // The rand() fires (out of window) and the annotation is reported dead.
+  bool sawRand = false;
+  bool sawDead = false;
+  for (const Finding& finding : report.findings) {
+    if (finding.rule == "nondeterminism") sawRand = true;
+    if (finding.rule == "suppression-hygiene") sawDead = true;
+  }
+  EXPECT_TRUE(sawRand);
+  EXPECT_TRUE(sawDead);
+}
+
+TEST(AnalyzeSuppression, DipAnalyzeMarkerIsASynonym) {
+  std::string content =
+      "#include <cstdlib>\n"
+      "// dip-analyze: allow(nondeterminism) -- synonym marker\n"
+      "int f() { return rand(); }\n";
+  AnalysisReport report = analyzeInMemory({{"src/core/a.cpp", content}});
+  EXPECT_EQ(report.activeCount, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+TEST(AnalyzeBaseline, RoundTripSuppressesUntilTheLineChanges) {
+  const std::string path = "src/core/legacy.cpp";
+  const std::string content =
+      "#include <cstdlib>\n"
+      "int f() { return rand(); }\n";
+  AnalysisReport before = analyzeInMemory({{path, content}});
+  ASSERT_EQ(before.activeCount, 1u);
+  const Finding& finding = before.findings.front();
+
+  // Build a baseline entry exactly like --write-baseline does.
+  BaselineEntry entry;
+  entry.rule = finding.rule;
+  entry.path = finding.path;
+  entry.hash = fingerprintLine("int f() { return rand(); }");
+  entry.reason = "grandfathered by test";
+  std::string rendered = Baseline::render({entry});
+
+  std::vector<std::string> errors;
+  Baseline baseline = Baseline::parse(rendered, errors);
+  EXPECT_TRUE(errors.empty());
+
+  AnalysisReport after = analyzeInMemory({{path, content}}, &baseline);
+  EXPECT_EQ(after.activeCount, 0u);
+  EXPECT_EQ(after.baselinedCount, 1u);
+
+  // Editing the flagged line invalidates the entry: the finding resurfaces.
+  const std::string edited =
+      "#include <cstdlib>\n"
+      "int f() { return rand() + 1; }\n";
+  AnalysisReport resurfaced = analyzeInMemory({{path, edited}}, &baseline);
+  EXPECT_EQ(resurfaced.activeCount, 1u);
+  EXPECT_EQ(resurfaced.baselinedCount, 0u);
+
+  // Re-indenting does NOT invalidate it: the fingerprint trims whitespace.
+  const std::string reindented =
+      "#include <cstdlib>\n"
+      "    int f() { return rand(); }\n";
+  AnalysisReport stable = analyzeInMemory({{path, reindented}}, &baseline);
+  EXPECT_EQ(stable.activeCount, 0u);
+  EXPECT_EQ(stable.baselinedCount, 1u);
+}
+
+TEST(AnalyzeBaseline, ReasonIsMandatory) {
+  std::vector<std::string> errors;
+  Baseline::parse("nondeterminism src/core/a.cpp 0123456789abcdef\n", errors);
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(AnalyzeBaseline, CommentsAndBlankLinesAreIgnored) {
+  std::vector<std::string> errors;
+  Baseline baseline = Baseline::parse(
+      "# header comment\n"
+      "\n"
+      "nondeterminism src/core/a.cpp 0123456789abcdef -- why\n",
+      errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(baseline.entries().size(), 1u);
+  EXPECT_TRUE(baseline.matches("nondeterminism", "src/core/a.cpp",
+                               0x0123456789abcdefULL));
+  EXPECT_FALSE(baseline.matches("nondeterminism", "src/core/a.cpp", 1));
+}
+
+// ---------------------------------------------------------------------------
+// SARIF golden snapshot
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AnalyzeSarif, GoldenSnapshot) {
+  std::string root =
+      std::string(DIP_ANALYZE_TESTDATA_DIR) + "/fixtures/sarif-golden";
+  std::vector<SourceFile> files;
+  std::string error;
+  ASSERT_TRUE(loadTree(root, files, error)) << error;
+  AnalysisReport report = analyzeFiles(files, nullptr);
+  std::string sarif = renderSarif(report.findings);
+  std::string golden =
+      slurp(std::string(DIP_ANALYZE_TESTDATA_DIR) + "/golden/findings.sarif");
+  EXPECT_EQ(sarif, golden)
+      << "SARIF output drifted from the golden snapshot. If the change is "
+         "intentional, regenerate tests/analyze/golden/findings.sarif.";
+}
+
+}  // namespace
+}  // namespace dip::analyze

@@ -1,0 +1,110 @@
+// Fixture-corpus tests for dip-analyze: every rule has its own mini source
+// tree under tests/analyze/fixtures/<rule>/src with at least one firing
+// file and one clean file. Files whose basename contains "clean" must
+// produce zero findings; every other file must produce at least one finding
+// of the tree's rule (and no findings of any *other* rule, so fixtures
+// cannot drift into accidentally testing a neighbour).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace dip::analyze {
+namespace {
+
+#ifndef DIP_ANALYZE_TESTDATA_DIR
+#error "DIP_ANALYZE_TESTDATA_DIR must point at tests/analyze"
+#endif
+
+std::map<std::string, std::vector<Finding>> findingsByPath(
+    const std::string& tree) {
+  std::string root = std::string(DIP_ANALYZE_TESTDATA_DIR) + "/fixtures/" + tree;
+  std::vector<SourceFile> files;
+  std::string error;
+  EXPECT_TRUE(loadTree(root, files, error)) << error;
+  EXPECT_FALSE(files.empty()) << "no fixture files under " << root;
+  AnalysisReport report = analyzeFiles(files, nullptr);
+  std::map<std::string, std::vector<Finding>> byPath;
+  for (const SourceFile& file : files) byPath[file.path];  // clean files too
+  for (const Finding& finding : report.findings) {
+    byPath[finding.path].push_back(finding);
+  }
+  return byPath;
+}
+
+bool isCleanFixture(const std::string& path) {
+  return path.find("clean") != std::string::npos;
+}
+
+// Runs the firing/clean contract for one rule tree.
+void checkTree(const std::string& rule) {
+  auto byPath = findingsByPath(rule);
+  int firingFiles = 0;
+  int cleanFiles = 0;
+  for (const auto& [path, findings] : byPath) {
+    if (isCleanFixture(path)) {
+      ++cleanFiles;
+      EXPECT_TRUE(findings.empty())
+          << path << " must be clean but got: " << (findings.empty()
+              ? std::string()
+              : findings.front().rule + ": " + findings.front().message);
+      continue;
+    }
+    ++firingFiles;
+    EXPECT_FALSE(findings.empty()) << path << " must fire " << rule;
+    for (const Finding& finding : findings) {
+      EXPECT_EQ(finding.rule, rule)
+          << path << " fired foreign rule " << finding.rule << ": "
+          << finding.message;
+    }
+  }
+  EXPECT_GE(firingFiles, 1) << rule << " tree has no firing fixture";
+  EXPECT_GE(cleanFiles, 1) << rule << " tree has no clean fixture";
+}
+
+TEST(AnalyzeFixtures, ChargeAudit) { checkTree("charge-audit"); }
+TEST(AnalyzeFixtures, UnchargedWire) { checkTree("uncharged-wire"); }
+TEST(AnalyzeFixtures, Nondeterminism) { checkTree("nondeterminism"); }
+TEST(AnalyzeFixtures, LibraryIo) { checkTree("library-io"); }
+TEST(AnalyzeFixtures, Locality) { checkTree("locality"); }
+TEST(AnalyzeFixtures, ThreadContainment) { checkTree("thread-containment"); }
+TEST(AnalyzeFixtures, HotLoopAlloc) { checkTree("hot-loop-alloc"); }
+TEST(AnalyzeFixtures, MutatorSelftest) { checkTree("mutator-selftest"); }
+TEST(AnalyzeFixtures, ChargeCoverage) { checkTree("charge-coverage"); }
+TEST(AnalyzeFixtures, DeterminismEscape) { checkTree("determinism-escape"); }
+TEST(AnalyzeFixtures, SuppressionHygiene) { checkTree("suppression-hygiene"); }
+
+// Every rule in the registry has a fixture tree exercised above.
+TEST(AnalyzeFixtures, RegistryIsFullyCovered) {
+  const std::set<std::string> covered = {
+      "charge-audit",     "uncharged-wire",    "nondeterminism",
+      "library-io",       "locality",          "thread-containment",
+      "hot-loop-alloc",   "mutator-selftest",  "charge-coverage",
+      "determinism-escape", "suppression-hygiene"};
+  for (const RuleDescriptor& rule : ruleRegistry()) {
+    EXPECT_TRUE(covered.count(rule.name) != 0)
+        << "rule " << rule.name << " has no fixture tree";
+  }
+  EXPECT_EQ(covered.size(), ruleRegistry().size());
+}
+
+// The regression tree holds the comment/string/raw-string/splice shapes the
+// regex linter tripped over: banned patterns that are not code. Everything
+// in it must be clean.
+TEST(AnalyzeFixtures, RegexFalsePositiveRegressions) {
+  auto byPath = findingsByPath("regression");
+  EXPECT_GE(byPath.size(), 2u);
+  for (const auto& [path, findings] : byPath) {
+    EXPECT_TRUE(findings.empty())
+        << path << " false positive: " << (findings.empty()
+            ? std::string()
+            : findings.front().rule + ": " + findings.front().message);
+  }
+}
+
+}  // namespace
+}  // namespace dip::analyze

@@ -1,0 +1,15 @@
+// Fixture: the canonical audited round shape; must produce no findings.
+#include "net/transcript.hpp"
+
+void roundOne(net::Transcript& t) {
+  t.beginRound();
+  t.chargeBroadcast(12);
+#if DIP_AUDIT
+  net::auditChargedRound(t, wire::encodeDecision(1).bitCount());
+#endif
+  t.beginRound();
+  t.chargeBroadcast(4);
+#if DIP_AUDIT
+  net::auditCharge(t, wire::encodeVerdict(0).bitCount());
+#endif
+}

@@ -1,0 +1,9 @@
+// Fixture: a Transcript charge that is never cross-checked by
+// auditCharge/auditChargedRound before the next round.
+#include "net/transcript.hpp"
+
+void roundOne(net::Transcript& t) {
+  t.beginRound();
+  t.chargeBroadcast(12);  // never audited -> charge-audit fires here
+  t.beginRound();
+}

@@ -1,0 +1,11 @@
+// Fixture: an audit whose arguments reference no wire codec cross-checks
+// the charges against nothing.
+#include "net/transcript.hpp"
+
+void roundOne(net::Transcript& t) {
+  t.beginRound();
+  t.chargeBroadcast(8);
+#if DIP_AUDIT
+  net::auditChargedRound(t, 8);  // charge-coverage fires: no codec backing
+#endif
+}

@@ -1,0 +1,16 @@
+// Fixture: charges and encodings back each other in every round; must stay
+// clean.
+#include "net/transcript.hpp"
+
+void protocol(net::Transcript& t, int verdict) {
+  t.beginRound();
+  t.chargeBroadcast(12);
+#if DIP_AUDIT
+  net::auditChargedRound(t, wire::encodeDecision(verdict).bitCount());
+#endif
+  t.beginRound();
+  t.chargePointToPoint(0, 1, 4);
+#if DIP_AUDIT
+  net::auditCharge(t, wire::encodeVerdict(verdict).bitCount());
+#endif
+}

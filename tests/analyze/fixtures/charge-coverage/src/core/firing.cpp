@@ -1,0 +1,11 @@
+// Fixture: a round that re-encodes messages but charges nothing -- the
+// encoding exists, so the communication happened, but no bits were charged
+// to the transcript.
+#include "net/transcript.hpp"
+
+void roundOne(net::Transcript& t, int verdict) {
+  t.beginRound();
+#if DIP_AUDIT
+  net::auditChargedRound(t, wire::encodeDecision(verdict).bitCount());
+#endif
+}

@@ -1,0 +1,15 @@
+// Fixture: membership-only use of an unordered container is fine -- no
+// iteration order can leak; must stay clean.
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> dedupe(const std::vector<int>& values) {
+  std::unordered_set<int> seen;
+  std::vector<int> kept;
+  for (int value : values) {
+    if (seen.count(value) != 0) continue;
+    seen.insert(value);
+    kept.push_back(value);
+  }
+  return kept;
+}

@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container -- bucket order is
+// implementation-defined and here it reaches a digest fold.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t foldLabels(const std::unordered_map<int, std::uint64_t>& labels) {
+  std::uint64_t digest = 0;
+  for (const auto& entry : labels) {  // determinism-escape fires
+    digest ^= entry.second * 0x9e3779b97f4a7c15ULL;
+  }
+  return digest;
+}

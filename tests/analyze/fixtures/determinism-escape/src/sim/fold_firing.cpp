@@ -1,0 +1,8 @@
+// Fixture: floating-point accumulation in the trial-fold layer -- the sum
+// depends on worker completion order.
+void foldWall(double* samples, int count) {
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) {
+    total += samples[i];  // determinism-escape fires
+  }
+}

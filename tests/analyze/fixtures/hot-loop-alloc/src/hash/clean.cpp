@@ -1,0 +1,10 @@
+// Fixture: the scratch value is hoisted out of the loop and reused; must
+// stay clean.
+#include "util/biguint.hpp"
+
+void absorb(const util::BigUInt& block, int rounds) {
+  util::BigUInt scratch = block;
+  for (int i = 0; i < rounds; ++i) {
+    scratch.shiftLeft(1);
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: a fresh BigUInt every iteration on the hash hot path -- one heap
+// allocation per round of the compression loop.
+#include "util/biguint.hpp"
+
+void absorb(const util::BigUInt& block, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    util::BigUInt scratch = block;  // hot-loop-alloc fires
+    scratch.shiftLeft(1);
+  }
+}

@@ -1,0 +1,6 @@
+// Fixture: silent library code; must stay clean.
+#include <string>
+
+std::string describeRank(int rank) {
+  return "rank=" + std::to_string(rank);
+}

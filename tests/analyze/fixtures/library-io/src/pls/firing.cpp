@@ -1,0 +1,7 @@
+// Fixture: library code writing to stdout. Both the include and the call
+// sites fire.
+#include <iostream>
+
+void reportRank(int rank) {
+  std::cout << "rank=" << rank << "\n";  // library-io fires
+}

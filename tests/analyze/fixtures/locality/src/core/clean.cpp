@@ -1,0 +1,14 @@
+// Fixture: a properly local nodeDecision -- reads only row(v), hasEdge(v, u)
+// over neighbours, and hands helpers the vertex along with the graph. Must
+// stay clean.
+#include "graph/graph.hpp"
+
+int localView(const Graph& g, Vertex v);
+
+bool nodeDecision(const Graph& g, Vertex v) {
+  int neighbours = 0;
+  g.row(v).forEachSet([&](Vertex u) {
+    if (g.hasEdge(v, u)) ++neighbours;
+  });
+  return neighbours + localView(g, v) > 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: the graph escapes nodeDecision into a helper that never receives
+// the own vertex -- the helper can compute any global view it likes.
+#include "graph/graph.hpp"
+
+int globalTriangleCount(const Graph& g);
+
+bool nodeDecision(const Graph& g, Vertex v) {
+  (void)v;
+  return globalTriangleCount(g) > 0;  // locality fires: graph escape
+}

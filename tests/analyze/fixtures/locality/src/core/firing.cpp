@@ -1,0 +1,11 @@
+// Fixture: a nodeDecision that counts over the whole graph and reads a
+// non-own row -- both locality breaks.
+#include "graph/graph.hpp"
+
+bool nodeDecision(const Graph& g, Vertex v, int n) {
+  int degreeSum = 0;
+  for (Vertex u = 0; u < n; ++u) {  // locality fires: whole-graph loop
+    if (g.hasEdge(u, v)) ++degreeSum;  // locality fires: non-own row read
+  }
+  return degreeSum % 2 == 0;
+}

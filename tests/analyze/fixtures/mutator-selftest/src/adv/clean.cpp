@@ -1,0 +1,13 @@
+// Fixture: a registered mutator; must stay clean.
+#include "adv/mutator.hpp"
+
+namespace adv {
+
+class BitFlipper : public MessageMutator {
+ public:
+  void mutate(Message& message, util::Rng& rng) override;
+};
+
+DIP_MUTATOR_SELF_TEST(BitFlipper);
+
+}  // namespace adv

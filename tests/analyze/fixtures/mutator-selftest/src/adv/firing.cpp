@@ -1,0 +1,12 @@
+// Fixture: a MessageMutator subclass with no DIP_MUTATOR_SELF_TEST
+// registration anywhere in src/adv.
+#include "adv/mutator.hpp"
+
+namespace adv {
+
+class BitSmasher : public MessageMutator {  // mutator-selftest fires
+ public:
+  void mutate(Message& message, util::Rng& rng) override;
+};
+
+}  // namespace adv

@@ -1,0 +1,7 @@
+// Fixture: the seeded util::Rng is the only sanctioned randomness source;
+// must stay clean.
+#include "util/rng.hpp"
+
+int pickChallenge(util::Rng& rng, int n) {
+  return static_cast<int>(rng.nextBounded(static_cast<unsigned>(n)));
+}

@@ -1,0 +1,6 @@
+// Fixture: verifier code drawing randomness outside util::Rng.
+#include <cstdlib>
+
+int pickChallenge(int n) {
+  return rand() % n;  // nondeterminism fires
+}

@@ -1,0 +1,27 @@
+// Fixture: every banned pattern below lives in a comment or a string
+// literal. The regex linter had to special-case these; the lexer simply
+// never sees them as code. Must stay clean.
+//
+//   t.chargeBroadcast(12);
+//   wire::encodeDecision(1);
+//   rand(); srand(7); std::random_device rd;
+//   std::thread worker;
+#include <string>
+
+/* block comment:
+   std::cout << "hello";
+   for (Vertex u = 0; u < n; ++u) {}
+*/
+
+std::string helpText() {
+  return "call rand() and std::cout << wire::encodeDecision(v) -- "
+         "none of this is code";
+}
+
+std::string rawHelp() {
+  return R"doc(
+    std::thread t;
+    t.chargeBroadcast(99);
+    printf("uncharged!\n");
+  )doc";
+}

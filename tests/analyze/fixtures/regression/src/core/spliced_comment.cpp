@@ -1,0 +1,9 @@
+// Fixture: a line comment continued by a backslash-newline splice swallows
+// the next physical line -- the rand() call below the splice is commented
+// out. A physical-line scanner flags it; the lexer must not. \
+   rand();
+
+int fortyTwo() {
+  // Digraph-free, splice-free control: a normal function.
+  return 42;
+}

@@ -1,0 +1,3 @@
+// Golden-snapshot input: a clean file, so the artifact list and result list
+// differ.
+int answer() { return 42; }

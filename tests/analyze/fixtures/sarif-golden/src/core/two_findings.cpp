@@ -1,0 +1,10 @@
+// Golden-snapshot input: exactly two deterministic findings.
+#include <cstdlib>
+
+int pickChallenge(int n) {
+  return rand() % n;  // nondeterminism
+}
+
+void parallelCheck() {
+  std::thread worker;  // thread-containment
+}

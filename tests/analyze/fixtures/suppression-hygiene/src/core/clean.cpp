@@ -1,0 +1,8 @@
+// Fixture: a justified, *used* suppression -- the rand() below would fire
+// nondeterminism, the annotation consumes it, and hygiene stays quiet.
+#include <cstdlib>
+
+int sampleForDiagnostics(int n) {
+  // dip-lint: allow(nondeterminism) -- diagnostics-only helper, never on the verdict path
+  return rand() % n;
+}

@@ -1,0 +1,11 @@
+// Fixture: three bad annotations -- an unknown rule name, a reasonless
+// allow, and a dead allow that suppresses nothing.
+
+// dip-lint: allow(made-up-rule) -- the rule name is wrong
+static int unknownRule = 1;
+
+// dip-lint: allow(nondeterminism)
+static int reasonless = 2;
+
+// dip-lint: allow(library-io) -- nothing below ever prints
+static int dead = 3;

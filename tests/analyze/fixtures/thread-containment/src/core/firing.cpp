@@ -1,0 +1,7 @@
+// Fixture: raw threading outside the trial engine.
+#include <thread>
+
+void parallelCheck() {
+  std::thread worker([] {});  // thread-containment fires
+  worker.join();
+}

@@ -1,0 +1,10 @@
+// Fixture: the trial engine in src/sim owns thread management; must stay
+// clean.
+#include <thread>
+
+void spawnWorkers(int count) {
+  for (int i = 0; i < count; ++i) {
+    std::thread worker([] {});
+    worker.join();
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: wire encodings are fine under #if DIP_AUDIT; must stay clean.
+#include "net/wire.hpp"
+
+int auditedBits(int verdict) {
+#if DIP_AUDIT
+  return wire::encodeDecision(verdict).bitCount();
+#else
+  (void)verdict;
+  return 0;
+#endif
+}

@@ -1,0 +1,7 @@
+// Fixture: a wire encoding produced on the normal (non-audit) path, outside
+// any wire module -- communication nobody charged.
+#include "net/wire.hpp"
+
+int decisionBits(int verdict) {
+  return wire::encodeDecision(verdict).bitCount();  // uncharged-wire fires
+}

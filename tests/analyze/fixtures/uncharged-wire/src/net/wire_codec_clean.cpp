@@ -1,0 +1,11 @@
+// Fixture: a wire module (basename contains "wire") may call its own
+// encoders freely; must stay clean.
+#include "net/wire.hpp"
+
+namespace wire {
+
+int roundTrip(int verdict) {
+  return wire::encodeDecision(verdict).bitCount();
+}
+
+}  // namespace wire

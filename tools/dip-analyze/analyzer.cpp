@@ -1,0 +1,119 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dip::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isCppFile(const fs::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+void sortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+}  // namespace
+
+std::vector<Finding> AnalysisReport::activeFindings() const {
+  std::vector<Finding> active;
+  for (const Finding& finding : findings) {
+    if (!finding.baselined) active.push_back(finding);
+  }
+  return active;
+}
+
+AnalysisReport analyzeFiles(std::vector<SourceFile>& files, const Baseline* baseline) {
+  AnalysisReport report;
+  for (SourceFile& file : files) {
+    runFileRules(file, report.findings);
+  }
+  runTreeRules(files, report.findings);
+  sortFindings(report.findings);
+
+  if (baseline != nullptr) {
+    for (Finding& finding : report.findings) {
+      std::string_view lineText;
+      for (const SourceFile& file : files) {
+        if (file.path == finding.path) {
+          std::size_t index = static_cast<std::size_t>(finding.line) - 1;
+          if (index < file.lines.size()) lineText = file.lines[index];
+          break;
+        }
+      }
+      finding.baselined =
+          baseline->matches(finding.rule, finding.path, fingerprintLine(lineText));
+    }
+  }
+  for (const Finding& finding : report.findings) {
+    if (finding.baselined) {
+      ++report.baselinedCount;
+    } else {
+      ++report.activeCount;
+    }
+  }
+  return report;
+}
+
+AnalysisReport analyzeInMemory(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Baseline* baseline) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    sources.push_back(makeSourceFile(path, content));
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+  return analyzeFiles(sources, baseline);
+}
+
+bool loadTree(const std::string& root, std::vector<SourceFile>& out,
+              std::string& error) {
+  fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    error = "no src/ directory under " + root;
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      error = "walking " + src.string() + ": " + ec.message();
+      return false;
+    }
+    if (it->is_regular_file() && isCppFile(it->path())) {
+      paths.push_back(it->path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      error = "unreadable: " + path.string();
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string rel = fs::relative(path, root, ec).generic_string();
+    if (ec) rel = path.generic_string();
+    out.push_back(makeSourceFile(std::move(rel), buffer.str()));
+  }
+  return true;
+}
+
+}  // namespace dip::analyze

@@ -1,0 +1,37 @@
+// Analysis driver: loads a tree (or an in-memory file set), runs every
+// rule, applies the baseline, and produces a sorted report. The in-memory
+// entry point exists so the self-test and the unit tests can exercise the
+// full pipeline without touching the filesystem.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline.hpp"
+#include "rule.hpp"
+
+namespace dip::analyze {
+
+struct AnalysisReport {
+  std::vector<Finding> findings;  // Sorted by (path, line, rule); includes baselined.
+  std::size_t activeCount = 0;    // Findings not matched by the baseline.
+  std::size_t baselinedCount = 0;
+
+  std::vector<Finding> activeFindings() const;
+};
+
+// Runs all rules over already-lexed files. `baseline` may be nullptr.
+AnalysisReport analyzeFiles(std::vector<SourceFile>& files, const Baseline* baseline);
+
+// Convenience: builds SourceFiles from (path, content) pairs and analyzes.
+AnalysisReport analyzeInMemory(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Baseline* baseline = nullptr);
+
+// Loads every C++ file under <root>/src (sorted by path for determinism).
+// Returns false (with a message) if root has no src/ directory.
+bool loadTree(const std::string& root, std::vector<SourceFile>& out,
+              std::string& error);
+
+}  // namespace dip::analyze

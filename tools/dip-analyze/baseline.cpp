@@ -1,0 +1,107 @@
+#include "baseline.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace dip::analyze {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string_view takeWord(std::string_view& rest) {
+  rest = trim(rest);
+  std::size_t end = 0;
+  while (end < rest.size() && !std::isspace(static_cast<unsigned char>(rest[end]))) {
+    ++end;
+  }
+  std::string_view word = rest.substr(0, end);
+  rest.remove_prefix(end);
+  return word;
+}
+
+}  // namespace
+
+std::uint64_t fingerprintLine(std::string_view lineText) {
+  std::string_view trimmed = trim(lineText);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : trimmed) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Baseline Baseline::parse(std::string_view text, std::vector<std::string>& errors) {
+  Baseline baseline;
+  int lineNo = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = trim(text.substr(start, end - start));
+    start = end + 1;
+    ++lineNo;
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view rest = line;
+    std::string_view rule = takeWord(rest);
+    std::string_view path = takeWord(rest);
+    std::string_view hashWord = takeWord(rest);
+    rest = trim(rest);
+    std::string_view reason;
+    if (rest.starts_with("--")) {
+      reason = trim(rest.substr(2));
+    }
+    std::uint64_t hash = 0;
+    auto [ptr, ec] = std::from_chars(hashWord.data(), hashWord.data() + hashWord.size(),
+                                     hash, 16);
+    if (rule.empty() || path.empty() || ec != std::errc{} ||
+        ptr != hashWord.data() + hashWord.size() || reason.empty()) {
+      errors.push_back("baseline line " + std::to_string(lineNo) +
+                       ": expected `<rule> <path> <hex-hash> -- <reason>`");
+      continue;
+    }
+    BaselineEntry entry;
+    entry.rule = std::string(rule);
+    entry.path = std::string(path);
+    entry.hash = hash;
+    entry.reason = std::string(reason);
+    baseline.entries_.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+bool Baseline::matches(std::string_view rule, std::string_view path,
+                       std::uint64_t hash) const {
+  for (const BaselineEntry& entry : entries_) {
+    if (entry.hash == hash && entry.rule == rule && entry.path == path) return true;
+  }
+  return false;
+}
+
+std::string Baseline::render(const std::vector<BaselineEntry>& entries) {
+  std::string out =
+      "# dip-analyze baseline: grandfathered findings.\n"
+      "# Format: <rule> <path> <16-hex-hash-of-trimmed-line> -- <reason>\n"
+      "# Editing a flagged line invalidates its entry; the finding resurfaces.\n";
+  for (const BaselineEntry& entry : entries) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(entry.hash));
+    out += entry.rule + " " + entry.path + " " + hex + " -- " +
+           (entry.reason.empty() ? "TODO: justify or fix" : entry.reason) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dip::analyze

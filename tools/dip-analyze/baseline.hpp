@@ -1,0 +1,51 @@
+// Checked-in baseline of grandfathered findings.
+//
+// A baseline entry keys on (rule, path, fingerprint-of-line-text) rather
+// than a line number, so unrelated edits above a grandfathered finding do
+// not invalidate it, while editing the flagged line itself does -- the
+// finding then resurfaces and must be re-justified or fixed.
+//
+// File format, one entry per line (lines starting with '#' are comments):
+//
+//   <rule> <path> <16-hex-digit-hash> -- <reason>
+//
+// Reasons are mandatory: a baseline line without `-- <why>` fails to parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dip::analyze {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::uint64_t hash = 0;
+  std::string reason;
+};
+
+// FNV-1a 64 over the line with leading/trailing whitespace removed, so
+// re-indenting does not invalidate an entry.
+std::uint64_t fingerprintLine(std::string_view lineText);
+
+class Baseline {
+ public:
+  // Parses baseline text. On malformed lines, appends a message to
+  // `errors` and skips the line.
+  static Baseline parse(std::string_view text, std::vector<std::string>& errors);
+
+  bool matches(std::string_view rule, std::string_view path,
+               std::uint64_t hash) const;
+
+  const std::vector<BaselineEntry>& entries() const { return entries_; }
+
+  // Renders entries back to the file format (used by --write-baseline).
+  static std::string render(const std::vector<BaselineEntry>& entries);
+
+ private:
+  std::vector<BaselineEntry> entries_;
+};
+
+}  // namespace dip::analyze

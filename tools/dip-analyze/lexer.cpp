@@ -1,0 +1,379 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace dip::analyze {
+
+namespace {
+
+// One source character after line-splice removal, with its physical
+// position. Lexing runs over this array so every token keeps the line/col
+// of the file as the editor shows it.
+struct Ch {
+  char c;
+  int line;
+  int col;
+};
+
+std::vector<Ch> splice(std::string_view source) {
+  std::vector<Ch> out;
+  out.reserve(source.size());
+  int line = 1;
+  int col = 1;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    // Backslash-newline (optionally \r\n) is a line splice: drop both,
+    // keep counting physical lines.
+    if (c == '\\' && i + 1 < source.size() &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < source.size() && source[i + 2] == '\n'))) {
+      i += source[i + 1] == '\r' ? 2 : 1;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == '\r') continue;  // Normalize CRLF.
+    out.push_back({c, line, col});
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return out;
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character operators, longest first so greedy matching is correct.
+constexpr std::array<std::string_view, 23> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "::", "->", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++",
+};
+
+// String-literal prefixes whose identifier form may precede a quote.
+bool isStringPrefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+bool isRawPrefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : chars_(splice(source)) {
+    if (!chars_.empty()) {
+      out_.lineCount = chars_.back().line;
+    }
+  }
+
+  LexedFile run() {
+    while (pos_ < chars_.size()) {
+      char c = cur();
+      if (c == '\n') {
+        atLineStart_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\f' || c == '\v') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lexLineComment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lexBlockComment();
+        continue;
+      }
+      if (c == '#' && atLineStart_) {
+        lexDirective();
+        continue;
+      }
+      atLineStart_ = false;
+      if (isIdentStart(c)) {
+        lexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      if (isDigit(c) || (c == '.' && isDigit(peek(1)))) {
+        lexNumber();
+        continue;
+      }
+      if (c == '"') {
+        lexString(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        lexCharLit();
+        continue;
+      }
+      lexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return chars_[pos_].c; }
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < chars_.size() ? chars_[pos_ + ahead].c : '\0';
+  }
+
+  void push(TokenKind kind, std::string text, std::size_t startIndex) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = chars_[startIndex].line;
+    token.col = chars_[startIndex].col;
+    token.inAudit = false;
+    for (const AuditFrame& frame : auditStack_) {
+      if (frame.active) token.inAudit = true;
+    }
+    out_.tokens.push_back(std::move(token));
+  }
+
+  void lexLineComment() {
+    std::size_t start = pos_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < chars_.size() && cur() != '\n') {
+      text.push_back(cur());
+      ++pos_;
+    }
+    out_.comments.push_back({std::move(text), chars_[start].line, chars_[start].line});
+  }
+
+  void lexBlockComment() {
+    std::size_t start = pos_;
+    pos_ += 2;
+    std::string text;
+    int endLine = chars_[start].line;
+    while (pos_ < chars_.size()) {
+      if (cur() == '*' && peek(1) == '/') {
+        endLine = chars_[pos_].line;
+        pos_ += 2;
+        break;
+      }
+      endLine = chars_[pos_].line;
+      text.push_back(cur());
+      ++pos_;
+    }
+    out_.comments.push_back({std::move(text), chars_[start].line, endLine});
+  }
+
+  // Consumes `#...` to end of line (splices already merged). Stops at a
+  // comment start so the comment is still captured for suppressions.
+  void lexDirective() {
+    std::size_t start = pos_;
+    std::string text;
+    while (pos_ < chars_.size() && cur() != '\n') {
+      if (cur() == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      text.push_back(cur());
+      ++pos_;
+    }
+    trackAudit(text);
+    push(TokenKind::kDirective, std::move(text), start);
+    atLineStart_ = false;
+  }
+
+  static bool startsWithDirective(std::string_view text, std::string_view name) {
+    std::size_t i = 1;  // Skip '#'.
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    return text.compare(i, name.size(), name) == 0;
+  }
+
+  void trackAudit(std::string_view text) {
+    if (text.empty() || text[0] != '#') return;
+    const bool mentions = text.find("DIP_AUDIT") != std::string_view::npos;
+    if (startsWithDirective(text, "ifdef") || startsWithDirective(text, "ifndef") ||
+        startsWithDirective(text, "if")) {
+      auditStack_.push_back({mentions, mentions && !startsWithDirective(text, "ifndef")});
+    } else if (startsWithDirective(text, "elif")) {
+      if (!auditStack_.empty()) auditStack_.back() = {mentions, mentions};
+    } else if (startsWithDirective(text, "else")) {
+      // Only the complement of a DIP_AUDIT-gated branch is (not) audit
+      // code; the #else of an unrelated conditional stays non-audit.
+      if (!auditStack_.empty()) {
+        auditStack_.back().active = auditStack_.back().mentionsAudit &&
+                                    !auditStack_.back().active;
+      }
+    } else if (startsWithDirective(text, "endif")) {
+      if (!auditStack_.empty()) auditStack_.pop_back();
+    }
+  }
+
+  void lexIdentifierOrLiteralPrefix() {
+    std::size_t start = pos_;
+    std::string text;
+    while (pos_ < chars_.size() && isIdentChar(cur())) {
+      text.push_back(cur());
+      ++pos_;
+    }
+    if (pos_ < chars_.size() && cur() == '"' && isRawPrefix(text)) {
+      lexRawString(start);
+      return;
+    }
+    if (pos_ < chars_.size() && cur() == '"' && isStringPrefix(text)) {
+      lexString(start);
+      return;
+    }
+    if (pos_ < chars_.size() && cur() == '\'' && isStringPrefix(text)) {
+      lexCharLit();
+      return;
+    }
+    push(TokenKind::kIdentifier, std::move(text), start);
+  }
+
+  void lexNumber() {
+    std::size_t start = pos_;
+    std::string text;
+    // pp-number: digits, identifier chars, digit separators, exponents
+    // with signs, and dots. Exact numeric grammar is irrelevant here.
+    while (pos_ < chars_.size()) {
+      char c = cur();
+      if (isIdentChar(c) || c == '.' ||
+          (c == '\'' && isIdentChar(peek(1)) && !text.empty())) {
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          text.push_back(c);
+          ++pos_;
+          text.push_back(cur());
+          ++pos_;
+          continue;
+        }
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    push(TokenKind::kNumber, std::move(text), start);
+  }
+
+  void lexString(std::size_t start) {
+    // pos_ is at the opening quote.
+    ++pos_;
+    std::string text;
+    while (pos_ < chars_.size() && cur() != '\n') {
+      if (cur() == '\\' && pos_ + 1 < chars_.size()) {
+        text.push_back(cur());
+        text.push_back(peek(1));
+        pos_ += 2;
+        continue;
+      }
+      if (cur() == '"') {
+        ++pos_;
+        break;
+      }
+      text.push_back(cur());
+      ++pos_;
+    }
+    push(TokenKind::kString, std::move(text), start);
+  }
+
+  void lexRawString(std::size_t start) {
+    // pos_ is at the opening quote of R"delim( ... )delim".
+    ++pos_;
+    std::string delim;
+    while (pos_ < chars_.size() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      ++pos_;
+    }
+    if (pos_ < chars_.size() && cur() == '(') ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < chars_.size()) {
+      if (cur() == ')') {
+        bool match = true;
+        for (std::size_t k = 0; k < closer.size(); ++k) {
+          if (peek(k) != closer[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          pos_ += closer.size();
+          break;
+        }
+      }
+      text.push_back(cur());
+      ++pos_;
+    }
+    push(TokenKind::kString, std::move(text), start);
+  }
+
+  void lexCharLit() {
+    std::size_t start = pos_;
+    ++pos_;  // Opening quote.
+    std::string text;
+    while (pos_ < chars_.size() && cur() != '\n') {
+      if (cur() == '\\' && pos_ + 1 < chars_.size()) {
+        text.push_back(cur());
+        text.push_back(peek(1));
+        pos_ += 2;
+        continue;
+      }
+      if (cur() == '\'') {
+        ++pos_;
+        break;
+      }
+      text.push_back(cur());
+      ++pos_;
+    }
+    push(TokenKind::kCharLit, std::move(text), start);
+  }
+
+  void lexPunct() {
+    std::size_t start = pos_;
+    for (std::string_view op : kMultiPunct) {
+      bool match = true;
+      for (std::size_t k = 0; k < op.size(); ++k) {
+        if (peek(k) != op[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        pos_ += op.size();
+        push(TokenKind::kPunct, std::string(op), start);
+        return;
+      }
+    }
+    // "--" would shadow the "-- reason" marker nowhere (comments are not
+    // tokens), so it is safe to match it after the table misses "->*".
+    if (cur() == '-' && peek(1) == '-') {
+      pos_ += 2;
+      push(TokenKind::kPunct, "--", start);
+      return;
+    }
+    std::string text(1, cur());
+    ++pos_;
+    push(TokenKind::kPunct, std::move(text), start);
+  }
+
+  struct AuditFrame {
+    bool mentionsAudit;
+    bool active;
+  };
+
+  std::vector<Ch> chars_;
+  std::size_t pos_ = 0;
+  bool atLineStart_ = true;
+  std::vector<AuditFrame> auditStack_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace dip::analyze

@@ -1,0 +1,64 @@
+// dip-analyze: a real C++ lexer for the protocol-invariant analyzer.
+//
+// The regex linter this engine replaces could not see through block
+// comments, string/char literals, raw strings, or line splices, and had no
+// notion of preprocessor conditionals beyond "the line starts with #if".
+// This lexer produces a token stream with all of those resolved:
+//
+//   - line splices (backslash-newline) are removed before tokenization,
+//     with physical line numbers preserved per token;
+//   - comments are captured separately (they carry the suppression
+//     annotations) and never appear as tokens;
+//   - string literals -- including raw strings R"delim(...)delim" and
+//     prefixed forms (u8, L, ...) -- and character literals become single
+//     String/CharLit tokens, so `"rand()"` can never match a call pattern;
+//   - a preprocessor directive is one Directive token holding the whole
+//     logical line, and every token carries an `inAudit` flag saying
+//     whether it sits inside an `#if DIP_AUDIT` region (#else flips it,
+//     #endif pops; nested conditionals stack).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dip::analyze {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kCharLit,
+  kPunct,
+  kDirective,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based physical line of the token's first character.
+  int col = 1;   // 1-based column on that line.
+  bool inAudit = false;
+
+  bool is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+  bool isIdent(std::string_view t) const { return is(TokenKind::kIdentifier, t); }
+  bool isPunct(std::string_view t) const { return is(TokenKind::kPunct, t); }
+};
+
+struct Comment {
+  std::string text;  // Contents without the // or /* */ markers.
+  int line = 1;      // First physical line.
+  int endLine = 1;   // Last physical line (block comments may span).
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int lineCount = 0;
+};
+
+// Tokenizes one translation unit's worth of source text. Never throws on
+// malformed input: an unterminated literal or comment simply ends at EOF.
+LexedFile lex(std::string_view source);
+
+}  // namespace dip::analyze

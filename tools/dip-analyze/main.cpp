@@ -1,0 +1,199 @@
+// dip-analyze: self-hosted static analysis for the protocol invariants the
+// C++ compiler cannot express. See docs/STATIC_ANALYSIS.md.
+//
+//   dip-analyze --root .                      scan <root>/src
+//   dip-analyze --root . --sarif out.sarif    also emit SARIF 2.1.0
+//   dip-analyze --root . --write-baseline F   grandfather current findings
+//   dip-analyze --self-test                   prove seeded bugs are caught
+//   dip-analyze --list-rules                  print the rule registry
+//
+// Exit status: 0 clean (or all findings baselined), 1 active findings,
+// 2 usage/internal error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "sarif.hpp"
+#include "selftest.hpp"
+
+namespace {
+
+using namespace dip::analyze;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "dip-analyze: %s\n", error);
+  std::fprintf(stderr,
+               "usage: dip-analyze [--root DIR] [--baseline FILE] "
+               "[--no-baseline]\n"
+               "                   [--write-baseline FILE] [--sarif FILE]\n"
+               "                   [--list-rules] [--self-test]\n");
+  return 2;
+}
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool fileExists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baselinePath;
+  std::string writeBaselinePath;
+  std::string sarifPath;
+  bool noBaseline = false;
+  bool listRules = false;
+  bool selfTest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dip-analyze: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return 2;
+      baselinePath = v;
+    } else if (arg == "--no-baseline") {
+      noBaseline = true;
+    } else if (arg == "--write-baseline") {
+      const char* v = value("--write-baseline");
+      if (v == nullptr) return 2;
+      writeBaselinePath = v;
+    } else if (arg == "--sarif") {
+      const char* v = value("--sarif");
+      if (v == nullptr) return 2;
+      sarifPath = v;
+    } else if (arg == "--list-rules") {
+      listRules = true;
+    } else if (arg == "--self-test") {
+      selfTest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(nullptr);
+      return 0;
+    } else {
+      return usage(("unknown argument: " + arg).c_str());
+    }
+  }
+
+  if (listRules) {
+    for (const RuleDescriptor& rule : ruleRegistry()) {
+      std::printf("%-20s %s\n", rule.name.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+  if (selfTest) return runSelfTest();
+
+  // Default baseline: the checked-in file, when present.
+  if (baselinePath.empty() && !noBaseline) {
+    std::string candidate = root + "/tools/dip-analyze/baseline.txt";
+    if (fileExists(candidate)) baselinePath = candidate;
+  }
+  Baseline baseline;
+  bool haveBaseline = false;
+  if (!baselinePath.empty() && !noBaseline) {
+    std::string text;
+    if (!readFile(baselinePath, text)) {
+      std::fprintf(stderr, "dip-analyze: cannot read baseline %s\n",
+                   baselinePath.c_str());
+      return 2;
+    }
+    std::vector<std::string> errors;
+    baseline = Baseline::parse(text, errors);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "dip-analyze: %s: %s\n", baselinePath.c_str(),
+                   error.c_str());
+    }
+    if (!errors.empty()) return 2;
+    haveBaseline = true;
+  }
+
+  std::vector<SourceFile> files;
+  std::string error;
+  if (!loadTree(root, files, error)) {
+    std::fprintf(stderr, "dip-analyze: %s\n", error.c_str());
+    return 2;
+  }
+
+  AnalysisReport report = analyzeFiles(files, haveBaseline ? &baseline : nullptr);
+
+  if (!writeBaselinePath.empty()) {
+    std::vector<BaselineEntry> entries;
+    for (const Finding& finding : report.findings) {
+      if (finding.baselined) continue;
+      BaselineEntry entry;
+      entry.rule = finding.rule;
+      entry.path = finding.path;
+      std::size_t index = static_cast<std::size_t>(finding.line) - 1;
+      for (const SourceFile& file : files) {
+        if (file.path == finding.path && index < file.lines.size()) {
+          entry.hash = fingerprintLine(file.lines[index]);
+          break;
+        }
+      }
+      entries.push_back(std::move(entry));
+    }
+    std::ofstream out(writeBaselinePath, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "dip-analyze: cannot write %s\n",
+                   writeBaselinePath.c_str());
+      return 2;
+    }
+    out << Baseline::render(entries);
+    std::printf("dip-analyze: wrote %zu baseline entries to %s\n", entries.size(),
+                writeBaselinePath.c_str());
+    return 0;
+  }
+
+  if (!sarifPath.empty()) {
+    std::ofstream out(sarifPath, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "dip-analyze: cannot write %s\n", sarifPath.c_str());
+      return 2;
+    }
+    out << renderSarif(report.findings);
+  }
+
+  for (const Finding& finding : report.findings) {
+    if (finding.baselined) continue;
+    std::printf("%s:%d: [%s] %s\n", finding.path.c_str(), finding.line,
+                finding.rule.c_str(), finding.message.c_str());
+  }
+  if (report.activeCount > 0) {
+    std::printf("dip-analyze: %zu violation(s)", report.activeCount);
+    if (report.baselinedCount > 0) {
+      std::printf(" (+%zu baselined)", report.baselinedCount);
+    }
+    std::printf("\n");
+    return 1;
+  }
+  std::printf("dip-analyze: clean (%zu files, %zu rules",
+              files.size(), ruleRegistry().size());
+  if (report.baselinedCount > 0) {
+    std::printf(", %zu baselined finding(s)", report.baselinedCount);
+  }
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "model.hpp"
+
+#include <array>
+
+namespace dip::analyze {
+
+namespace {
+
+std::string_view closerFor(std::string_view open) {
+  if (open == "(") return ")";
+  if (open == "{") return "}";
+  if (open == "[") return "]";
+  return "";
+}
+
+bool isCallKeyword(std::string_view name) {
+  constexpr std::array<std::string_view, 12> kKeywords = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "co_await",
+  };
+  for (std::string_view keyword : kKeywords) {
+    if (name == keyword) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t matchingClose(const std::vector<Token>& tokens, std::size_t open) {
+  std::string_view openText = tokens[open].text;
+  std::string_view closeText = closerFor(openText);
+  if (closeText.empty()) return kNpos;
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == openText) {
+      ++depth;
+    } else if (tokens[i].text == closeText) {
+      if (--depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+std::size_t matchingOpen(const std::vector<Token>& tokens, std::size_t close) {
+  std::string_view closeText = tokens[close].text;
+  std::string_view openText;
+  if (closeText == ")") openText = "(";
+  else if (closeText == "}") openText = "{";
+  else if (closeText == "]") openText = "[";
+  else return kNpos;
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == closeText) {
+      ++depth;
+    } else if (tokens[i].text == openText) {
+      if (--depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+std::size_t receiverChainStart(const std::vector<Token>& tokens,
+                               std::size_t nameIndex) {
+  std::size_t i = nameIndex;
+  while (i > 0) {
+    const Token& prev = tokens[i - 1];
+    if (prev.kind == TokenKind::kIdentifier) {
+      i -= 1;
+      continue;
+    }
+    if (prev.isPunct(".") || prev.isPunct("->") || prev.isPunct("::")) {
+      i -= 1;
+      continue;
+    }
+    if (prev.isPunct(")") || prev.isPunct("]")) {
+      std::size_t open = matchingOpen(tokens, i - 1);
+      if (open == kNpos) break;
+      i = open;
+      continue;
+    }
+    break;
+  }
+  return i;
+}
+
+std::vector<CallSite> findCalls(const std::vector<Token>& tokens) {
+  std::vector<CallSite> calls;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    if (!tokens[i + 1].isPunct("(")) continue;
+    if (isCallKeyword(tokens[i].text)) continue;
+    CallSite call;
+    call.name = tokens[i].text;
+    call.nameIndex = i;
+    call.openParen = i + 1;
+    call.closeParen = matchingClose(tokens, i + 1);
+    // Walk namespace qualifiers backwards: a::b::name(...).
+    std::size_t first = i;
+    std::string qualified = call.name;
+    while (first >= 2 && tokens[first - 1].isPunct("::") &&
+           tokens[first - 2].kind == TokenKind::kIdentifier) {
+      qualified = tokens[first - 2].text + "::" + qualified;
+      first -= 2;
+    }
+    call.qualified = std::move(qualified);
+    call.isMember = first > 0 && (tokens[first - 1].isPunct(".") ||
+                                  tokens[first - 1].isPunct("->"));
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> splitArgs(
+    const std::vector<Token>& tokens, const CallSite& call) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  if (call.closeParen == kNpos || call.closeParen <= call.openParen + 1) return args;
+  int depth = 0;
+  std::size_t begin = call.openParen + 1;
+  for (std::size_t i = begin; i < call.closeParen; ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kPunct) continue;
+    if (token.text == "(" || token.text == "[" || token.text == "{") {
+      ++depth;
+    } else if (token.text == ")" || token.text == "]" || token.text == "}") {
+      --depth;
+    } else if (token.text == "," && depth == 0) {
+      args.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  args.emplace_back(begin, call.closeParen);
+  return args;
+}
+
+bool rangeHasIdent(const std::vector<Token>& tokens, std::size_t begin,
+                   std::size_t end, std::string_view name) {
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> loopBodies(
+    const std::vector<Token>& tokens) {
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kIdentifier) continue;
+    if (token.text == "for" || token.text == "while") {
+      if (!tokens[i + 1].isPunct("(")) continue;
+      std::size_t head = matchingClose(tokens, i + 1);
+      if (head == kNpos || head + 1 >= tokens.size()) continue;
+      if (tokens[head + 1].isPunct("{")) {
+        std::size_t close = matchingClose(tokens, head + 1);
+        if (close != kNpos) bodies.emplace_back(head + 2, close);
+      } else {
+        // Braceless body: up to the first ';' at delimiter depth zero.
+        int depth = 0;
+        for (std::size_t j = head + 1; j < tokens.size(); ++j) {
+          const Token& t = tokens[j];
+          if (t.kind != TokenKind::kPunct) continue;
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+          if (t.text == ";" && depth == 0) {
+            bodies.emplace_back(head + 1, j);
+            break;
+          }
+        }
+      }
+    } else if (token.text == "forEachSet" && tokens[i + 1].isPunct("(")) {
+      // The visitor lambda runs once per set bit: its tokens are a loop
+      // body for allocation purposes.
+      std::size_t close = matchingClose(tokens, i + 1);
+      if (close != kNpos) bodies.emplace_back(i + 2, close);
+    }
+  }
+  return bodies;
+}
+
+namespace {
+
+bool identEndsWith(const Token& token, std::string_view suffix) {
+  return token.kind == TokenKind::kIdentifier && token.text.size() >= suffix.size() &&
+         std::string_view(token.text).substr(token.text.size() - suffix.size()) ==
+             suffix;
+}
+
+void parseParams(const std::vector<Token>& tokens, FunctionDef& def) {
+  CallSite pseudo;
+  pseudo.openParen = def.paramOpen;
+  pseudo.closeParen = def.paramClose;
+  for (auto [begin, end] : splitArgs(tokens, pseudo)) {
+    // Ignore default arguments: the name precedes '='.
+    std::size_t stop = end;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (tokens[i].isPunct("=")) {
+        stop = i;
+        break;
+      }
+    }
+    // The parameter name is the last identifier before `stop`.
+    std::size_t nameIndex = kNpos;
+    for (std::size_t i = begin; i < stop; ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier) nameIndex = i;
+    }
+    if (nameIndex == kNpos) continue;
+    const std::string& name = tokens[nameIndex].text;
+    def.paramNames.push_back(name);
+    bool isVertex = false;
+    bool isGraphLike = false;
+    for (std::size_t i = begin; i < nameIndex; ++i) {
+      if (tokens[i].isIdent("Vertex")) isVertex = true;
+      if (tokens[i].isIdent("Graph") || identEndsWith(tokens[i], "Instance")) {
+        isGraphLike = true;
+      }
+    }
+    if (isVertex) def.vertexParams.push_back(name);
+    if (isGraphLike) def.graphLikeParams.push_back(name);
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionDef> findFunctionDefs(const std::vector<Token>& tokens,
+                                          std::string_view name) {
+  std::vector<FunctionDef> defs;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].isIdent(name) || !tokens[i + 1].isPunct("(")) continue;
+    std::size_t paramClose = matchingClose(tokens, i + 1);
+    if (paramClose == kNpos) continue;
+    // Skip qualifiers after the parameter list (const, noexcept, override);
+    // a definition reaches '{', a declaration reaches ';'.
+    std::size_t j = paramClose + 1;
+    while (j < tokens.size() && (tokens[j].isIdent("const") ||
+                                 tokens[j].isIdent("noexcept") ||
+                                 tokens[j].isIdent("override") ||
+                                 tokens[j].isIdent("final"))) {
+      ++j;
+    }
+    if (j >= tokens.size() || !tokens[j].isPunct("{")) continue;
+    std::size_t bodyClose = matchingClose(tokens, j);
+    if (bodyClose == kNpos) continue;
+    FunctionDef def;
+    def.nameIndex = i;
+    def.paramOpen = i + 1;
+    def.paramClose = paramClose;
+    def.bodyOpen = j;
+    def.bodyClose = bodyClose;
+    parseParams(tokens, def);
+    defs.push_back(std::move(def));
+  }
+  return defs;
+}
+
+}  // namespace dip::analyze

@@ -1,0 +1,79 @@
+// Token-level structure recovery: matched delimiters, call sites, loop
+// bodies and function bodies. Everything the rules need that a line regex
+// fundamentally cannot provide -- multi-line call expressions, brace-matched
+// scopes, argument lists -- lives here.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace dip::analyze {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Index of the matching closer for the opener at `open` ("(", "{", "["),
+// skipping nested pairs of the same kind. kNpos if unbalanced.
+std::size_t matchingClose(const std::vector<Token>& tokens, std::size_t open);
+
+// Index of the matching opener for the closer at `close`. kNpos if none.
+std::size_t matchingOpen(const std::vector<Token>& tokens, std::size_t close);
+
+// Start of the postfix expression a member call hangs off: walks the
+// receiver chain (identifiers, ::, ., ->, balanced () and []) leftwards
+// from the callee. For `instance.g0.row(v).forEachSet` at `forEachSet`,
+// returns the index of `instance`.
+std::size_t receiverChainStart(const std::vector<Token>& tokens,
+                               std::size_t nameIndex);
+
+// A resolved call expression: `name(args)` or `recv.name(args)`.
+struct CallSite {
+  std::string name;            // Unqualified callee name.
+  std::string qualified;       // Full dotted form, e.g. "wire::encodeGniFirst".
+  bool isMember = false;       // Preceded by `.` or `->`.
+  std::size_t nameIndex = 0;   // Token index of the callee identifier.
+  std::size_t openParen = 0;   // Token index of '('.
+  std::size_t closeParen = 0;  // Matching ')' (kNpos if unbalanced).
+};
+
+// All call sites in the token stream, in order of appearance. Control-flow
+// keywords (if/for/while/switch/catch/return/sizeof) are not calls.
+std::vector<CallSite> findCalls(const std::vector<Token>& tokens);
+
+// Splits the argument tokens of a call (openParen..closeParen exclusive)
+// into top-level comma-separated ranges: pairs of [begin, end) indices.
+std::vector<std::pair<std::size_t, std::size_t>> splitArgs(
+    const std::vector<Token>& tokens, const CallSite& call);
+
+// True if any token in [begin, end) is the identifier `name`.
+bool rangeHasIdent(const std::vector<Token>& tokens, std::size_t begin,
+                   std::size_t end, std::string_view name);
+
+// Token ranges [begin, end) that are loop bodies: for/while statements
+// (braced or single-statement) and forEachSet visitor arguments. Nested
+// loops yield nested ranges.
+std::vector<std::pair<std::size_t, std::size_t>> loopBodies(
+    const std::vector<Token>& tokens);
+
+// An out-of-line (or in-class) function definition of interest.
+struct FunctionDef {
+  std::size_t nameIndex = 0;
+  std::size_t paramOpen = 0;   // '(' of the parameter list.
+  std::size_t paramClose = 0;  // Matching ')'.
+  std::size_t bodyOpen = 0;    // '{' of the body.
+  std::size_t bodyClose = 0;   // Matching '}'.
+  std::vector<std::string> paramNames;       // All parameter names, in order.
+  std::vector<std::string> vertexParams;     // Names of graph::Vertex params.
+  std::vector<std::string> graphLikeParams;  // Names of Graph/instance reference params.
+};
+
+// Finds definitions of functions called `name` (e.g. "nodeDecision") that
+// have a brace-enclosed body. Declarations (ending in ';') are skipped.
+std::vector<FunctionDef> findFunctionDefs(const std::vector<Token>& tokens,
+                                          std::string_view name);
+
+}  // namespace dip::analyze

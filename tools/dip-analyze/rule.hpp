@@ -1,0 +1,46 @@
+// The rule contract. A rule is a named check over one SourceFile (or, for
+// cross-file rules, over the whole file set) that appends Findings. Adding
+// a rule means:
+//
+//   1. a RuleDescriptor entry in ruleRegistry() (rules.cpp) -- the name is
+//      the suppression key and the SARIF ruleId;
+//   2. an implementation hooked into runFileRules()/runTreeRules();
+//   3. one firing and one clean fixture under tests/analyze/fixtures/<rule>/
+//      plus a seeded case in selftest.cpp.
+//
+// Rules must check suppressions via SourceFile::consumeSuppression at the
+// finding line *before* emitting, so suppression-hygiene can tell used
+// annotations from dead ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source.hpp"
+
+namespace dip::analyze {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 1;
+  int col = 1;
+  std::string message;
+  bool baselined = false;  // Matched by a baseline entry (reported, not fatal).
+};
+
+struct RuleDescriptor {
+  std::string name;
+  std::string summary;  // One line, shown by --list-rules and in SARIF.
+};
+
+const std::vector<RuleDescriptor>& ruleRegistry();
+
+// Per-file rules. `file` is mutable so suppressions can be marked used.
+void runFileRules(SourceFile& file, std::vector<Finding>& findings);
+
+// Cross-file rules (mutator-selftest) plus suppression-hygiene, which must
+// run after every other rule has had the chance to consume annotations.
+void runTreeRules(std::vector<SourceFile>& files, std::vector<Finding>& findings);
+
+}  // namespace dip::analyze

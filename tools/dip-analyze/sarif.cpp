@@ -1,0 +1,105 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+namespace dip::analyze {
+
+namespace {
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string renderSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n";
+  out += "          \"name\": \"" + std::string(kToolName) + "\",\n";
+  out += "          \"version\": \"" + std::string(kToolVersion) + "\",\n";
+  out +=
+      "          \"informationUri\": "
+      "\"https://example.invalid/dip/docs/STATIC_ANALYSIS.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleDescriptor>& rules = ruleRegistry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\n";
+    out += "              \"id\": \"" + jsonEscape(rules[i].name) + "\",\n";
+    out += "              \"shortDescription\": { \"text\": \"" +
+           jsonEscape(rules[i].summary) + "\" }\n";
+    out += i + 1 < rules.size() ? "            },\n" : "            }\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"originalUriBaseIds\": {\n"
+      "        \"SRCROOT\": { \"uri\": \"file:///\" }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& finding = findings[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + jsonEscape(finding.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": { \"text\": \"" + jsonEscape(finding.message) +
+           "\" },\n";
+    out += "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\n";
+    out += "                  \"uri\": \"" + jsonEscape(finding.path) + "\",\n";
+    out += "                  \"uriBaseId\": \"SRCROOT\"\n"
+           "                },\n"
+           "                \"region\": {\n";
+    out += "                  \"startLine\": " + std::to_string(finding.line) + ",\n";
+    out += "                  \"startColumn\": " + std::to_string(finding.col) + "\n";
+    out += "                }\n"
+           "              }\n"
+           "            }\n"
+           "          ]";
+    if (finding.baselined) {
+      out += ",\n          \"suppressions\": [ { \"kind\": \"external\" } ]\n";
+    } else {
+      out += "\n";
+    }
+    out += i + 1 < findings.size() ? "        },\n" : "        }\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace dip::analyze

@@ -1,0 +1,24 @@
+// SARIF 2.1.0 rendering so CI can annotate PRs with findings.
+//
+// The output is deliberately deterministic: findings are emitted in the
+// analyzer's sorted order, artifact URIs are repo-relative under the
+// SRCROOT uriBase, and there are no timestamps -- a golden-file test
+// byte-compares a snapshot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rule.hpp"
+
+namespace dip::analyze {
+
+inline constexpr const char* kToolName = "dip-analyze";
+inline constexpr const char* kToolVersion = "1.0.0";
+
+// Renders one SARIF run. Baselined findings are included with
+// `suppressions: [{kind: external}]` so viewers show them as suppressed;
+// active findings carry level "error".
+std::string renderSarif(const std::vector<Finding>& findings);
+
+}  // namespace dip::analyze

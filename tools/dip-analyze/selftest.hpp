@@ -1,0 +1,13 @@
+// The analyzer's seeded self-test: an in-memory tree with at least one
+// violation per rule and a set of must-stay-clean files (including the
+// comment/string/raw-string/splice shapes the old regex linter tripped
+// over). `dip-analyze --self-test` proves the engine still catches every
+// seeded bug before CI trusts a clean scan of the real tree.
+#pragma once
+
+namespace dip::analyze {
+
+// Returns 0 on success, 1 on any missed or spurious finding.
+int runSelfTest();
+
+}  // namespace dip::analyze
