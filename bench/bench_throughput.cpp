@@ -1,0 +1,119 @@
+// Throughput macro-benchmark: trials/sec per protocol, batch engine vs the
+// scalar hash path on identical workloads.
+//
+// The deterministic table (protocol, trials, accepts, maxBits, digest) goes
+// to stdout and is bit-identical at every thread count and in both engine
+// modes — the batch engine changes evaluation strategy, never values.
+// Timings (trials/sec, speedup) go to stderr and, with --json PATH, to a
+// JSON file in the BENCH_throughput.json baseline format; CI compares the
+// speedup ratios (machine-normalized) against the committed baseline and
+// flags >10% regressions.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+#include "bench/table.hpp"
+#include "hash/batch_eval.hpp"
+#include "sim/throughput.hpp"
+
+using namespace dip;
+
+namespace {
+
+// Best-of-5 wall times per cell keep the committed speedups stable on noisy
+// machines without inflating the smoke-step runtime; main() interleaves the
+// scalar and batch repeats so thermal or frequency drift hits both modes
+// equally.
+constexpr int kRepeats = 5;
+
+std::vector<sim::ThroughputCell> runOnce(const sim::TrialConfig& config, bool batch) {
+  const bool saved = hash::batchEnabled();
+  hash::setBatchEnabled(batch);
+  std::vector<sim::ThroughputCell> cells = sim::runThroughputWorkload(config);
+  hash::setBatchEnabled(saved);
+  return cells;
+}
+
+void keepBest(std::vector<sim::ThroughputCell>& best,
+              std::vector<sim::ThroughputCell>&& cells) {
+  if (best.empty()) {
+    best = std::move(cells);
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].stats.wallSeconds < best[i].stats.wallSeconds) {
+      best[i].stats.wallSeconds = cells[i].stats.wallSeconds;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::TrialConfig engine = bench::parseTrialOptions(argc, argv);
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    }
+  }
+
+  bench::printHeader("THROUGHPUT", "Trial engine throughput: batch vs scalar hash path");
+
+  std::vector<sim::ThroughputCell> scalar;
+  std::vector<sim::ThroughputCell> batch;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    keepBest(scalar, runOnce(engine, false));
+    keepBest(batch, runOnce(engine, true));
+  }
+
+  // Deterministic table only: identical at any pool size and engine mode.
+  std::printf("\n%-12s  %7s  %7s  %8s  %18s\n", "protocol", "trials", "accepts",
+              "maxBits", "digest");
+  bench::printRule();
+  bool identical = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const sim::TrialStats& s = batch[i].stats;
+    std::printf("%-12s  %7zu  %7zu  %8zu  0x%016llx\n", batch[i].protocol.c_str(),
+                s.trials, s.accepts, s.maxPerNodeBits,
+                static_cast<unsigned long long>(s.digest));
+    if (!s.sameResults(scalar[i].stats)) identical = false;
+  }
+  std::printf("\nbatch == scalar results: %s\n", identical ? "yes" : "NO (BUG)");
+
+  // Timings: stderr + optional JSON, never stdout.
+  std::fprintf(stderr, "\n%-12s  %12s  %12s  %8s\n", "protocol", "scalar t/s",
+               "batch t/s", "speedup");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::fprintf(stderr, "%-12s  %12.1f  %12.1f  %7.2fx\n",
+                 batch[i].protocol.c_str(), scalar[i].trialsPerSecond(),
+                 batch[i].trialsPerSecond(),
+                 scalar[i].stats.wallSeconds / batch[i].stats.wallSeconds);
+  }
+
+  if (!jsonPath.empty()) {
+    std::FILE* out = std::fopen(jsonPath.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"bench_throughput\",\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"protocol\": \"%s\", \"trials\": %zu, "
+                   "\"scalar_trials_per_sec\": %.1f, \"batch_trials_per_sec\": %.1f, "
+                   "\"speedup\": %.3f}%s\n",
+                   batch[i].protocol.c_str(), batch[i].stats.trials,
+                   scalar[i].trialsPerSecond(), batch[i].trialsPerSecond(),
+                   scalar[i].stats.wallSeconds / batch[i].stats.wallSeconds,
+                   i + 1 < batch.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+  return identical ? 0 : 1;
+}

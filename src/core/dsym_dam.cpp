@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/wire.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "net/spanning.hpp"
 #include "util/bitio.hpp"
@@ -20,6 +21,14 @@ DSymDamProtocol::DSymDamProtocol(graph::DSymLayout layout, hash::LinearHashFamil
 bool DSymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
                                    const DSymMessage& msg,
                                    const util::BigUInt& ownChallenge) const {
+  return nodeDecisionAt(g, v, msg, ownChallenge, nullptr, nullptr);
+}
+
+bool DSymDamProtocol::nodeDecisionAt(const graph::Graph& g, graph::Vertex v,
+                                     const DSymMessage& msg,
+                                     const util::BigUInt& ownChallenge,
+                                     const util::BigUInt* expectABase,
+                                     const util::BigUInt* expectBBase) const {
   const std::size_t n = g.numVertices();
   const util::BigUInt& p = family_.prime();
   if (n != layout_.numVertices) return false;
@@ -46,9 +55,14 @@ bool DSymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
   // Chain verification with the FIXED sigma (computed locally from the
   // public layout; no commitment round needed).
   graph::Permutation sigma = graph::dsymSigma(layout_);
-  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
-  util::BigUInt expectB = family_.hashMatrixRow(
-      index, sigma[v], graph::Graph::imageOf(g.closedRow(v), sigma), n);
+  util::BigUInt expectA = expectABase
+                              ? expectABase[v]
+                              : family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  util::BigUInt expectB =
+      expectBBase
+          ? expectBBase[v]
+          : family_.hashMatrixRow(index, sigma[v],
+                                  graph::Graph::imageOf(g.closedRow(v), sigma), n);
   for (graph::Vertex child : net::childrenOf(g, tree, v)) {
     if (msg.a[child] >= p || msg.b[child] >= p) return false;
     expectA = util::addMod(expectA, msg.a[child], p);
@@ -110,9 +124,52 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
                          [&] { return wire::encodeDSym(msg, n, family_); });
 #endif
 
+  // Decisions. sigma is fixed by the public layout, so when the index
+  // broadcast is uniform (the honest/common case) all 2n verifier row
+  // hashes share one seed and batch over shared power tables; otherwise
+  // each node falls back to its scalar recomputation. Values are identical
+  // either way, only the evaluation strategy differs.
+  std::vector<util::BigUInt> baseA;
+  std::vector<util::BigUInt> baseB;
+  const util::BigUInt* preA = nullptr;
+  const util::BigUInt* preB = nullptr;
+  if (hash::batchEnabled()) {
+    const util::BigUInt& index = msg.indexPerNode[0];
+    bool uniform = index < family_.prime();
+    for (graph::Vertex v = 1; uniform && v < n; ++v) {
+      if (!(msg.indexPerNode[v] == index)) uniform = false;
+    }
+    if (uniform) {
+      graph::Permutation sigma = graph::dsymSigma(layout_);
+      thread_local hash::BatchLinearHashEvaluator batch;
+      thread_local std::vector<std::uint64_t> aIdx;
+      thread_local std::vector<std::uint64_t> bIdx;
+      thread_local std::vector<util::DynBitset> aRows;
+      thread_local std::vector<util::DynBitset> bRows;
+      batch.rebind(family_.prime(), family_.dimension(), index);
+      aIdx.clear();
+      bIdx.clear();
+      aRows.clear();
+      bRows.clear();
+      aIdx.reserve(n);
+      bIdx.reserve(n);
+      aRows.reserve(n);
+      bRows.reserve(n);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        aIdx.push_back(v);
+        aRows.push_back(g.closedRow(v));
+        bIdx.push_back(sigma[v]);
+        bRows.push_back(graph::Graph::imageOf(g.closedRow(v), sigma));
+      }
+      batch.hashMatrixRows(aIdx, aRows, n, baseA);
+      batch.hashMatrixRows(bIdx, bRows, n, baseB);
+      preA = baseA.data();
+      preB = baseB.data();
+    }
+  }
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {
-    if (!nodeDecision(g, v, msg, challenges[v])) {
+    if (!nodeDecisionAt(g, v, msg, challenges[v], preA, preB)) {
       result.accepted = false;
       break;
     }

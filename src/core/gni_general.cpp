@@ -10,6 +10,7 @@
 #include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "util/bitio.hpp"
 #include "util/mathutil.hpp"
@@ -533,6 +534,15 @@ GniGenSecondMessage HonestGniGeneralProver::secondMessage(
     std::vector<util::BigUInt> gsPieces(n), idPieces(n), permSPieces(n), permAPieces(n),
         autLPieces(n), autRPieces(n), consSCPieces(n), consSTPieces(n), consACPieces(n),
         consATPieces(n);
+    std::vector<std::uint64_t> lIdx, rIdx;
+    std::vector<util::DynBitset> lRows, rRows;
+    const bool useBatch = hash::batchEnabled();
+    if (useBatch) {
+      lIdx.reserve(n);
+      rIdx.reserve(n);
+      lRows.reserve(n);
+      rRows.reserve(n);
+    }
     for (graph::Vertex v = 0; v < n; ++v) {
       graph::Vertex sv = found.sigma[v];
       graph::Vertex av = found.alpha[sv];
@@ -543,8 +553,17 @@ GniGenSecondMessage HonestGniGeneralProver::secondMessage(
       idPieces[v] = cf.hashMatrixEntry(checkSeed, v, v, 1, n);
       permSPieces[v] = cf.hashMatrixEntry(checkSeed, sv, sv, 1, n);
       permAPieces[v] = cf.hashMatrixEntry(checkSeed, av, av, 1, n);
-      autLPieces[v] = cf.hashMatrixRow(checkSeed, sv, hRow, n);
-      autRPieces[v] = cf.hashMatrixRow(checkSeed, av, alphaHRow, n);
+      if (useBatch) {
+        // The 2n automorphism-check row hashes all share checkSeed: defer
+        // them into two batch calls over one set of power tables.
+        lIdx.push_back(sv);
+        lRows.push_back(hRow);
+        rIdx.push_back(av);
+        rRows.push_back(std::move(alphaHRow));
+      } else {
+        autLPieces[v] = cf.hashMatrixRow(checkSeed, sv, hRow, n);
+        autRPieces[v] = cf.hashMatrixRow(checkSeed, av, alphaHRow, n);
+      }
       if (found.b == 1) {
         std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
         util::BigUInt accS, accA;
@@ -560,6 +579,12 @@ GniGenSecondMessage HonestGniGeneralProver::secondMessage(
         consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closed1.size(), n);
         consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closed1.size(), n);
       }
+    }
+    if (useBatch) {
+      thread_local hash::BatchLinearHashEvaluator batch;
+      batch.rebind(cf.prime(), cf.dimension(), checkSeed);
+      batch.hashMatrixRows(lIdx, lRows, n, autLPieces);
+      batch.hashMatrixRows(rIdx, rRows, n, autRPieces);
     }
 
     auto assign = [&](std::vector<util::BigUInt> GniGenM2PerNode::* field,

@@ -4,6 +4,7 @@
 
 #include "core/wire.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "util/bitio.hpp"
 
@@ -14,9 +15,27 @@ util::BigUInt mappedMatrixFingerprint(const graph::Graph& g,
                                       const util::BigUInt& index,
                                       const std::vector<graph::Vertex>& sigma) {
   const std::size_t n = g.numVertices();
-  // The collision search calls this once per candidate sigma with the same
-  // (family, index): rebind short-circuits and the rows accumulate in the
-  // evaluator's backend domain, converting out once per fingerprint.
+  if (hash::batchEnabled()) {
+    // The collision search evaluates thousands of candidate sigmas under one
+    // pinned index: the batch evaluator's shared power tables make each
+    // fingerprint popcount adds plus one multiply per row (the scalar walk
+    // below pays ~n multiplies per row).
+    thread_local hash::BatchLinearHashEvaluator batch;
+    thread_local std::vector<std::uint64_t> rowIndices;
+    thread_local std::vector<util::DynBitset> rows;
+    batch.rebind(family.prime(), family.dimension(), index);
+    rowIndices.clear();
+    rows.clear();
+    rowIndices.reserve(n);
+    rows.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      rowIndices.push_back(sigma[v]);
+      rows.push_back(graph::Graph::imageOf(g.closedRow(v), sigma));
+    }
+    return batch.accumulateMatrixRows(rowIndices, rows, n);
+  }
+  // Scalar path (DIP_BATCH=0): rebind short-circuits and the rows accumulate
+  // in the evaluator's backend domain, converting out once per fingerprint.
   thread_local hash::LinearHashEvaluator evaluator;
   evaluator.rebind(family.prime(), family.dimension(), index);
   evaluator.resetAccumulator();

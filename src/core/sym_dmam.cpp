@@ -5,6 +5,7 @@
 #include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "util/bitio.hpp"
 
@@ -43,8 +44,42 @@ ChainValues aggregateChains(const graph::Graph& g, const hash::LinearHashFamily&
   ChainValues values;
   values.a.assign(n, util::BigUInt{});
   values.b.assign(n, util::BigUInt{});
-  // One evaluator for the whole bottom-up pass: the index is fixed, so every
-  // row hash reuses the pinned backend state.
+  if (hash::batchEnabled()) {
+    // Per-vertex row hashes depend only on v, not on tree order: evaluate
+    // all 2n of them in two batch calls over the shared power tables, then
+    // run the bottom-up fold on the precomputed values.
+    thread_local hash::BatchLinearHashEvaluator batch;
+    thread_local std::vector<std::uint64_t> aIdx;
+    thread_local std::vector<std::uint64_t> bIdx;
+    thread_local std::vector<util::DynBitset> aRows;
+    thread_local std::vector<util::DynBitset> bRows;
+    batch.rebind(family.prime(), family.dimension(), index);
+    aIdx.clear();
+    bIdx.clear();
+    aRows.clear();
+    bRows.clear();
+    aIdx.reserve(n);
+    bIdx.reserve(n);
+    aRows.reserve(n);
+    bRows.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      aIdx.push_back(v);
+      aRows.push_back(g.closedRow(v));
+      bIdx.push_back(rho[v]);
+      bRows.push_back(localImageOfClosedRow(g, v, rho));
+    }
+    batch.hashMatrixRows(aIdx, aRows, n, values.a);
+    batch.hashMatrixRows(bIdx, bRows, n, values.b);
+    for (graph::Vertex v : net::bottomUpOrder(tree)) {
+      for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+        values.a[v] = util::addMod(values.a[v], values.a[child], family.prime());
+        values.b[v] = util::addMod(values.b[v], values.b[child], family.prime());
+      }
+    }
+    return values;
+  }
+  // Scalar path (DIP_BATCH=0): one evaluator for the whole bottom-up pass —
+  // the index is fixed, so every row hash reuses the pinned backend state.
   thread_local hash::LinearHashEvaluator evaluator;
   evaluator.rebind(family.prime(), family.dimension(), index);
   for (graph::Vertex v : net::bottomUpOrder(tree)) {
@@ -68,6 +103,15 @@ bool SymDmamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
                                    const SymDmamFirstMessage& first,
                                    const util::BigUInt& ownChallenge,
                                    const SymDmamSecondMessage& second) const {
+  return nodeDecisionAt(g, v, first, ownChallenge, second, nullptr, nullptr);
+}
+
+bool SymDmamProtocol::nodeDecisionAt(const graph::Graph& g, graph::Vertex v,
+                                     const SymDmamFirstMessage& first,
+                                     const util::BigUInt& ownChallenge,
+                                     const SymDmamSecondMessage& second,
+                                     const util::BigUInt* expectABase,
+                                     const util::BigUInt* expectBBase) const {
   const std::size_t n = g.numVertices();
   const util::BigUInt& p = family_.prime();
 
@@ -90,9 +134,13 @@ bool SymDmamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
 
   // Lines 2-3: chain verification.
   if (!rhoInRange(g, v, first.rho)) return false;
-  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
-  util::BigUInt expectB = family_.hashMatrixRow(
-      index, first.rho[v], localImageOfClosedRow(g, v, first.rho), n);
+  util::BigUInt expectA = expectABase
+                              ? expectABase[v]
+                              : family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  util::BigUInt expectB =
+      expectBBase ? expectBBase[v]
+                  : family_.hashMatrixRow(index, first.rho[v],
+                                          localImageOfClosedRow(g, v, first.rho), n);
   for (graph::Vertex child : net::childrenOf(g, tree, v)) {
     if (second.a[child] >= p || second.b[child] >= p) return false;
     expectA = util::addMod(expectA, second.a[child], p);
@@ -169,10 +217,55 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   });
 #endif
 
-  // Decisions.
+  // Decisions. The verifier side hashes the same 2n rows the prover did; in
+  // the common case (index broadcast uniform, rho in range) all of them
+  // share one seed, so the batch engine computes them over shared power
+  // tables instead of 2n scalar walks. Any node whose precondition fails
+  // falls back to the per-node scalar recomputation — values are identical
+  // either way, only the evaluation strategy differs.
+  std::vector<util::BigUInt> baseA;
+  std::vector<util::BigUInt> baseB;
+  const util::BigUInt* preA = nullptr;
+  const util::BigUInt* preB = nullptr;
+  if (hash::batchEnabled()) {
+    const util::BigUInt& index = second.indexPerNode[0];
+    bool uniform = index < family_.prime();
+    for (graph::Vertex v = 1; uniform && v < n; ++v) {
+      if (!(second.indexPerNode[v] == index)) uniform = false;
+    }
+    for (graph::Vertex v = 0; uniform && v < n; ++v) {
+      if (first.rho[v] >= n) uniform = false;
+    }
+    if (uniform) {
+      thread_local hash::BatchLinearHashEvaluator batch;
+      thread_local std::vector<std::uint64_t> aIdx;
+      thread_local std::vector<std::uint64_t> bIdx;
+      thread_local std::vector<util::DynBitset> aRows;
+      thread_local std::vector<util::DynBitset> bRows;
+      batch.rebind(family_.prime(), family_.dimension(), index);
+      aIdx.clear();
+      bIdx.clear();
+      aRows.clear();
+      bRows.clear();
+      aIdx.reserve(n);
+      bIdx.reserve(n);
+      aRows.reserve(n);
+      bRows.reserve(n);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        aIdx.push_back(v);
+        aRows.push_back(g.closedRow(v));
+        bIdx.push_back(first.rho[v]);
+        bRows.push_back(localImageOfClosedRow(g, v, first.rho));
+      }
+      batch.hashMatrixRows(aIdx, aRows, n, baseA);
+      batch.hashMatrixRows(bIdx, bRows, n, baseB);
+      preA = baseA.data();
+      preB = baseB.data();
+    }
+  }
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {
-    if (!nodeDecision(g, v, first, challenges[v], second)) {
+    if (!nodeDecisionAt(g, v, first, challenges[v], second, preA, preB)) {
       result.accepted = false;
       break;
     }

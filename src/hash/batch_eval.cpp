@@ -1,0 +1,412 @@
+#include "hash/batch_eval.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dip::hash {
+
+namespace {
+
+__extension__ using U128 = unsigned __int128;
+
+std::uint64_t mulModU64(std::uint64_t x, std::uint64_t y, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<U128>(x) * y % m);
+}
+
+std::uint64_t powModU64(std::uint64_t base, std::uint64_t exponent, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  std::uint64_t square = base % m;
+  while (exponent != 0) {
+    if (exponent & 1) result = mulModU64(result, square, m);
+    exponent >>= 1;
+    if (exponent != 0) square = mulModU64(square, square, m);
+  }
+  return result;
+}
+
+// acc = (acc + term) mod p for acc, term < p < 2^64: a wrap past 2^64 and a
+// sum >= p both correct with the same single subtraction (the wrapped case
+// re-wraps to exactly acc + term - p).
+inline std::uint64_t addModTrick(std::uint64_t acc, std::uint64_t term,
+                                 std::uint64_t p) {
+  acc += term;
+  if (acc < term || acc >= p) acc -= p;
+  return acc;
+}
+
+bool initialBatchEnabled() {
+  if (const char* env = std::getenv("DIP_BATCH")) {
+    if (env[0] == '0' && env[1] == '\0') return false;
+  }
+  return true;
+}
+
+std::atomic<bool>& batchFlag() {
+  static std::atomic<bool> flag{initialBatchEnabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool batchEnabled() { return batchFlag().load(std::memory_order_relaxed); }
+void setBatchEnabled(bool enabled) {
+  batchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void BatchLinearHashEvaluator::rebind(const LinearHashFamily& family,
+                                      const util::BigUInt& a) {
+  rebind(family.prime(), family.dimension(), a);
+}
+
+void BatchLinearHashEvaluator::rebind(const util::BigUInt& p, std::uint64_t dimension,
+                                      const util::BigUInt& a) {
+  const bool sameP = backend_ != Backend::kUnbound && p == p_;
+  if (sameP && dimension == m_ && a == aBound_) return;
+  if (!sameP) {
+    if (p < util::BigUInt{2}) {
+      throw std::invalid_argument("BatchLinearHashEvaluator: p < 2");
+    }
+    p_ = p;
+    if (p_.fitsU64()) {
+      backend_ = Backend::kU64;
+      p64_ = p_.toU64();
+      ctx_.reset();
+    } else if (p_.isOdd()) {
+      backend_ = Backend::kMontgomery;
+      ctx_ = util::cachedMontgomeryContext(p_);
+    } else {
+      backend_ = Backend::kPlain;
+      ctx_.reset();
+    }
+  }
+  m_ = dimension;
+  aBound_ = a;
+  switch (backend_) {
+    case Backend::kU64:
+      a64_ = a.modU64(p64_);
+      break;
+    case Backend::kMontgomery:
+      ctx_->toValue(a, aV_, scratch_);
+      break;
+    case Backend::kPlain:
+      aPlain_ = a % p_;
+      break;
+    case Backend::kUnbound:
+      break;
+  }
+  // Invalidate the tables: the arena rewind poisons the old slices under
+  // ASan, so a caller holding a stale table pointer across rebind faults
+  // loudly instead of reading the previous index's powers.
+  arena_.reset();
+  colCount_ = 0;
+  rowBaseN_ = 0;
+  colPow64_ = rowBase64_ = nullptr;
+  colPowM_ = rowBaseM_ = rowSumM_ = accM_ = nullptr;
+  colPowP_.clear();
+  rowBaseP_.clear();
+}
+
+void BatchLinearHashEvaluator::prepareTables(std::size_t count, std::uint64_t n) {
+  if (backend_ == Backend::kUnbound) {
+    throw std::logic_error("BatchLinearHashEvaluator: used before rebind");
+  }
+  const bool needCols = count > colCount_;
+  const bool needRows = n != 0 && n != rowBaseN_;
+  if (!needCols && !needRows) return;
+  const std::size_t cols = std::max(count, colCount_);
+  switch (backend_) {
+    case Backend::kU64: {
+      if (needCols) {
+        colPow64_ = arena_.allocateArray<std::uint64_t>(cols);
+        std::uint64_t power = a64_;
+        for (std::size_t w = 0; w < cols; ++w) {
+          colPow64_[w] = power;
+          if (w + 1 < cols) power = mulModU64(power, a64_, p64_);
+        }
+        colCount_ = cols;
+      }
+      if (needRows) {
+        rowBase64_ = arena_.allocateArray<std::uint64_t>(n);
+        const std::uint64_t step = powModU64(a64_, n, p64_);
+        std::uint64_t base = 1 % p64_;
+        for (std::uint64_t r = 0; r < n; ++r) {
+          rowBase64_[r] = base;
+          if (r + 1 < n) base = mulModU64(base, step, p64_);
+        }
+        rowBaseN_ = n;
+      }
+      break;
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      if (rowSumM_ == nullptr) {
+        rowSumM_ = arena_.allocateArray<util::MontgomeryContext::Limb>(k);
+        accM_ = arena_.allocateArray<util::MontgomeryContext::Limb>(k);
+      }
+      if (needCols) {
+        colPowM_ = arena_.allocateArray<util::MontgomeryContext::Limb>(cols * k);
+        if (cols > 0) {
+          ctx_->valueToRaw(aV_, colPowM_);
+          for (std::size_t w = 1; w < cols; ++w) {
+            ctx_->mulRaw(colPowM_ + (w - 1) * k, colPowM_, colPowM_ + w * k,
+                         scratch_);
+          }
+        }
+        colCount_ = cols;
+      }
+      if (needRows) {
+        rowBaseM_ = arena_.allocateArray<util::MontgomeryContext::Limb>(n * k);
+        ctx_->powValue(aV_, util::BigUInt{n}, stageV_, scratch_);  // Mont(a^n).
+        ctx_->valueToRaw(ctx_->oneValue(), rowBaseM_);
+        for (std::uint64_t r = 1; r < n; ++r) {
+          ctx_->mulRaw(rowBaseM_ + (r - 1) * k, stageV_.limbs().data(),
+                       rowBaseM_ + r * k, scratch_);
+        }
+        rowBaseN_ = n;
+      }
+      break;
+    }
+    default: {
+      if (needCols) {
+        colPowP_.resize(cols);
+        util::BigUInt power = aPlain_;
+        for (std::size_t w = 0; w < cols; ++w) {
+          colPowP_[w] = power;
+          if (w + 1 < cols) power = util::mulMod(power, aPlain_, p_);
+        }
+        colCount_ = cols;
+      }
+      if (needRows) {
+        rowBaseP_.resize(n);
+        const util::BigUInt step = util::powMod(aPlain_, util::BigUInt{n}, p_);
+        util::BigUInt base = util::BigUInt{1} % p_;
+        for (std::uint64_t r = 0; r < n; ++r) {
+          rowBaseP_[r] = base;
+          if (r + 1 < n) base = util::mulMod(base, step, p_);
+        }
+        rowBaseN_ = n;
+      }
+      break;
+    }
+  }
+}
+
+void BatchLinearHashEvaluator::checkRow(std::uint64_t rowIndex,
+                                        const util::DynBitset& bits,
+                                        std::uint64_t n) const {
+  if (n * n != m_) throw std::invalid_argument("hashMatrixRow: dimension mismatch");
+  if (rowIndex >= n || bits.size() != n) {
+    throw std::out_of_range("hashMatrixRow: bad row");
+  }
+}
+
+void BatchLinearHashEvaluator::hashMatrixRows(std::span<const std::uint64_t> rowIndices,
+                                              std::span<const util::DynBitset> rows,
+                                              std::uint64_t n,
+                                              std::vector<util::BigUInt>& out) {
+  if (rowIndices.size() != rows.size()) {
+    throw std::invalid_argument("hashMatrixRows: index/row count mismatch");
+  }
+  prepareTables(n, n);
+  out.clear();
+  out.reserve(rows.size());
+  switch (backend_) {
+    case Backend::kU64: {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        std::uint64_t sum = 0;
+        rows[i].forEachSet([&](std::size_t w) {
+          sum = addModTrick(sum, colPow64_[w], p64_);
+        });
+        out.push_back(util::BigUInt{mulModU64(rowBase64_[rowIndices[i]], sum, p64_)});
+      }
+      break;
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        std::fill(rowSumM_, rowSumM_ + k, 0);
+        rows[i].forEachSet([&](std::size_t w) {
+          ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
+        });
+        ctx_->mulRaw(rowSumM_, rowBaseM_ + rowIndices[i] * k, rowSumM_, scratch_);
+        out.push_back(ctx_->rawToPlain(rowSumM_));
+      }
+      break;
+    }
+    default: {
+      util::BigUInt row;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        row = util::BigUInt{};
+        rows[i].forEachSet([&](std::size_t w) {
+          row = util::addMod(row, colPowP_[w], p_);
+        });
+        out.push_back(util::mulMod(row, rowBaseP_[rowIndices[i]], p_));
+      }
+      break;
+    }
+  }
+}
+
+util::BigUInt BatchLinearHashEvaluator::accumulateMatrixRows(
+    std::span<const std::uint64_t> rowIndices, std::span<const util::DynBitset> rows,
+    std::uint64_t n) {
+  if (rowIndices.size() != rows.size()) {
+    throw std::invalid_argument("accumulateMatrixRows: index/row count mismatch");
+  }
+  prepareTables(n, n);
+  switch (backend_) {
+    case Backend::kU64: {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        std::uint64_t sum = 0;
+        rows[i].forEachSet([&](std::size_t w) {
+          sum = addModTrick(sum, colPow64_[w], p64_);
+        });
+        acc = addModTrick(acc, mulModU64(rowBase64_[rowIndices[i]], sum, p64_), p64_);
+      }
+      return util::BigUInt{acc};
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      std::fill(accM_, accM_ + k, 0);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        std::fill(rowSumM_, rowSumM_ + k, 0);
+        rows[i].forEachSet([&](std::size_t w) {
+          ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
+        });
+        ctx_->mulRaw(rowSumM_, rowBaseM_ + rowIndices[i] * k, rowSumM_, scratch_);
+        ctx_->addRaw(accM_, rowSumM_, accM_);
+      }
+      return ctx_->rawToPlain(accM_);
+    }
+    default: {
+      util::BigUInt acc;
+      util::BigUInt row;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        checkRow(rowIndices[i], rows[i], n);
+        row = util::BigUInt{};
+        rows[i].forEachSet([&](std::size_t w) {
+          row = util::addMod(row, colPowP_[w], p_);
+        });
+        acc = util::addMod(acc, util::mulMod(row, rowBaseP_[rowIndices[i]], p_), p_);
+      }
+      return acc;
+    }
+  }
+}
+
+void BatchLinearHashEvaluator::hashBitsMany(std::span<const util::DynBitset> inputs,
+                                            std::vector<util::BigUInt>& out) {
+  std::size_t maxSize = 0;
+  for (const util::DynBitset& bits : inputs) {
+    if (bits.size() > m_) throw std::out_of_range("hashBits: bits exceed dimension");
+    maxSize = std::max(maxSize, bits.size());
+  }
+  prepareTables(maxSize, 0);
+  out.clear();
+  out.reserve(inputs.size());
+  switch (backend_) {
+    case Backend::kU64: {
+      for (const util::DynBitset& bits : inputs) {
+        std::uint64_t sum = 0;
+        bits.forEachSet([&](std::size_t w) {
+          sum = addModTrick(sum, colPow64_[w], p64_);
+        });
+        out.push_back(util::BigUInt{sum});
+      }
+      break;
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      for (const util::DynBitset& bits : inputs) {
+        std::fill(rowSumM_, rowSumM_ + k, 0);
+        bits.forEachSet([&](std::size_t w) {
+          ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
+        });
+        out.push_back(ctx_->rawToPlain(rowSumM_));
+      }
+      break;
+    }
+    default: {
+      util::BigUInt row;
+      for (const util::DynBitset& bits : inputs) {
+        row = util::BigUInt{};
+        bits.forEachSet([&](std::size_t w) {
+          row = util::addMod(row, colPowP_[w], p_);
+        });
+        out.push_back(row);
+      }
+      break;
+    }
+  }
+}
+
+void BatchLinearHashEvaluator::hashBitsManySeeds(const util::BigUInt& p,
+                                                 std::uint64_t dimension,
+                                                 std::span<const util::BigUInt> seeds,
+                                                 const util::DynBitset& input,
+                                                 std::vector<util::BigUInt>& out) {
+  if (input.size() > dimension) {
+    throw std::out_of_range("hashBits: bits exceed dimension");
+  }
+  out.clear();
+  out.reserve(seeds.size());
+  if (!p.fitsU64()) {
+    // Wide fields: no table is shareable across distinct indices, so this is
+    // the scalar walk per seed (rebind keeps the Montgomery context).
+    thread_local LinearHashEvaluator evaluator;
+    for (const util::BigUInt& seed : seeds) {
+      evaluator.rebind(p, dimension, seed);
+      out.push_back(evaluator.hashBits(input));
+    }
+    return;
+  }
+  const std::uint64_t p64 = p.toU64();
+  // Gather the walk once: every lane visits the same positions.
+  thread_local std::vector<std::uint32_t> positions;
+  positions.clear();
+  positions.reserve(input.size());
+  input.forEachSet([&](std::size_t w) {
+    positions.push_back(static_cast<std::uint32_t>(w));
+  });
+  for (std::size_t base = 0; base < seeds.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, seeds.size() - base);
+    std::array<std::uint64_t, kLanes> aL{};
+    std::array<std::uint64_t, kLanes> powL{};
+    std::array<std::uint64_t, kLanes> rowL{};
+    for (std::size_t j = 0; j < lanes; ++j) {
+      aL[j] = seeds[base + j].modU64(p64);
+      powL[j] = aL[j];  // Exponent 1, matching the scalar walk's start.
+      rowL[j] = 0;
+    }
+    // The lane block advances all power chains position by position: the
+    // chains are independent, so the kLanes 128-bit products overlap in the
+    // pipeline instead of serializing like the scalar evaluator's single
+    // Horner chain.
+    std::size_t exponent = 1;
+    for (std::uint32_t w : positions) {
+      const std::size_t target = static_cast<std::size_t>(w) + 1;
+      for (; exponent < target; ++exponent) {
+        for (std::size_t j = 0; j < lanes; ++j) {
+          powL[j] = mulModU64(powL[j], aL[j], p64);
+        }
+      }
+      for (std::size_t j = 0; j < lanes; ++j) {
+        rowL[j] = addModTrick(rowL[j], powL[j], p64);
+      }
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      out.push_back(util::BigUInt{rowL[j]});
+    }
+  }
+}
+
+}  // namespace dip::hash

@@ -1,0 +1,137 @@
+// Batch evaluation engine for the Theorem 3.2 linear hash family.
+//
+// The scalar LinearHashEvaluator walks each row's bits with one modular
+// multiply per column position: hashing a full n x n matrix costs ~n^2
+// multiplies. The batch engine exploits the factorization
+//
+//     h_a([r, bits]) = a^(r*n) * sum_{w in bits} a^(w+1)   (mod p)
+//
+// to share ALL power computation across rows: one column power table
+// P[w] = a^(w+1) (n multiplies, built once per (a, n)) plus one row-base
+// table B[r] = a^(r*n) turns every subsequent row into popcount modular
+// ADDS and a single multiply. A full matrix drops from ~n^2 to ~2n
+// multiplies; protocol trial paths evaluate thousands of rows per pinned
+// index, so the tables amortize to near-zero.
+//
+// Backends mirror the scalar evaluator exactly — results are bit-identical
+// (both produce the canonical residue < p; tests/batch_eval_test.cpp proves
+// it differentially over 10^4 seeded matrices):
+//   - kU64 (p < 2^64): tables are flat uint64 slices, row sums use
+//     add-with-conditional-subtract (no multiply), one 128-bit product per
+//     row. The many-seeds entry point runs kLanes parallel power chains so
+//     independent Horner walks overlap in the pipeline.
+//   - kMontgomery (p odd, wider): tables are flat raw-limb Montgomery
+//     residues driven through PR 4's fixed-k CIOS kernels
+//     (MontgomeryContext::mulRaw/addRaw) with one caller-owned Scratch;
+//     one convert-out per hash value (or per batch, for accumulation).
+//   - kPlain (p even, wider — placeholder fields only): BigUInt tables.
+//
+// All table storage lives in a private util::Arena, reset on every rebind:
+// the hot loops allocate nothing, and a stale table pointer after rebind is
+// an ASan-diagnosable error rather than silent reuse. Not thread-safe; use
+// one batch evaluator per thread (the call sites keep thread_local
+// instances — the "per-protocol arenas", since each protocol family pins
+// its own evaluator shape).
+//
+// The process-wide batch toggle exists so bench_throughput can measure the
+// scalar path on identical workloads (DIP_BATCH=0, or setBatchEnabled).
+// Toggling never changes any result, only the evaluation strategy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/linear_hash.hpp"
+#include "util/arena.hpp"
+#include "util/biguint.hpp"
+#include "util/bitset.hpp"
+#include "util/montgomery.hpp"
+
+namespace dip::hash {
+
+// Default true; the DIP_BATCH environment variable (read once, "0" disables)
+// sets the initial state and setBatchEnabled overrides it at runtime.
+bool batchEnabled();
+void setBatchEnabled(bool enabled);
+
+class BatchLinearHashEvaluator {
+ public:
+  // Lane width of the u64 many-seeds path: enough independent multiply
+  // chains to cover the 128-bit product latency, small enough to stay in
+  // registers.
+  static constexpr std::size_t kLanes = 8;
+
+  BatchLinearHashEvaluator() = default;
+
+  // (Re)pins (p, dimension, a). No-op when nothing changed (tables and the
+  // Montgomery context survive); otherwise the arena resets and tables
+  // rebuild lazily on first use.
+  void rebind(const util::BigUInt& p, std::uint64_t dimension, const util::BigUInt& a);
+  void rebind(const LinearHashFamily& family, const util::BigUInt& a);
+
+  // out[i] = hashMatrixRow(rowIndices[i], rows[i], n) under the pinned
+  // index; same argument checks as the scalar evaluator. rowIndices and
+  // rows must have equal lengths.
+  void hashMatrixRows(std::span<const std::uint64_t> rowIndices,
+                      std::span<const util::DynBitset> rows, std::uint64_t n,
+                      std::vector<util::BigUInt>& out);
+
+  // Sum over i of hashMatrixRow(rowIndices[i], rows[i], n) mod p, with a
+  // single convert-out — the fingerprint shape (eps_api hashRows,
+  // mappedMatrixFingerprint).
+  util::BigUInt accumulateMatrixRows(std::span<const std::uint64_t> rowIndices,
+                                     std::span<const util::DynBitset> rows,
+                                     std::uint64_t n);
+
+  // One seed x many inputs: out[i] = hashBits(inputs[i]) (start exponent 1,
+  // coefficient 1; each input.size() <= dimension).
+  void hashBitsMany(std::span<const util::DynBitset> inputs,
+                    std::vector<util::BigUInt>& out);
+
+  // Many seeds x one input: out[j] = h_{seeds[j]}(input). The u64 backend
+  // interleaves kLanes independent power chains; wider fields fall back to
+  // per-seed scalar walks (the table trick cannot span distinct indices).
+  static void hashBitsManySeeds(const util::BigUInt& p, std::uint64_t dimension,
+                                std::span<const util::BigUInt> seeds,
+                                const util::DynBitset& input,
+                                std::vector<util::BigUInt>& out);
+
+ private:
+  enum class Backend { kUnbound, kU64, kMontgomery, kPlain };
+
+  // Ensures P[w] = a^(w+1) for w in [0, count) and, when n > 0, B[r] =
+  // a^(r*n) for r in [0, n). Growth rebuilds from scratch (arena bump);
+  // shapes are bounded by the family dimension.
+  void prepareTables(std::size_t count, std::uint64_t n);
+  void checkRow(std::uint64_t rowIndex, const util::DynBitset& bits,
+                std::uint64_t n) const;
+
+  Backend backend_ = Backend::kUnbound;
+  util::BigUInt p_;
+  std::uint64_t m_ = 0;
+  util::BigUInt aBound_;
+  util::Arena arena_;
+  std::size_t colCount_ = 0;   // Entries built in the column power table.
+  std::uint64_t rowBaseN_ = 0; // n the row-base table was built for (0 = none).
+  // kU64 backend.
+  std::uint64_t p64_ = 0;
+  std::uint64_t a64_ = 0;
+  std::uint64_t* colPow64_ = nullptr;
+  std::uint64_t* rowBase64_ = nullptr;
+  // kMontgomery backend: flat k-limb residues, colPowM_[w*k], rowBaseM_[r*k].
+  std::shared_ptr<const util::MontgomeryContext> ctx_;
+  util::MontgomeryContext::Scratch scratch_;
+  util::MontgomeryContext::Limb* colPowM_ = nullptr;
+  util::MontgomeryContext::Limb* rowBaseM_ = nullptr;
+  util::MontgomeryContext::Limb* rowSumM_ = nullptr;  // k-limb staging slices.
+  util::MontgomeryContext::Limb* accM_ = nullptr;
+  util::MontgomeryValue aV_;
+  util::MontgomeryValue stageV_;
+  // kPlain backend.
+  util::BigUInt aPlain_;
+  std::vector<util::BigUInt> colPowP_;
+  std::vector<util::BigUInt> rowBaseP_;
+};
+
+}  // namespace dip::hash

@@ -1,8 +1,10 @@
 #include "hash/eps_api.hpp"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "hash/batch_eval.hpp"
 #include "util/primes.hpp"
 
 namespace dip::hash {
@@ -72,8 +74,20 @@ util::BigUInt EpsApiHash::outer(const Seed& seed, const util::BigUInt& innerValu
 util::BigUInt EpsApiHash::hashRows(const Seed& seed,
                                    const std::vector<util::DynBitset>& rows) const {
   if (rows.size() != n_) throw std::invalid_argument("hashRows: row count mismatch");
-  // One evaluator for the whole matrix: rows accumulate in the backend
-  // domain and convert out once.
+  if (batchEnabled()) {
+    // Whole-matrix fingerprint over the shared power tables: row u is
+    // rowIndex u, so the index list is just iota.
+    thread_local BatchLinearHashEvaluator batch;
+    thread_local std::vector<std::uint64_t> rowIndices;
+    batch.rebind(inner_, seed.a);
+    if (rowIndices.size() != n_) {
+      rowIndices.resize(n_);
+      std::iota(rowIndices.begin(), rowIndices.end(), 0);
+    }
+    return outer(seed, batch.accumulateMatrixRows(rowIndices, rows, n_));
+  }
+  // Scalar path (DIP_BATCH=0): one evaluator for the whole matrix — rows
+  // accumulate in the backend domain and convert out once.
   LinearHashEvaluator evaluator(inner_, seed.a);
   evaluator.resetAccumulator();
   for (std::size_t u = 0; u < n_; ++u) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hash/batch_eval.hpp"
 #include "util/bitio.hpp"
 #include "util/primes.hpp"
 
@@ -41,6 +42,25 @@ std::vector<bool> SymRpls::verify(const graph::Graph& g,
     throw std::invalid_argument("SymRpls: family dimension too small for labels");
   }
 
+  // Labels re-encoded as bitsets once: the batch path hashes them as
+  // hashBits inputs (coefficient-1 positions, identical residues to
+  // hashSparse over the same set positions).
+  const bool useBatch = hash::batchEnabled();
+  std::vector<util::DynBitset> encodedBits;
+  if (useBatch) {
+    encodedBits.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      util::DynBitset bits(encoded[v].size());
+      for (std::size_t i = 0; i < encoded[v].size(); ++i) {
+        if (encoded[v][i]) bits.set(i);
+      }
+      encodedBits.push_back(std::move(bits));
+    }
+  }
+  hash::BatchLinearHashEvaluator batch;
+  std::vector<util::DynBitset> neighborhood;
+  std::vector<util::BigUInt> prints;
+
   // Evaluator and entry buffer hoisted out of the per-node loop: each node's
   // seed fingerprints its own label plus every neighbor's, so the rebind
   // cost amortizes over the neighborhood.
@@ -61,11 +81,27 @@ std::vector<bool> SymRpls::verify(const graph::Graph& g,
     // the same seed (v sends the seed + its fingerprint; O(log n) bits).
     util::Rng nodeRng = rng.split(v);
     util::BigUInt seed = family_.randomIndex(nodeRng);
-    util::BigUInt own = fingerprint(seed, encoded[v]);
     bool consistent = true;
-    g.row(v).forEachSet([&](std::size_t u) {
-      if (!(fingerprint(seed, encoded[u]) == own)) consistent = false;
-    });
+    if (useBatch) {
+      // One seed x the closed neighborhood's labels in a single batch call
+      // over the shared power table (prints[0] is v's own label).
+      neighborhood.clear();
+      neighborhood.reserve(n);
+      neighborhood.push_back(encodedBits[v]);
+      g.row(v).forEachSet([&](std::size_t u) {
+        neighborhood.push_back(encodedBits[u]);
+      });
+      batch.rebind(family_.prime(), family_.dimension(), seed);
+      batch.hashBitsMany(neighborhood, prints);
+      for (std::size_t i = 1; i < prints.size(); ++i) {
+        if (!(prints[i] == prints[0])) consistent = false;
+      }
+    } else {
+      util::BigUInt own = fingerprint(seed, encoded[v]);
+      g.row(v).forEachSet([&](std::size_t u) {
+        if (!(fingerprint(seed, encoded[u]) == own)) consistent = false;
+      });
+    }
     if (!consistent) {
       ok[v] = false;
       continue;

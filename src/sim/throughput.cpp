@@ -1,0 +1,125 @@
+#include "sim/throughput.hpp"
+
+#include <memory>
+
+#include "core/dsym_dam.hpp"
+#include "core/gni_amam.hpp"
+#include "core/gni_general.hpp"
+#include "core/sym_dam.hpp"
+#include "core/sym_dmam.hpp"
+#include "core/sym_input.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
+#include "util/rng.hpp"
+
+namespace dip::sim {
+
+namespace {
+
+TrialConfig cellConfig(const TrialConfig& base, std::uint64_t offset) {
+  TrialConfig config = base;
+  config.masterSeed = base.masterSeed + offset;
+  return config;
+}
+
+}  // namespace
+
+std::vector<ThroughputCell> runThroughputWorkload(const TrialConfig& config,
+                                                  ThroughputSelection select) {
+  std::vector<ThroughputCell> cells;
+  cells.reserve(6);
+  if (select.fast) {
+    // Large enough that hashing the n x n matrix dominates the trial; this
+    // is the cell where the batch engine's row factorization shows up most.
+    const std::size_t n = 48;
+    util::Rng rng(701);
+    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
+    graph::Graph g = graph::randomSymmetricConnected(n, rng);
+    cells.push_back({"sym_dmam_p1",
+                     estimateAcceptance(
+                         protocol, g,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestSymDmamProver>(
+                               protocol.family());
+                         },
+                         200, cellConfig(config, 70101))});
+  }
+  if (select.fast) {
+    const std::size_t n = 6;
+    util::Rng rng(702);
+    core::SymDamProtocol protocol(hash::makeProtocol2FamilyCached(n));
+    graph::Graph g = graph::randomSymmetricConnected(n, rng);
+    cells.push_back({"sym_dam_p2",
+                     estimateAcceptance(
+                         protocol, g,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestSymDamProver>(
+                               protocol.family());
+                         },
+                         4000, cellConfig(config, 70201))});
+  }
+  if (select.fast) {
+    const std::size_t side = 8;
+    util::Rng rng(703);
+    graph::DSymLayout layout = graph::dsymLayout(side, 1);
+    core::DSymDamProtocol protocol(layout,
+                                   hash::makeProtocol1FamilyCached(layout.numVertices));
+    graph::Graph f = graph::randomRigidConnected(side, rng);
+    graph::Graph yes = graph::dsymInstance(f, 1);
+    cells.push_back({"dsym_dam",
+                     estimateAcceptance(
+                         protocol, yes,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestDSymProver>(
+                               layout, protocol.family());
+                         },
+                         1500, cellConfig(config, 70301))});
+  }
+  if (select.fast) {
+    const std::size_t n = 8;
+    util::Rng rng(704);
+    core::SymInputProtocol protocol(hash::makeProtocol1FamilyCached(n));
+    core::SymInputInstance instance{graph::randomConnected(n, n / 2, rng),
+                                    graph::randomSymmetricConnected(n, rng)};
+    cells.push_back({"sym_input",
+                     estimateAcceptance(
+                         protocol, instance,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestSymInputProver>(
+                               protocol.family());
+                         },
+                         1200, cellConfig(config, 70401))});
+  }
+  if (select.gni) {
+    util::Rng setup(705);
+    core::GniParams params = core::GniParams::choose(6, setup);
+    core::GniAmamProtocol protocol(params);
+    util::Rng rng(70599);
+    core::GniInstance yes = core::gniYesInstance(6, rng);
+    cells.push_back({"gni_amam",
+                     estimateAcceptance(
+                         protocol, yes,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestGniProver>(params);
+                         },
+                         4, cellConfig(config, 70501))});
+  }
+  if (select.gni) {
+    util::Rng setup(706);
+    core::GniGeneralParams params = core::GniGeneralParams::choose(6, setup);
+    core::GniGeneralProtocol protocol(params);
+    util::Rng rng(70699);
+    core::GniInstance yes = core::gniGeneralYesInstance(6, rng);
+    cells.push_back({"gni_general",
+                     estimateAcceptance(
+                         protocol, yes,
+                         [&](std::size_t) {
+                           return std::make_unique<core::HonestGniGeneralProver>(params);
+                         },
+                         2, cellConfig(config, 70601))});
+  }
+  return cells;
+}
+
+}  // namespace dip::sim

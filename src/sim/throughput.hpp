@@ -1,0 +1,46 @@
+// The fixed macro-benchmark workload behind bench_throughput.
+//
+// One function both the bench driver and throughput_determinism_test call:
+// a fixed suite of honest-prover acceptance cells, one per protocol, sized
+// so a full sweep takes seconds. The deterministic columns of every cell
+// (accepts, trials, maxPerNodeBits, digest) are a pure function of the
+// cell's master seed — independent of the thread count AND of whether the
+// batch hash engine is enabled (the engine changes evaluation strategy,
+// never values). wallSeconds is measurement and is excluded from all
+// comparisons; trials/sec derived from it feeds BENCH_throughput.json.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trial.hpp"
+#include "sim/trial_runner.hpp"
+
+namespace dip::sim {
+
+struct ThroughputCell {
+  std::string protocol;  // Stable identifier, e.g. "sym_dmam_p1".
+  TrialStats stats;
+  double trialsPerSecond() const {
+    return stats.wallSeconds > 0.0
+               ? static_cast<double>(stats.trials) / stats.wallSeconds
+               : 0.0;
+  }
+};
+
+// Which cell groups to run: the four fast Sym-family cells, the two slow
+// GNI cells, or (default) all six. The determinism tests split the groups
+// so the sanitizer jobs can bound their wall time per test.
+struct ThroughputSelection {
+  bool fast = true;  // sym_dmam_p1, sym_dam_p2, dsym_dam, sym_input.
+  bool gni = true;   // gni_amam, gni_general.
+};
+
+// Runs the selected protocol cells. config.masterSeed offsets every cell's
+// seed, so distinct base seeds give distinct (but still deterministic)
+// workloads; the committed baseline and the determinism tests use
+// masterSeed = 0.
+std::vector<ThroughputCell> runThroughputWorkload(const TrialConfig& config,
+                                                  ThroughputSelection select = {});
+
+}  // namespace dip::sim

@@ -46,10 +46,12 @@ TrialStats TrialRunner::run(std::size_t trials,
   std::exception_ptr failure;
 
   auto worker = [&] {
+    util::Arena arena;  // Per-worker: reset per trial, capacity reused.
     for (;;) {
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= trials) return;
-      TrialContext ctx{index, master.child(index)};
+      arena.reset();
+      TrialContext ctx{index, master.child(index), &arena};
       try {
         results[index] = body(ctx);
       } catch (...) {

@@ -30,15 +30,21 @@
 #include <functional>
 
 #include "sim/trial.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace dip::sim {
 
-// Per-trial view handed to the body: the trial's index within the batch and
-// its private counter-derived stream.
+// Per-trial view handed to the body: the trial's index within the batch,
+// its private counter-derived stream, and the owning worker's scratch
+// arena. The arena is reset before every trial (so slices never leak
+// between trials, and under ASan a stale cross-trial pointer faults); trial
+// bodies may bump-allocate per-round scratch from it without touching the
+// heap. It is never null inside run().
 struct TrialContext {
   std::size_t index = 0;
   util::RngStream rng{0};
+  util::Arena* arena = nullptr;
 };
 
 struct TrialConfig {

@@ -1,0 +1,95 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DIP_ARENA_ASAN 1
+#endif
+#endif
+#if !defined(DIP_ARENA_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define DIP_ARENA_ASAN 1
+#endif
+
+#if defined(DIP_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#define DIP_ARENA_POISON(addr, size) __asan_poison_memory_region((addr), (size))
+#define DIP_ARENA_UNPOISON(addr, size) __asan_unpoison_memory_region((addr), (size))
+#else
+#define DIP_ARENA_POISON(addr, size) ((void)0)
+#define DIP_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace dip::util {
+
+Arena::Arena(std::size_t firstBlockBytes)
+    : firstBlockBytes_(std::max<std::size_t>(firstBlockBytes, 64)) {}
+
+Arena::~Arena() {
+#if defined(DIP_ARENA_ASAN)
+  // Unpoison before the unique_ptrs free: the allocator may legitimately
+  // reuse the pages, and freeing poisoned memory trips some ASan builds.
+  for (Block& block : blocks_) {
+    DIP_ARENA_UNPOISON(block.data.get(), block.size);
+  }
+#endif
+}
+
+Arena::Block& Arena::growFor(std::size_t bytes) {
+  // Reuse an already-chained block first (post-reset path), otherwise chain
+  // a new one: doubling size, clamped, and never smaller than the request.
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    if (blocks_[current_].size - blocks_[current_].used >= bytes) {
+      return blocks_[current_];
+    }
+  }
+  std::size_t nextSize = blocks_.empty()
+                             ? firstBlockBytes_
+                             : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+  nextSize = std::max(nextSize, bytes);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(nextSize);
+  block.size = nextSize;
+  DIP_ARENA_POISON(block.data.get(), block.size);
+  capacity_ += nextSize;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0 ||
+      align > alignof(std::max_align_t)) {
+    throw std::invalid_argument("Arena::allocate: bad alignment");
+  }
+  if (bytes == 0) bytes = 1;  // Distinct live pointers for zero-byte asks.
+  if (blocks_.empty()) growFor(bytes + align);
+  Block* block = &blocks_[current_];
+  auto aligned = [&](const Block& b) {
+    std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get()) + b.used;
+    return (align - base % align) % align;
+  };
+  std::size_t pad = aligned(*block);
+  if (block->used + pad + bytes > block->size) {
+    block = &growFor(bytes + align);
+    pad = aligned(*block);
+  }
+  std::byte* out = block->data.get() + block->used + pad;
+  DIP_ARENA_UNPOISON(out, bytes);
+  block->used += pad + bytes;
+  bytesInUse_ += pad + bytes;
+  return out;
+}
+
+void Arena::reset() {
+  for (Block& block : blocks_) {
+    DIP_ARENA_POISON(block.data.get(), block.size);
+    block.used = 0;
+  }
+  current_ = 0;
+  bytesInUse_ = 0;
+}
+
+}  // namespace dip::util

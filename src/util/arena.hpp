@@ -1,0 +1,86 @@
+// Bump-pointer arena for hot-loop scratch with stable reuse semantics.
+//
+// The batch hash engine and the trial workers rebuild the same flat tables
+// (power tables, row bases, staging spans) thousands of times per run. A
+// general-purpose heap pays malloc/free per rebuild and scatters the tables
+// across the address space; the arena instead carves aligned slices out of
+// chained blocks and recycles the whole region with one reset() call:
+//
+//   - allocate(bytes, align) bump-allocates from the current block, chaining
+//     a new block (geometric growth, never smaller than the request) when
+//     the current one is exhausted.
+//   - reset() rewinds every block without releasing memory, so a
+//     reset-then-reallocate sequence with identical request sizes returns
+//     identical pointers — the batch evaluator relies on this to keep table
+//     pointers stable across rebinds of the same shape.
+//   - Under AddressSanitizer the unused tail of every block is poisoned and
+//     each allocation unpoisons exactly its slice, so a stale pointer into a
+//     reset() region is a diagnosable ASan error, not silent reuse.
+//
+// The arena never runs destructors: only trivially-destructible payloads
+// belong here (limbs, u64 lanes, index spans). Not thread-safe; use one
+// arena per worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dip::util {
+
+class Arena {
+ public:
+  // First block size; later blocks double up to kMaxBlockBytes.
+  static constexpr std::size_t kDefaultBlockBytes = 1 << 12;
+  static constexpr std::size_t kMaxBlockBytes = 1 << 22;
+
+  explicit Arena(std::size_t firstBlockBytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // An aligned slice of `bytes` bytes. `align` must be a power of two no
+  // larger than alignof(std::max_align_t). bytes == 0 returns a distinct
+  // valid pointer (no two live zero-byte slices alias a payload).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  // count objects of trivially-destructible T, zero-initialized.
+  template <typename T>
+  T* allocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    T* out = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) out[i] = T{};
+    return out;
+  }
+
+  // Rewinds all blocks, keeping their storage. Previously returned pointers
+  // become invalid (and poisoned under ASan); an identical allocation
+  // sequence afterwards reproduces identical addresses.
+  void reset();
+
+  // Observability (growth-boundary and reuse tests).
+  std::size_t bytesInUse() const { return bytesInUse_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t blockCount() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& growFor(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // Index of the block allocations come from.
+  std::size_t firstBlockBytes_;
+  std::size_t bytesInUse_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace dip::util

@@ -272,6 +272,38 @@ void MontgomeryContext::subValue(const MontgomeryValue& a, const MontgomeryValue
   }
 }
 
+void MontgomeryContext::mulRaw(const Limb* a, const Limb* b, Limb* out,
+                               Scratch& scratch) const {
+  const std::size_t k = numLimbs_;
+  if (scratch.t.size() < k + 2) scratch.t.resize(k + 2);
+  montMulRaw(a, b, scratch.t.data());
+  std::copy(scratch.t.begin(), scratch.t.begin() + k, out);
+}
+
+void MontgomeryContext::addRaw(const Limb* a, const Limb* b, Limb* out) const {
+  const std::size_t k = numLimbs_;
+  const Limb* m = m_.words().data();
+  Limb carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    DLimb cur = static_cast<DLimb>(a[i]) + b[i] + carry;
+    out[i] = static_cast<Limb>(cur);
+    carry = static_cast<Limb>(cur >> kLimbBits);
+  }
+  if (carry || compareRaw(out, m, k) >= 0) subModulusRaw(out, m, k);
+}
+
+void MontgomeryContext::valueToRaw(const MontgomeryValue& v, Limb* out) const {
+  std::copy(v.limbs_.begin(), v.limbs_.end(), out);
+}
+
+BigUInt MontgomeryContext::rawToPlain(const Limb* v) const {
+  thread_local std::vector<Limb> t;
+  const std::size_t k = numLimbs_;
+  if (t.size() < k + 2) t.resize(k + 2);
+  montMulRaw(v, plainOne_.data(), t.data());
+  return BigUInt::fromWords(std::vector<Limb>(t.begin(), t.begin() + k));
+}
+
 void MontgomeryContext::powValue(const MontgomeryValue& base, const BigUInt& exponent,
                                  MontgomeryValue& out, Scratch& scratch) const {
   const std::size_t k = numLimbs_;

@@ -89,6 +89,23 @@ class MontgomeryContext {
   void powValue(const MontgomeryValue& base, const BigUInt& exponent,
                 MontgomeryValue& out, Scratch& scratch) const;
 
+  // --- Raw-limb batch API --------------------------------------------------
+  //
+  // The batch hash engine keeps its power tables as flat numLimbs()-limb
+  // little-endian residues in caller-owned storage (an arena), not as
+  // MontgomeryValue heap vectors. These entry points run the same CIOS
+  // kernels on such slices. Every pointer addresses exactly numLimbs()
+  // limbs holding an in-domain residue < m; out may alias a or b (products
+  // stage through scratch.t, adds are limb-parallel).
+
+  // out = a * b in-domain (one REDC).
+  void mulRaw(const Limb* a, const Limb* b, Limb* out, Scratch& scratch) const;
+  // out = a + b mod m, in-domain.
+  void addRaw(const Limb* a, const Limb* b, Limb* out) const;
+  // Copies a value's limbs into a raw slice / reads them back out.
+  void valueToRaw(const MontgomeryValue& v, Limb* out) const;
+  BigUInt rawToPlain(const Limb* v) const;  // Convert-out (one REDC).
+
   // --- Plain-domain compat API -------------------------------------------
 
   // (a * b) mod m: two REDC passes (stage a, fold b into the domain), no

@@ -1,0 +1,15 @@
+// Fixture: the reserve-immediately-before-loop idiom; growth calls on a
+// reserved receiver must stay clean, as must emplace_back on a second
+// container with its own earlier reserve.
+#include <cstdint>
+#include <vector>
+
+void collect(std::vector<std::uint64_t>& out, std::vector<std::uint64_t>& aux,
+             std::size_t rounds) {
+  out.reserve(rounds);
+  aux.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    out.push_back(i * i);
+    aux.emplace_back(i);
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: push_back inside a hot-path loop with no reserve anywhere in the
+// file -- geometric regrowth reallocates mid-loop.
+#include <cstdint>
+#include <vector>
+
+void collect(std::vector<std::uint64_t>& out, std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) {
+    out.push_back(i * i);  // hot-loop-alloc fires
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: raw operator new every iteration on the hash hot path -- the
+// engine allocates from the caller's arena/scratch, never per round.
+#include <cstdint>
+#include <vector>
+
+void expand(std::vector<std::uint64_t*>& slots, std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) {
+    slots[i] = new std::uint64_t[8];  // hot-loop-alloc fires
+  }
+}

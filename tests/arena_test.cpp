@@ -1,0 +1,170 @@
+// The bump arena behind the batch hash engine's tables and the trial
+// workers' per-trial scratch. The properties under test are exactly the
+// ones the batch evaluator leans on:
+//   - alignment of every slice, for every legal power-of-two request;
+//   - reset-and-reuse pointer identity (identical allocation sequences after
+//     reset() reproduce identical addresses — table pointers stay stable
+//     across same-shape rebinds);
+//   - growth boundaries: block chaining, geometric capacity growth, and
+//     oversized single requests;
+//   - under AddressSanitizer, reset() poisons retired regions so stale table
+//     pointers fault instead of silently reading recycled memory.
+// CI runs this suite in the asan-ubsan job (full ctest) where the poisoning
+// tests are active; elsewhere they compile to skips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DIP_TEST_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define DIP_TEST_ASAN 1
+#endif
+
+#if defined(DIP_TEST_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dip::util {
+namespace {
+
+TEST(arena, AlignmentHonoredForEveryLegalAlign) {
+  Arena arena;
+  for (std::size_t align = 1; align <= alignof(std::max_align_t); align *= 2) {
+    for (std::size_t bytes : {1u, 3u, 8u, 17u, 64u, 1000u}) {
+      void* p = arena.allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "bytes=" << bytes << " align=" << align;
+      // The slice must be writable end to end.
+      std::memset(p, 0xAB, bytes);
+    }
+  }
+}
+
+TEST(arena, RejectsIllegalAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 2 * alignof(std::max_align_t)),
+               std::invalid_argument);
+}
+
+TEST(arena, ZeroByteAllocationsAreValidAndDistinctFromPayloads) {
+  Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(16);
+  void* c = arena.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(arena, ResetThenIdenticalSequenceReproducesIdenticalPointers) {
+  Arena arena;
+  // A shape like the batch evaluator's: a few differently-sized and
+  // differently-aligned tables, including one that forces a second block.
+  const std::size_t sizes[] = {48, 8, Arena::kDefaultBlockBytes + 100, 256, 1};
+  const std::size_t aligns[] = {8, 1, 16, 8, 1};
+
+  std::vector<void*> first;
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    first.push_back(arena.allocate(sizes[i], aligns[i]));
+  }
+  const std::size_t usedBefore = arena.bytesInUse();
+  const std::size_t capacityBefore = arena.capacity();
+  const std::size_t blocksBefore = arena.blockCount();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytesInUse(), 0u);
+  EXPECT_EQ(arena.capacity(), capacityBefore) << "reset must keep storage";
+  EXPECT_EQ(arena.blockCount(), blocksBefore);
+
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    EXPECT_EQ(arena.allocate(sizes[i], aligns[i]), first[i]) << "slice " << i;
+  }
+  EXPECT_EQ(arena.bytesInUse(), usedBefore);
+}
+
+TEST(arena, GrowthBoundaryChainsBlocksGeometrically) {
+  Arena arena;
+  EXPECT_EQ(arena.blockCount(), 0u);
+  arena.allocate(1);
+  EXPECT_EQ(arena.blockCount(), 1u);
+  EXPECT_EQ(arena.capacity(), Arena::kDefaultBlockBytes);
+
+  // Fill the remainder of block 1, then one more byte must chain block 2.
+  arena.allocate(Arena::kDefaultBlockBytes - arena.bytesInUse(), 1);
+  EXPECT_EQ(arena.blockCount(), 1u);
+  arena.allocate(1, 1);
+  EXPECT_EQ(arena.blockCount(), 2u);
+  EXPECT_GE(arena.capacity(), 2 * Arena::kDefaultBlockBytes);
+
+  // A request larger than the doubled size gets a block at least that big.
+  const std::size_t huge = 16 * Arena::kDefaultBlockBytes;
+  void* p = arena.allocate(huge, 1);
+  std::memset(p, 0x5A, huge);
+  EXPECT_GE(arena.capacity(), huge);
+}
+
+TEST(arena, ManySmallAllocationsStayWithinGeometricCapacity) {
+  Arena arena;
+  std::size_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    arena.allocate(24, 8);
+    total += 24;
+  }
+  EXPECT_GE(arena.capacity(), total);
+  // Geometric doubling wastes at most ~2x plus per-slice alignment padding.
+  EXPECT_LE(arena.capacity(), 4 * total + Arena::kMaxBlockBytes);
+}
+
+TEST(arena, ReuseAfterResetIsWritableEverywhere) {
+  Arena arena;
+  for (int round = 0; round < 50; ++round) {
+    arena.reset();
+    auto* words = arena.allocateArray<std::uint64_t>(512);
+    for (int i = 0; i < 512; ++i) {
+      EXPECT_EQ(words[i], 0u);  // allocateArray zero-initializes.
+      words[i] = 0xFEEDFACEull + i;
+    }
+  }
+}
+
+#if defined(DIP_TEST_ASAN)
+TEST(arena, AsanPoisonsResetRegions) {
+  Arena arena;
+  auto* slice = static_cast<unsigned char*>(arena.allocate(64, 8));
+  slice[0] = 1;
+  EXPECT_EQ(__asan_address_is_poisoned(slice), 0);
+  arena.reset();
+  // After reset the retired slice is poisoned: a stale table pointer is a
+  // diagnosable fault, not silent reuse.
+  EXPECT_EQ(__asan_address_is_poisoned(slice), 1);
+  // Reallocating the same shape unpoisons exactly the slice again.
+  auto* again = static_cast<unsigned char*>(arena.allocate(64, 8));
+  EXPECT_EQ(again, slice);
+  EXPECT_EQ(__asan_address_is_poisoned(again), 0);
+  EXPECT_EQ(__asan_address_is_poisoned(again + 63), 0);
+}
+
+TEST(arena, AsanPoisonsUnusedTail) {
+  Arena arena;
+  auto* slice = static_cast<unsigned char*>(arena.allocate(16, 8));
+  // The byte just past the slice (padding / unallocated tail) is poisoned.
+  EXPECT_EQ(__asan_address_is_poisoned(slice + 16), 1);
+}
+#else
+TEST(arena, AsanPoisonsResetRegions) {
+  GTEST_SKIP() << "AddressSanitizer not enabled in this build";
+}
+#endif
+
+}  // namespace
+}  // namespace dip::util

@@ -1,0 +1,297 @@
+// Randomized differential suite: the batch hash engine against the scalar
+// LinearHashEvaluator, the same oracle pattern as biguint_diff_test. Every
+// batch entry point runs seeded random (seed, input) matrices through both
+// engines and demands bit-identical results, across all three backends:
+//   - kU64: random moduli anywhere below 2^64 (k = 1 limb);
+//   - kMontgomery: random ODD wider moduli at k = 2, 3, 4, 8 and 16 limbs —
+//     the fixed-k CIOS kernel widths (the context does not require
+//     primality, so no prime search in the hot test loop);
+//   - kPlain: random EVEN wider moduli (the placeholder-field backend).
+// The many-seeds path additionally sweeps every lane remainder around
+// kLanes so partial final blocks are exercised, not just full ones.
+//
+// CI runs this suite under ASan/UBSan (full ctest) and TSan (the sanitizer
+// preset's regex includes batch_eval).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/batch_eval.hpp"
+#include "hash/linear_hash.hpp"
+#include "util/biguint.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace dip::hash {
+namespace {
+
+// Total (seed, input) matrices per differential test; the Montgomery sweep
+// splits its budget evenly across the five kernel widths.
+constexpr int kMatrixCases = 10000;
+
+util::DynBitset randomBits(util::Rng& rng, std::size_t size) {
+  util::DynBitset bits(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.nextU64() & 1) bits.set(i);
+  }
+  return bits;
+}
+
+// A modulus of exactly `limbs` 64-bit limbs (top limb nonzero) with the
+// requested parity — wide enough to force the Montgomery/plain backends.
+util::BigUInt randomWideModulus(util::Rng& rng, std::size_t limbs, bool odd) {
+  std::vector<std::uint64_t> words(limbs);
+  for (auto& word : words) word = rng.nextU64();
+  words.back() |= std::uint64_t{1} << 63;
+  if (odd) {
+    words.front() |= 1;
+  } else {
+    words.front() &= ~std::uint64_t{1};
+  }
+  return util::BigUInt::fromWords(words);
+}
+
+util::BigUInt randomBelow(util::Rng& rng, const util::BigUInt& bound,
+                          std::size_t limbs) {
+  for (;;) {
+    std::vector<std::uint64_t> words(limbs);
+    for (auto& word : words) word = rng.nextU64();
+    util::BigUInt value = util::BigUInt::fromWords(words);
+    if (value < bound) return value;
+  }
+}
+
+// One differential case: random n x n matrix slice (row indices + bitset
+// rows), hashed by the batch engine and re-hashed row-by-row by the scalar
+// evaluator; also checks the accumulate shape against the scalar fold.
+void runMatrixCase(util::Rng& rng, const util::BigUInt& p, const util::BigUInt& a,
+                   BatchLinearHashEvaluator& batch, LinearHashEvaluator& scalar) {
+  const std::uint64_t n = 1 + rng.nextBelow(17);
+  batch.rebind(p, n * n, a);
+  scalar.rebind(p, n * n, a);
+
+  const std::size_t rowCount = 1 + rng.nextBelow(n);
+  std::vector<std::uint64_t> rowIndices;
+  std::vector<util::DynBitset> rows;
+  rowIndices.reserve(rowCount);
+  rows.reserve(rowCount);
+  for (std::size_t i = 0; i < rowCount; ++i) {
+    rowIndices.push_back(rng.nextBelow(n));
+    rows.push_back(randomBits(rng, n));
+  }
+
+  std::vector<util::BigUInt> got;
+  batch.hashMatrixRows(rowIndices, rows, n, got);
+  ASSERT_EQ(got.size(), rowCount);
+  util::BigUInt sum;
+  for (std::size_t i = 0; i < rowCount; ++i) {
+    util::BigUInt want = scalar.hashMatrixRow(rowIndices[i], rows[i], n);
+    ASSERT_EQ(got[i].toHex(), want.toHex())
+        << "p=" << p.toHex() << " a=" << a.toHex() << " n=" << n << " row " << i;
+    sum = util::addMod(sum, want, p);
+  }
+  EXPECT_EQ(batch.accumulateMatrixRows(rowIndices, rows, n).toHex(), sum.toHex());
+}
+
+TEST(batch_eval, U64MatrixRowsMatchScalar) {
+  util::Rng rng(0xBA7C4001ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < kMatrixCases; ++i) {
+    // Random width in [2, 64] bits so small fields and near-2^64 moduli both
+    // appear; the add-with-conditional-subtract trick must hold everywhere.
+    const std::size_t bits = 2 + rng.nextBelow(63);
+    std::uint64_t p = rng.nextU64() >> (64 - bits);
+    if (p < 2) p = 2;
+    const util::BigUInt pBig{p};
+    const util::BigUInt a{rng.nextU64() % p};
+    runMatrixCase(rng, pBig, a, batch, scalar);
+  }
+}
+
+TEST(batch_eval, MontgomeryMatrixRowsMatchScalarAllKernelWidths) {
+  util::Rng rng(0xBA7C4002ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  const std::size_t kernelWidths[] = {2, 3, 4, 8, 16};
+  // A handful of moduli per width (context construction is the expensive
+  // part), many (seed, input) matrices per modulus.
+  const int modsPerWidth = 20;
+  const int casesPerMod = kMatrixCases / (5 * modsPerWidth);
+  for (std::size_t k : kernelWidths) {
+    for (int m = 0; m < modsPerWidth; ++m) {
+      const util::BigUInt p = randomWideModulus(rng, k, /*odd=*/true);
+      for (int c = 0; c < casesPerMod; ++c) {
+        const util::BigUInt a = randomBelow(rng, p, k);
+        runMatrixCase(rng, p, a, batch, scalar);
+      }
+    }
+  }
+}
+
+TEST(batch_eval, PlainBackendMatchesScalar) {
+  util::Rng rng(0xBA7C4003ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t k = 2 + rng.nextBelow(3);
+    const util::BigUInt p = randomWideModulus(rng, k, /*odd=*/false);
+    const util::BigUInt a = randomBelow(rng, p, k);
+    runMatrixCase(rng, p, a, batch, scalar);
+  }
+}
+
+TEST(batch_eval, HashBitsManyMatchesScalar) {
+  util::Rng rng(0xBA7C4004ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t p = rng.nextU64();
+    if (p < 2) p = 2;
+    const std::uint64_t dim = 1 + rng.nextBelow(40);
+    const util::BigUInt pBig{p};
+    const util::BigUInt a{rng.nextU64() % p};
+    batch.rebind(pBig, dim, a);
+    scalar.rebind(pBig, dim, a);
+    std::vector<util::DynBitset> inputs;
+    const std::size_t count = 1 + rng.nextBelow(6);
+    for (std::size_t j = 0; j < count; ++j) {
+      inputs.push_back(randomBits(rng, 1 + rng.nextBelow(dim)));
+    }
+    std::vector<util::BigUInt> got;
+    batch.hashBitsMany(inputs, got);
+    ASSERT_EQ(got.size(), count);
+    for (std::size_t j = 0; j < count; ++j) {
+      EXPECT_EQ(got[j].toHex(), scalar.hashBits(inputs[j]).toHex());
+    }
+  }
+}
+
+TEST(batch_eval, ManySeedsCoversEveryLaneRemainder) {
+  util::Rng rng(0xBA7C4005ull);
+  LinearHashEvaluator scalar;
+  // Seed counts 1..2*kLanes+1: full lane blocks, the empty-tail boundary,
+  // and every partial final block width.
+  for (std::size_t seedCount = 1; seedCount <= 2 * BatchLinearHashEvaluator::kLanes + 1;
+       ++seedCount) {
+    for (int rep = 0; rep < 40; ++rep) {
+      std::uint64_t p = rng.nextU64();
+      if (p < 2) p = 2;
+      const std::uint64_t dim = 1 + rng.nextBelow(40);
+      const util::BigUInt pBig{p};
+      std::vector<util::BigUInt> seeds;
+      for (std::size_t j = 0; j < seedCount; ++j) {
+        seeds.push_back(util::BigUInt{rng.nextU64() % p});
+      }
+      const util::DynBitset input = randomBits(rng, 1 + rng.nextBelow(dim));
+      std::vector<util::BigUInt> got;
+      BatchLinearHashEvaluator::hashBitsManySeeds(pBig, dim, seeds, input, got);
+      ASSERT_EQ(got.size(), seedCount);
+      for (std::size_t j = 0; j < seedCount; ++j) {
+        scalar.rebind(pBig, dim, seeds[j]);
+        EXPECT_EQ(got[j].toHex(), scalar.hashBits(input).toHex())
+            << "seedCount=" << seedCount << " lane " << j;
+      }
+    }
+  }
+}
+
+TEST(batch_eval, ManySeedsWideFieldFallbackMatchesScalar) {
+  util::Rng rng(0xBA7C4006ull);
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t k = 2 + rng.nextBelow(3);
+    const util::BigUInt p = randomWideModulus(rng, k, /*odd=*/true);
+    const std::uint64_t dim = 1 + rng.nextBelow(30);
+    const std::size_t seedCount = 1 + rng.nextBelow(11);
+    std::vector<util::BigUInt> seeds;
+    for (std::size_t j = 0; j < seedCount; ++j) {
+      seeds.push_back(randomBelow(rng, p, k));
+    }
+    const util::DynBitset input = randomBits(rng, 1 + rng.nextBelow(dim));
+    std::vector<util::BigUInt> got;
+    BatchLinearHashEvaluator::hashBitsManySeeds(p, dim, seeds, input, got);
+    ASSERT_EQ(got.size(), seedCount);
+    for (std::size_t j = 0; j < seedCount; ++j) {
+      scalar.rebind(p, dim, seeds[j]);
+      EXPECT_EQ(got[j].toHex(), scalar.hashBits(input).toHex());
+    }
+  }
+}
+
+TEST(batch_eval, RebindAcrossBackendsKeepsValuesRight) {
+  // Alternating u64 / Montgomery / plain rebinds on ONE evaluator: stale
+  // table state from a previous backend must never leak into the next.
+  util::Rng rng(0xBA7C4007ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < 300; ++i) {
+    util::BigUInt p;
+    util::BigUInt a;
+    switch (i % 3) {
+      case 0: {
+        std::uint64_t p64 = rng.nextU64();
+        if (p64 < 2) p64 = 2;
+        p = util::BigUInt{p64};
+        a = util::BigUInt{rng.nextU64() % p64};
+        break;
+      }
+      case 1: {
+        const std::size_t k = 2 + rng.nextBelow(3);
+        p = randomWideModulus(rng, k, /*odd=*/true);
+        a = randomBelow(rng, p, k);
+        break;
+      }
+      default: {
+        const std::size_t k = 2 + rng.nextBelow(3);
+        p = randomWideModulus(rng, k, /*odd=*/false);
+        a = randomBelow(rng, p, k);
+        break;
+      }
+    }
+    runMatrixCase(rng, p, a, batch, scalar);
+  }
+}
+
+TEST(batch_eval, ArgumentChecksMatchScalar) {
+  BatchLinearHashEvaluator batch;
+  const util::BigUInt p{1009};
+  batch.rebind(p, 16, util::BigUInt{7});
+
+  std::vector<std::uint64_t> rowIndices{0};
+  std::vector<util::DynBitset> rows{util::DynBitset(5)};
+  std::vector<util::BigUInt> out;
+  // n*n != dimension: same exception as the scalar evaluator.
+  EXPECT_THROW(batch.hashMatrixRows(rowIndices, rows, 5, out), std::invalid_argument);
+
+  rows[0] = util::DynBitset(3);  // Row width != n.
+  EXPECT_THROW(batch.hashMatrixRows(rowIndices, rows, 4, out), std::out_of_range);
+
+  rows[0] = util::DynBitset(4);
+  rowIndices[0] = 4;  // Row index out of range.
+  EXPECT_THROW(batch.hashMatrixRows(rowIndices, rows, 4, out), std::out_of_range);
+
+  rowIndices.push_back(0);  // Length mismatch.
+  EXPECT_THROW(batch.hashMatrixRows(rowIndices, rows, 4, out), std::invalid_argument);
+
+  EXPECT_THROW(batch.rebind(util::BigUInt{1}, 4, util::BigUInt{0}),
+               std::invalid_argument);
+}
+
+TEST(batch_eval, ToggleChangesStrategyNotValues) {
+  // The toggle gates call-site strategy, not this engine — but guard the
+  // contract anyway: flipping it never perturbs evaluator output.
+  const bool saved = batchEnabled();
+  util::Rng rng(0xBA7C4008ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  setBatchEnabled(false);
+  runMatrixCase(rng, util::BigUInt{100003}, util::BigUInt{12345}, batch, scalar);
+  setBatchEnabled(true);
+  runMatrixCase(rng, util::BigUInt{100003}, util::BigUInt{54321}, batch, scalar);
+  setBatchEnabled(saved);
+}
+
+}  // namespace
+}  // namespace dip::hash

@@ -8,8 +8,15 @@
 // merely nudges rates toward each other fails before it crosses 1/2.
 // Thread counts are pinned explicitly: the engine's determinism contract
 // makes the cells reproducible byte-for-byte regardless.
+//
+// On top of the statistical thresholds, every cell pins its EXACT golden
+// row (accepts, maxPerNodeBits, digest), captured before the batch hash
+// engine rewired the trial paths. The batch engine changes evaluation
+// strategy, never values, so these rows must not move — under either
+// setting of the DIP_BATCH toggle.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "core/dsym_dam.hpp"
@@ -35,6 +42,15 @@ TrialConfig config(std::uint64_t masterSeed) {
   c.masterSeed = masterSeed;
   c.threads = 4;
   return c;
+}
+
+// Pre-batch-rewiring golden row for a cell: accept count, per-node cost
+// and transcript digest are pinned exactly, batch engine on or off.
+void expectGolden(const TrialStats& stats, std::size_t accepts,
+                  std::size_t maxPerNodeBits, std::uint64_t digest) {
+  EXPECT_EQ(stats.accepts, accepts);
+  EXPECT_EQ(stats.maxPerNodeBits, maxPerNodeBits);
+  EXPECT_EQ(stats.digest, digest) << std::hex << "got digest 0x" << stats.digest;
 }
 
 void expectSeparation(const TrialStats& yes, const TrialStats& no) {
@@ -68,6 +84,8 @@ TEST(stats_regression, SymDmamProtocol1) {
   expectSeparation(honest, cheater);
   // Protocol 1's completeness is perfect; soundness error is <= 1/(10 n).
   EXPECT_EQ(honest.accepts, honest.trials);
+  expectGolden(honest, 120, 84, 0xdd6dc81783e05d5full);
+  expectGolden(cheater, 0, 84, 0x7a9ab4d2d10ee38dull);
 }
 
 TEST(stats_regression, SymDamProtocol2) {
@@ -93,6 +111,8 @@ TEST(stats_regression, SymDamProtocol2) {
       },
       60, config(50202));
   expectSeparation(honest, cheater);
+  expectGolden(honest, 60, 139, 0x22ec98eaf93de960ull);
+  expectGolden(cheater, 0, 139, 0x1b95d4a2e75b2e07ull);
 }
 
 TEST(stats_regression, DSymDam) {
@@ -117,6 +137,8 @@ TEST(stats_regression, DSymDam) {
   TrialStats honest = estimateAcceptance(protocol, yes, factory, 60, config(50301));
   TrialStats cheater = estimateAcceptance(protocol, no, factory, 120, config(50302));
   expectSeparation(honest, cheater);
+  expectGolden(honest, 60, 84, 0x3a459e457f132b33ull);
+  expectGolden(cheater, 0, 84, 0x68e01786eba41870ull);
 }
 
 TEST(stats_regression, SymInput) {
@@ -143,6 +165,8 @@ TEST(stats_regression, SymInput) {
       },
       120, config(50402));
   expectSeparation(honest, cheater);
+  expectGolden(honest, 100, 111, 0x6d8c7df5397fbb0bull);
+  expectGolden(cheater, 1, 117, 0xd1f516473d729129ull);
 }
 
 TEST(stats_regression, GniAmam) {
@@ -161,6 +185,8 @@ TEST(stats_regression, GniAmam) {
   TrialStats honest = estimateAcceptance(protocol, yes, factory, 12, config(50501));
   TrialStats cheater = estimateAcceptance(protocol, no, factory, 12, config(50502));
   expectSeparation(honest, cheater);
+  expectGolden(honest, 12, 16041, 0x960f13c90be3c0feull);
+  expectGolden(cheater, 2, 13295, 0x3e78c627342e2eceull);
 }
 
 TEST(stats_regression, GniGeneral) {
@@ -177,6 +203,8 @@ TEST(stats_regression, GniGeneral) {
   TrialStats honest = estimateAcceptance(protocol, yes, factory, 10, config(50601));
   TrialStats cheater = estimateAcceptance(protocol, no, factory, 10, config(50602));
   expectSeparation(honest, cheater);
+  expectGolden(honest, 10, 19868, 0xa75fd724290064cbull);
+  expectGolden(cheater, 0, 15191, 0x6c43e49b05e1ad00ull);
 }
 
 }  // namespace

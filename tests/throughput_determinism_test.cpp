@@ -1,0 +1,110 @@
+// The bench_throughput workload's determinism contract: every cell's
+// deterministic columns (accepts, trials, maxPerNodeBits, digest) are a pure
+// function of the master seed — identical at 1, 2 and 8 worker threads, and
+// identical whether the hash paths run through the batch engine (width-N
+// lanes, shared power tables) or the scalar evaluator (width 1). Only
+// wallSeconds may differ, and TrialStats::sameResults excludes it.
+//
+// The fast Sym-family cells and the slow GNI cells run as separate tests so
+// the sanitizer jobs (this suite is in the tsan preset's regex) keep a
+// bounded wall time per test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hash/batch_eval.hpp"
+#include "sim/throughput.hpp"
+
+namespace dip::sim {
+namespace {
+
+// Restores the process-wide engine toggle even on assertion failure.
+class BatchToggleGuard {
+ public:
+  BatchToggleGuard() : saved_(hash::batchEnabled()) {}
+  ~BatchToggleGuard() { hash::setBatchEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TrialConfig config(unsigned threads) {
+  TrialConfig c;
+  c.masterSeed = 0;  // The committed-baseline workload.
+  c.threads = threads;
+  return c;
+}
+
+void expectSameCells(const std::vector<ThroughputCell>& got,
+                     const std::vector<ThroughputCell>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].protocol, want[i].protocol) << label;
+    EXPECT_TRUE(got[i].stats.sameResults(want[i].stats))
+        << label << " cell " << got[i].protocol << ": accepts " << got[i].stats.accepts
+        << "/" << want[i].stats.accepts << " digest " << std::hex
+        << got[i].stats.digest << "/" << want[i].stats.digest;
+  }
+}
+
+TEST(throughput_determinism, FastCellsIdenticalAcrossThreadsAndEngine) {
+  BatchToggleGuard guard;
+  const ThroughputSelection fastOnly{.fast = true, .gni = false};
+
+  hash::setBatchEnabled(true);
+  const std::vector<ThroughputCell> baseline =
+      runThroughputWorkload(config(1), fastOnly);
+  ASSERT_EQ(baseline.size(), 4u);
+
+  for (bool batch : {true, false}) {
+    hash::setBatchEnabled(batch);
+    for (unsigned threads : {1u, 2u, 8u}) {
+      if (batch && threads == 1) continue;  // That IS the baseline.
+      std::vector<ThroughputCell> cells = runThroughputWorkload(config(threads), fastOnly);
+      expectSameCells(cells, baseline,
+                      batch ? "batch engine" : "scalar engine");
+    }
+  }
+}
+
+TEST(throughput_determinism, GniCellsIdenticalAcrossThreadsAndEngine) {
+  BatchToggleGuard guard;
+  const ThroughputSelection gniOnly{.fast = false, .gni = true};
+
+  hash::setBatchEnabled(true);
+  const std::vector<ThroughputCell> baseline =
+      runThroughputWorkload(config(1), gniOnly);
+  ASSERT_EQ(baseline.size(), 2u);
+
+  hash::setBatchEnabled(false);
+  expectSameCells(runThroughputWorkload(config(1), gniOnly), baseline,
+                  "scalar engine");
+  hash::setBatchEnabled(true);
+  expectSameCells(runThroughputWorkload(config(8), gniOnly), baseline,
+                  "batch engine, 8 threads");
+}
+
+TEST(throughput_determinism, MasterSeedOffsetsChangeResults) {
+  // The master seed must actually reach the per-trial randomness. The fast
+  // Sym-family cells cannot show this through TrialStats: honest provers
+  // always accept and their wire messages are fixed-width, so accepts and
+  // the bit-accounting digest are seed-invariant by design. The GNI cells'
+  // transcripts carry variable-width field elements, so their digests (and
+  // maxPerNodeBits) shift with the seed.
+  BatchToggleGuard guard;
+  hash::setBatchEnabled(true);
+  const ThroughputSelection gniOnly{.fast = false, .gni = true};
+  TrialConfig other = config(1);
+  other.masterSeed = 1;
+  const std::vector<ThroughputCell> a = runThroughputWorkload(config(1), gniOnly);
+  const std::vector<ThroughputCell> b = runThroughputWorkload(other, gniOnly);
+  ASSERT_EQ(a.size(), b.size());
+  bool anyDiffer = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].stats.sameResults(b[i].stats)) anyDiffer = true;
+  }
+  EXPECT_TRUE(anyDiffer) << "master seed must reach every cell";
+}
+
+}  // namespace
+}  // namespace dip::sim

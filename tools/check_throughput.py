@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""CI gate for bench_throughput: flag >10% speedup regressions.
+
+Compares a fresh bench_throughput --json run against the committed
+BENCH_throughput.json baseline. Absolute trials/sec are machine-dependent,
+so the gate compares the batch/scalar *speedup ratio* per protocol — a
+dimensionless number that survives moving between CI runners. A cell
+regresses when its current speedup falls more than TOLERANCE below the
+baseline speedup.
+
+Usage: check_throughput.py BASELINE.json CURRENT.json
+Exit 0 when every cell is within tolerance, 1 otherwise.
+"""
+import json
+import sys
+
+TOLERANCE = 0.10
+
+
+def load_cells(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    return {cell["protocol"]: cell for cell in doc["cells"]}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = load_cells(argv[1])
+    current = load_cells(argv[2])
+
+    failed = []
+    for protocol, base in sorted(baseline.items()):
+        cur = current.get(protocol)
+        if cur is None:
+            failed.append(f"{protocol}: missing from current run")
+            continue
+        base_speedup = float(base["speedup"])
+        cur_speedup = float(cur["speedup"])
+        floor = base_speedup * (1.0 - TOLERANCE)
+        status = "ok" if cur_speedup >= floor else "REGRESSED"
+        print(
+            f"{protocol:12s}  baseline {base_speedup:5.2f}x  "
+            f"current {cur_speedup:5.2f}x  floor {floor:5.2f}x  {status}"
+        )
+        if cur_speedup < floor:
+            failed.append(
+                f"{protocol}: speedup {cur_speedup:.3f} below floor {floor:.3f} "
+                f"(baseline {base_speedup:.3f}, tolerance {TOLERANCE:.0%})"
+            )
+    for protocol in sorted(set(current) - set(baseline)):
+        print(f"{protocol:12s}  new cell (not in baseline) — add it to the baseline")
+
+    if failed:
+        print("\nThroughput regression gate FAILED:", file=sys.stderr)
+        for line in failed:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nThroughput regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -188,8 +188,11 @@ void ruleThreadContainment(SourceFile& file, std::vector<Finding>& findings) {
 }
 
 // ---------------------------------------------------------------------------
-// hot-loop-alloc: no per-iteration BigUInt construction on the hash/
-// Montgomery hot path.
+// hot-loop-alloc: no per-iteration allocation on the hash/Montgomery hot
+// path. Three shapes are flagged inside loop bodies: BigUInt construction
+// (one heap block per iteration), raw operator new, and container growth
+// (push_back/emplace_back) on a receiver that was never reserve()d earlier
+// in the file -- geometric regrowth reallocates mid-loop.
 
 void ruleHotLoopAlloc(SourceFile& file, std::vector<Finding>& findings) {
   if (!isHotPath(file.path)) return;
@@ -213,6 +216,50 @@ void ruleHotLoopAlloc(SourceFile& file, std::vector<Finding>& findings) {
     emitAt(file, findings, "hot-loop-alloc", tokens[i],
            "BigUInt declared inside a loop body on the hash hot path: "
            "one heap allocation per iteration -- hoist and reuse");
+  }
+
+  // Raw operator new (including new[] and placement-syntax spellings): the
+  // hot path allocates from the caller's Scratch/Arena, never per iteration.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].isIdent("new")) continue;
+    if (!inLoop(i)) continue;
+    emitAt(file, findings, "hot-loop-alloc", tokens[i],
+           "operator new inside a loop body on the hash hot path: "
+           "allocate from the caller's arena/scratch or hoist the buffer");
+  }
+
+  // Container growth without a prior capacity reservation. The check is
+  // whole-file-ordered, not scope-exact: any earlier `recv.reserve(...)`
+  // clears `recv.push_back(...)` -- cheap, and the hot-path idiom is
+  // reserve-immediately-before-loop anyway.
+  auto isGrowthName = [](const Token& token) {
+    return token.isIdent("push_back") || token.isIdent("emplace_back");
+  };
+  auto memberOn = [&](std::size_t nameIndex) -> const Token* {
+    if (nameIndex < 2) return nullptr;
+    if (!(tokens[nameIndex - 1].isPunct(".") || tokens[nameIndex - 1].isPunct("->")))
+      return nullptr;
+    if (tokens[nameIndex - 2].kind != TokenKind::kIdentifier) return nullptr;
+    return &tokens[nameIndex - 2];
+  };
+  for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+    if (!isGrowthName(tokens[i]) || !tokens[i + 1].isPunct("(")) continue;
+    const Token* receiver = memberOn(i);
+    if (receiver == nullptr) continue;
+    if (!inLoop(i)) continue;
+    bool reserved = false;
+    for (std::size_t j = 2; j < i && !reserved; ++j) {
+      if (tokens[j].isIdent("reserve") && tokens[j + 1].isPunct("(")) {
+        const Token* reservedOn = memberOn(j);
+        reserved = reservedOn != nullptr && reservedOn->text == receiver->text;
+      }
+    }
+    if (reserved) continue;
+    emitAt(file, findings, "hot-loop-alloc", tokens[i],
+           tokens[i].text + " on '" + receiver->text +
+               "' inside a hash hot-path loop with no prior reserve: "
+               "geometric regrowth reallocates mid-loop -- reserve the "
+               "capacity before entering");
   }
 }
 
@@ -624,8 +671,9 @@ const std::vector<RuleDescriptor>& ruleRegistry() {
        "Raw threading (std::thread/jthread/this_thread) appears only in "
        "the src/sim trial engine"},
       {"hot-loop-alloc",
-       "No per-iteration BigUInt construction in loops on the hash/"
-       "Montgomery hot path"},
+       "No per-iteration allocation in loops on the hash/Montgomery hot "
+       "path: BigUInt construction, operator new, or push_back/"
+       "emplace_back growth without a prior reserve"},
       {"mutator-selftest",
        "Every MessageMutator subclass in src/adv carries a "
        "DIP_MUTATOR_SELF_TEST registration"},

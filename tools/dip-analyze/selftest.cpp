@@ -154,10 +154,40 @@ const SeededCase kCases[] = {
      nullptr},
     {"src/hash/good_annotated_loop.cpp",
      "void setup(std::vector<util::BigUInt>& table, std::size_t n) {\n"
+     "  table.reserve(n);\n"
      "  for (std::size_t i = 0; i < n; ++i) {\n"
      "    // dip-lint: allow(hot-loop-alloc) -- one-time table construction\n"
      "    util::BigUInt entry{i};\n"
      "    table.push_back(entry);\n"
+     "  }\n"
+     "}\n",
+     nullptr},
+    {"src/hash/bad_loop_new.cpp",
+     "void expand(std::vector<std::uint64_t*>& slots, std::size_t n) {\n"
+     "  for (std::size_t i = 0; i < n; ++i) {\n"
+     "    slots[i] = new std::uint64_t[4];\n"
+     "  }\n"
+     "}\n",
+     "hot-loop-alloc"},
+    {"src/hash/bad_growth_unreserved.cpp",
+     "void collect(std::vector<std::uint64_t>& out, std::size_t n) {\n"
+     "  for (std::size_t i = 0; i < n; ++i) {\n"
+     "    out.push_back(i * i);\n"
+     "  }\n"
+     "}\n",
+     "hot-loop-alloc"},
+    {"src/hash/good_growth_reserved.cpp",
+     "void collect(std::vector<std::uint64_t>& out, std::size_t n) {\n"
+     "  out.reserve(n);\n"
+     "  for (std::size_t i = 0; i < n; ++i) {\n"
+     "    out.push_back(i * i);\n"
+     "  }\n"
+     "}\n",
+     nullptr},
+    {"src/core/good_cold_growth.cpp",
+     "void collect(std::vector<std::uint64_t>& out, std::size_t n) {\n"
+     "  for (std::size_t i = 0; i < n; ++i) {\n"
+     "    out.emplace_back(i);\n"
      "  }\n"
      "}\n",
      nullptr},
