@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "graph/ir.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "hash/eps_api.hpp"
 #include "hash/linear_hash.hpp"
 #include "util/biguint.hpp"
@@ -118,6 +119,28 @@ static void BM_PowMod(benchmark::State& state) {
 }
 BENCHMARK(BM_PowMod)->Arg(256)->Arg(1024)->Arg(4096);
 
+static void BM_PowModWindowed(benchmark::State& state) {
+  // Shared-window exponentiation of a pinned base: prepareWindow builds the
+  // 15-entry table once, each powValueWindowed pays only the square/multiply
+  // ladder. The delta against BM_PowMod (which rebuilds the table per call)
+  // is what the trial loop's pinned-base hashing amortizes away.
+  util::Rng rng(25);
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  util::BigUInt m = randomOddModulus(rng, bits);
+  util::MontgomeryContext ctx(m);
+  util::MontgomeryContext::Scratch scratch;
+  util::MontgomeryValue base = ctx.toValue(rng.nextBigBelow(m));
+  util::BigUInt exponent = rng.nextBigBits(bits);
+  util::MontgomeryContext::PowWindow window;
+  ctx.prepareWindow(base, window, scratch);
+  util::MontgomeryValue out;
+  for (auto _ : state) {
+    ctx.powValueWindowed(window, exponent, out, scratch);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PowModWindowed)->Arg(256)->Arg(1024)->Arg(4096);
+
 static void BM_LinearHashEval(benchmark::State& state) {
   // One LinearHashEvaluator polynomial walk over a dense 1024-position bit
   // row, parameterized by modulus width. Multi-limb widths pin the
@@ -163,6 +186,32 @@ static void BM_LinearHashRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinearHashRow)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_BatchHashMatrix(benchmark::State& state) {
+  // Full n x n closed-row matrix through the batch engine's span entry
+  // point under a pinned index — the protocol trial shape. Against n
+  // BM_LinearHashRow walks, the shared column/row-base tables turn each row
+  // into residue adds (AVX2 lanes at n >= 16) plus one multiply.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  hash::LinearHashFamily family = hash::makeProtocol1Family(n, rng);
+  graph::Graph g = graph::randomConnected(n, n, rng);
+  util::BigUInt a = family.randomIndex(rng);
+  hash::BatchLinearHashEvaluator batch;
+  batch.rebind(family, a);
+  std::vector<std::uint64_t> rowIndices(n);
+  std::vector<util::DynBitset> rows;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    rowIndices[v] = v;
+    rows.push_back(g.closedRow(v));
+  }
+  std::vector<util::BigUInt> out;
+  for (auto _ : state) {
+    batch.hashMatrixRows(rowIndices, rows, n, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BatchHashMatrix)->Arg(16)->Arg(64)->Arg(256);
 
 static void BM_EpsApiHashMatrix(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));

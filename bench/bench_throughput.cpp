@@ -106,11 +106,11 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "    {\"protocol\": \"%s\", \"trials\": %zu, "
                    "\"scalar_trials_per_sec\": %.1f, \"batch_trials_per_sec\": %.1f, "
-                   "\"speedup\": %.3f}%s\n",
+                   "\"speedup\": %.3f, \"engine\": \"%s\"}%s\n",
                    batch[i].protocol.c_str(), batch[i].stats.trials,
                    scalar[i].trialsPerSecond(), batch[i].trialsPerSecond(),
                    scalar[i].stats.wallSeconds / batch[i].stats.wallSeconds,
-                   i + 1 < batch.size() ? "," : "");
+                   batch[i].engine.c_str(), i + 1 < batch.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

@@ -11,7 +11,7 @@
 namespace dip::core {
 
 DSymDamProtocol::DSymDamProtocol(graph::DSymLayout layout, hash::LinearHashFamily family)
-    : layout_(layout), family_(std::move(family)) {
+    : layout_(layout), family_(std::move(family)), sigma_(graph::dsymSigma(layout_)) {
   const std::uint64_t n = layout_.numVertices;
   if (family_.dimension() != n * n) {
     throw std::invalid_argument("DSymDamProtocol: family dimension mismatch");
@@ -48,26 +48,35 @@ bool DSymDamProtocol::nodeDecisionAt(const graph::Graph& g, graph::Vertex v,
   });
   if (!consistent) return false;
 
-  // Spanning-tree local checks.
-  net::SpanningTreeAdvice tree{root, msg.parent, msg.dist};
+  // Spanning-tree local checks (thread-local advice: see sym_dam).
+  thread_local net::SpanningTreeAdvice tree;
+  tree.root = root;
+  tree.parent = msg.parent;
+  tree.dist = msg.dist;
   if (!net::verifyTreeLocally(g, tree, v)) return false;
 
-  // Chain verification with the FIXED sigma (computed locally from the
-  // public layout; no commitment round needed).
-  graph::Permutation sigma = graph::dsymSigma(layout_);
-  util::BigUInt expectA = expectABase
-                              ? expectABase[v]
-                              : family_.hashMatrixRow(index, v, g.closedRow(v), n);
-  util::BigUInt expectB =
-      expectBBase
-          ? expectBBase[v]
-          : family_.hashMatrixRow(index, sigma[v],
-                                  graph::Graph::imageOf(g.closedRow(v), sigma), n);
-  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
-    if (msg.a[child] >= p || msg.b[child] >= p) return false;
-    expectA = util::addMod(expectA, msg.a[child], p);
-    expectB = util::addMod(expectB, msg.b[child], p);
-  }
+  // Chain verification with the FIXED sigma (locally computable from the
+  // public layout; precomputed once at protocol construction).
+  const graph::Permutation& sigma = sigma_;
+  thread_local util::BigUInt expectA;
+  thread_local util::BigUInt expectB;
+  expectA = expectABase ? expectABase[v]
+                        : family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  expectB = expectBBase
+                ? expectBBase[v]
+                : family_.hashMatrixRow(index, sigma[v],
+                                        graph::Graph::imageOf(g.closedRow(v), sigma), n);
+  bool childrenOk = true;
+  net::forEachChild(g, tree, v, [&](graph::Vertex child) {
+    if (!childrenOk) return;
+    if (msg.a[child] >= p || msg.b[child] >= p) {
+      childrenOk = false;
+      return;
+    }
+    util::addModInPlace(expectA, msg.a[child], p);
+    util::addModInPlace(expectB, msg.b[child], p);
+  });
+  if (!childrenOk) return false;
   if (!(msg.a[v] == expectA) || !(msg.b[v] == expectB)) return false;
 
   // Root checks: fingerprints equal, index echo matches own challenge.
@@ -102,9 +111,11 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
     transcript.chargeToProver(v, seedBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge("DSym/A", v, transcript.roundBitsToProver(v),
-                     wire::encodeChallenge(challenges[v], family_).bitCount());
+    net::auditCharge(
+        "DSym/A", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(challenges[v], family_, &net::roundArena()).bitCount());
   }
 #endif
 
@@ -121,7 +132,7 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
   }
 #if DIP_AUDIT
   net::auditChargedRound("DSym/M", transcript,
-                         [&] { return wire::encodeDSym(msg, n, family_); });
+                         [&] { return wire::encodeDSym(msg, n, family_, &net::roundArena()); });
 #endif
 
   // Decisions. sigma is fixed by the public layout, so when the index
@@ -129,8 +140,8 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
   // hashes share one seed and batch over shared power tables; otherwise
   // each node falls back to its scalar recomputation. Values are identical
   // either way, only the evaluation strategy differs.
-  std::vector<util::BigUInt> baseA;
-  std::vector<util::BigUInt> baseB;
+  thread_local std::vector<util::BigUInt> baseA;
+  thread_local std::vector<util::BigUInt> baseB;
   const util::BigUInt* preA = nullptr;
   const util::BigUInt* preB = nullptr;
   if (hash::batchEnabled()) {
@@ -140,7 +151,7 @@ RunResult DSymDamProtocol::run(const graph::Graph& g, DSymProver& prover,
       if (!(msg.indexPerNode[v] == index)) uniform = false;
     }
     if (uniform) {
-      graph::Permutation sigma = graph::dsymSigma(layout_);
+      const graph::Permutation& sigma = sigma_;
       thread_local hash::BatchLinearHashEvaluator batch;
       thread_local std::vector<std::uint64_t> aIdx;
       thread_local std::vector<std::uint64_t> bIdx;

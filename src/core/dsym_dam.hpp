@@ -84,6 +84,9 @@ class DSymDamProtocol {
 
   graph::DSymLayout layout_;
   hash::LinearHashFamily family_;
+  // dsymSigma(layout_), fixed for the protocol's lifetime — the per-node
+  // decisions read it instead of recomputing the permutation per call.
+  graph::Permutation sigma_;
 };
 
 // Honest prover: nothing to find (sigma is fixed); supplies the tree and

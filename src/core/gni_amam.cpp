@@ -9,6 +9,7 @@
 #include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "util/bitio.hpp"
 #include "util/mathutil.hpp"
@@ -17,6 +18,8 @@
 namespace dip::core {
 
 namespace {
+
+__extension__ using U128 = unsigned __int128;
 
 // Rows (with self-loops) of sigma(G_b): row sigma(v) is the image of v's
 // closed G_b neighborhood under sigma.
@@ -41,6 +44,41 @@ std::optional<PreimageHit> searchPreimage(const GniInstance& instance,
                                           const util::BigUInt& y) {
   const std::size_t n = instance.g0.numVertices();
   hash::EpsApiHash::PowerTable table = gsHash.preparePowers(seed);
+  const std::size_t ell = gsHash.outputBits();
+  if (hash::batchEnabled() && !table.powers64.empty() && ell < 64 && y.fitsU64()) {
+    // Native-word search: sigma is a permutation, so row sigma(v) of
+    // sigma(G_b) has exactly the bits {sigma(u) : u in N[v]} — the whole
+    // candidate hash is a direct power-table accumulation with no row
+    // materialization, and the outer affine layer runs in u64 (mod 2^ell is
+    // a mask since ell < 64). Values match the scalar path below exactly:
+    // modular sums are grouping-independent and every step stays canonical.
+    const std::uint64_t p64 = gsHash.fieldPrime().toU64();
+    const std::uint64_t alpha64 = seed.alpha.modU64(p64);
+    const std::uint64_t beta64 = seed.beta.modU64(p64);
+    const std::uint64_t mask = (std::uint64_t{1} << ell) - 1;
+    const std::uint64_t y64 = y.toU64();
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      const graph::Graph& gb = (b == 0) ? instance.g0 : instance.g1;
+      graph::Permutation sigma = graph::identityPermutation(n);
+      do {
+        std::uint64_t acc = 0;
+        for (graph::Vertex v = 0; v < n; ++v) {
+          const std::size_t rowBase = static_cast<std::size_t>(sigma[v]) * n;
+          gb.closedRow(v).forEachSet([&](std::size_t u) {
+            const std::uint64_t term = table.powers64[rowBase + sigma[u]];
+            acc += term;
+            if (acc < term || acc >= p64) acc -= p64;
+          });
+        }
+        std::uint64_t affine =
+            static_cast<std::uint64_t>(static_cast<U128>(alpha64) * acc % p64);
+        affine += beta64;
+        if (affine < beta64 || affine >= p64) affine -= p64;
+        if ((affine & mask) == y64) return PreimageHit{sigma, b};
+      } while (std::next_permutation(sigma.begin(), sigma.end()));
+    }
+    return std::nullopt;
+  }
   for (std::uint8_t b = 0; b < 2; ++b) {
     const graph::Graph& gb = (b == 0) ? instance.g0 : instance.g1;
     graph::Permutation sigma = graph::identityPermutation(n);
@@ -173,6 +211,17 @@ bool GniAmamProtocol::nodeDecision(const GniInstance& instance, graph::Vertex v,
 
   const std::vector<graph::Vertex> closed1 = sortedClosed1(instance, v);
 
+  // checkSeed is pinned for every repetition of this decision (and, under
+  // the honest uniform broadcast, across all nodes of the trial), so the
+  // check-family pieces batch into table lookups. The GS piece stays on the
+  // scalar evaluator: its seed changes every repetition, so shared tables
+  // would rebuild per call.
+  const bool useBatch = hash::batchEnabled();
+  thread_local hash::BatchLinearHashEvaluator checkBatch;
+  thread_local std::vector<std::uint64_t> consRows;
+  thread_local std::vector<std::uint64_t> consCols;
+  if (useBatch) checkBatch.rebind(params_.checkFamily, m2.checkSeed);
+
   std::size_t claimedCount = 0;
   for (std::size_t j = 0; j < k; ++j) {
     if (!m1.claimed[j]) continue;
@@ -233,9 +282,12 @@ bool GniAmamProtocol::nodeDecision(const GniInstance& instance, graph::Vertex v,
     if (!chainOk(gsPiece, &GniM2PerNode::h, bigP)) return false;
 
     // (ii) Permutation check: identity side vs sigma side.
-    util::BigUInt permIPiece = params_.checkFamily.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
+    util::BigUInt permIPiece =
+        useBatch ? checkBatch.hashMatrixEntry(v, v, 1, n)
+                 : params_.checkFamily.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
     util::BigUInt permSPiece =
-        params_.checkFamily.hashMatrixEntry(m2.checkSeed, sv, sv, 1, n);
+        useBatch ? checkBatch.hashMatrixEntry(sv, sv, 1, n)
+                 : params_.checkFamily.hashMatrixEntry(m2.checkSeed, sv, sv, 1, n);
     if (!chainOk(permIPiece, &GniM2PerNode::permI, checkP)) return false;
     if (!chainOk(permSPiece, &GniM2PerNode::permS, checkP)) return false;
 
@@ -243,15 +295,29 @@ bool GniAmamProtocol::nodeDecision(const GniInstance& instance, graph::Vertex v,
     if (m1.b[j] == 1) {
       if (m2.consC[j] >= checkP || m2.consT[j] >= checkP) return false;
       util::BigUInt consCPiece;
-      for (std::size_t i = 0; i < closed1.size(); ++i) {
-        consCPiece = util::addMod(
-            consCPiece,
-            params_.checkFamily.hashMatrixEntry(m2.checkSeed, closed1[i],
-                                                m1.claims[j][i], 1, n),
-            checkP);
+      if (useBatch) {
+        consRows.clear();
+        consCols.clear();
+        for (std::size_t i = 0; i < closed1.size(); ++i) {
+          consRows.push_back(closed1[i]);
+          consCols.push_back(m1.claims[j][i]);
+        }
+        consCPiece = checkBatch.accumulateMatrixEntries(consRows, consCols, n);
+      } else {
+        for (std::size_t i = 0; i < closed1.size(); ++i) {
+          consCPiece = util::addMod(
+              consCPiece,
+              params_.checkFamily.hashMatrixEntry(m2.checkSeed, closed1[i],
+                                                  m1.claims[j][i], 1, n),
+              checkP);
+        }
       }
-      util::BigUInt consTPiece = params_.checkFamily.hashMatrixEntry(
-          m2.checkSeed, v, sv, static_cast<std::uint64_t>(closed1.size()), n);
+      util::BigUInt consTPiece =
+          useBatch
+              ? checkBatch.hashMatrixEntry(v, sv,
+                                           static_cast<std::uint64_t>(closed1.size()), n)
+              : params_.checkFamily.hashMatrixEntry(
+                    m2.checkSeed, v, sv, static_cast<std::uint64_t>(closed1.size()), n);
       if (!chainOk(consCPiece, &GniM2PerNode::consC, checkP)) return false;
       if (!chainOk(consTPiece, &GniM2PerNode::consT, checkP)) return false;
     }
@@ -341,10 +407,12 @@ RunResult GniAmamProtocol::run(const GniInstance& instance, GniProver& prover,
     transcript.chargeToProver(v, checkBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge(
-        "GniAmam/A2", v, transcript.roundBitsToProver(v),
-        wire::encodeChallenge(checkChallenges[v], params_.checkFamily).bitCount());
+    net::auditCharge("GniAmam/A2", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(checkChallenges[v], params_.checkFamily,
+                                           &net::roundArena())
+                         .bitCount());
   }
 #endif
 
@@ -497,26 +565,64 @@ GniSecondMessage HonestGniProver::secondMessage(
 
     std::vector<util::BigUInt> gsPieces(n), permIPieces(n), permSPieces(n);
     std::vector<util::BigUInt> consCPieces(n), consTPieces(n);
+    const bool useBatch = hash::batchEnabled();
     hash::EpsApiHash::RowHasher rowHasher(params_.gsHash, challenge.seed);
+    thread_local hash::BatchLinearHashEvaluator gsBatch;
+    thread_local hash::BatchLinearHashEvaluator checkBatch;
+    thread_local std::vector<std::uint64_t> gsIdx;
+    thread_local std::vector<util::DynBitset> gsRows;
+    thread_local std::vector<std::uint64_t> consRows;
+    thread_local std::vector<std::uint64_t> consCols;
+    if (useBatch) {
+      // The GS seed is pinned for the whole repetition and checkSeed for the
+      // whole message: all row and entry hashes become table lookups.
+      gsBatch.rebind(params_.gsHash.inner(), challenge.seed.a);
+      checkBatch.rebind(params_.checkFamily, checkSeed);
+      gsIdx.clear();
+      gsRows.clear();
+    }
     for (graph::Vertex v = 0; v < n; ++v) {
       util::DynBitset image = graph::Graph::imageOf(gb.closedRow(v), found.sigma);
-      gsPieces[v] = rowHasher.innerRow(found.sigma[v], image);
-      permIPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, v, v, 1, n);
-      permSPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, found.sigma[v],
-                                                           found.sigma[v], 1, n);
+      if (useBatch) {
+        gsIdx.push_back(found.sigma[v]);
+        gsRows.push_back(std::move(image));
+        permIPieces[v] = checkBatch.hashMatrixEntry(v, v, 1, n);
+        permSPieces[v] =
+            checkBatch.hashMatrixEntry(found.sigma[v], found.sigma[v], 1, n);
+      } else {
+        gsPieces[v] = rowHasher.innerRow(found.sigma[v], image);
+        permIPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, v, v, 1, n);
+        permSPieces[v] = params_.checkFamily.hashMatrixEntry(checkSeed, found.sigma[v],
+                                                             found.sigma[v], 1, n);
+      }
       if (found.b == 1) {
         std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
-        util::BigUInt acc;
-        for (graph::Vertex u : closed1) {
-          acc = util::addMod(acc,
-                             params_.checkFamily.hashMatrixEntry(
-                                 checkSeed, u, found.sigma[u], 1, n),
-                             checkP);
+        if (useBatch) {
+          consRows.clear();
+          consCols.clear();
+          for (graph::Vertex u : closed1) {
+            consRows.push_back(u);
+            consCols.push_back(found.sigma[u]);
+          }
+          consCPieces[v] = checkBatch.accumulateMatrixEntries(consRows, consCols, n);
+          consTPieces[v] = checkBatch.hashMatrixEntry(v, found.sigma[v],
+                                                      closed1.size(), n);
+        } else {
+          util::BigUInt acc;
+          for (graph::Vertex u : closed1) {
+            acc = util::addMod(acc,
+                               params_.checkFamily.hashMatrixEntry(
+                                   checkSeed, u, found.sigma[u], 1, n),
+                               checkP);
+          }
+          consCPieces[v] = acc;
+          consTPieces[v] = params_.checkFamily.hashMatrixEntry(
+              checkSeed, v, found.sigma[v], closed1.size(), n);
         }
-        consCPieces[v] = acc;
-        consTPieces[v] = params_.checkFamily.hashMatrixEntry(
-            checkSeed, v, found.sigma[v], closed1.size(), n);
       }
+    }
+    if (useBatch) {
+      gsBatch.hashMatrixRows(gsIdx, gsRows, n, gsPieces);
     }
 
     auto gsSums = subtreeSums(instance.g0, tree, gsPieces, bigP);

@@ -20,6 +20,8 @@ namespace dip::core {
 
 namespace {
 
+__extension__ using U128 = unsigned __int128;
+
 // Pads an n-bit row to the hash's 2n-bit row width.
 util::DynBitset padRow(const util::DynBitset& row, std::size_t width) {
   util::DynBitset padded(width);
@@ -52,6 +54,56 @@ std::optional<GeneralHit> searchGeneralPreimage(
   hash::EpsApiHash::PowerTable table = gsHash.preparePowers(seed);
   const util::BigUInt& bigP = gsHash.fieldPrime();
   const std::size_t width = 2 * n;
+  const std::size_t ell = gsHash.outputBits();
+
+  if (hash::batchEnabled() && !table.powers64.empty() && ell < 64 && y.fitsU64()) {
+    // Native-word search. Padding an n-bit row to width 2n changes no bit
+    // positions, and sigma is a permutation, so row sigma(v) of H =
+    // sigma(G_b) contributes exactly the powers at {sigma(u) : u in N[v]} —
+    // no row bitsets, no BigUInt traffic, and alpha = sigma.beta.sigma^-1
+    // lands in two reused index buffers instead of three fresh permutations
+    // per candidate. Values match the scalar loop below exactly.
+    const std::uint64_t p64 = gsHash.fieldPrime().toU64();
+    const std::uint64_t alphaSeed64 = seed.alpha.modU64(p64);
+    const std::uint64_t betaSeed64 = seed.beta.modU64(p64);
+    const std::uint64_t mask = (std::uint64_t{1} << ell) - 1;
+    const std::uint64_t y64 = y.toU64();
+    graph::Permutation sigmaInv(n);
+    graph::Permutation alpha(n);
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      const graph::Graph& gb = (b == 0) ? instance.g0 : instance.g1;
+      const std::vector<graph::Permutation>& aut = (b == 0) ? aut0 : aut1;
+      graph::Permutation sigma = graph::identityPermutation(n);
+      do {
+        std::uint64_t hPart = 0;
+        for (graph::Vertex v = 0; v < n; ++v) {
+          const std::size_t rowBase = static_cast<std::size_t>(sigma[v]) * width;
+          sigmaInv[sigma[v]] = v;
+          gb.closedRow(v).forEachSet([&](std::size_t u) {
+            const std::uint64_t term = table.powers64[rowBase + sigma[u]];
+            hPart += term;
+            if (hPart < term || hPart >= p64) hPart -= p64;
+          });
+        }
+        for (const graph::Permutation& beta : aut) {
+          std::uint64_t full = hPart;
+          for (graph::Vertex u = 0; u < n; ++u) {
+            alpha[u] = sigma[beta[sigmaInv[u]]];
+            const std::uint64_t term =
+                table.powers64[(n + u) * width + alpha[u]];
+            full += term;
+            if (full < term || full >= p64) full -= p64;
+          }
+          std::uint64_t affine =
+              static_cast<std::uint64_t>(static_cast<U128>(alphaSeed64) * full % p64);
+          affine += betaSeed64;
+          if (affine < betaSeed64 || affine >= p64) affine -= p64;
+          if ((affine & mask) == y64) return GeneralHit{sigma, alpha, b};
+        }
+      } while (std::next_permutation(sigma.begin(), sigma.end()));
+    }
+    return std::nullopt;
+  }
 
   for (std::uint8_t b = 0; b < 2; ++b) {
     const graph::Graph& gb = (b == 0) ? instance.g0 : instance.g1;
@@ -176,6 +228,15 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
 
   const std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
 
+  // checkSeed is pinned across every repetition of this decision, so the
+  // nine check-family pieces batch into table lookups (the GS piece's seed
+  // changes per repetition and stays scalar).
+  const bool useBatch = hash::batchEnabled();
+  thread_local hash::BatchLinearHashEvaluator checkBatch;
+  thread_local std::vector<std::uint64_t> consRows;
+  thread_local std::vector<std::uint64_t> consCols;
+  if (useBatch) checkBatch.rebind(params_.checkFamily, m2.checkSeed);
+
   std::size_t claimedCount = 0;
   for (std::size_t j = 0; j < k; ++j) {
     if (!m1.claimed[j]) continue;
@@ -243,11 +304,19 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
       };
     };
     const auto& cf = params_.checkFamily;
-    util::BigUInt idPiece = cf.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
-    util::BigUInt permSPiece = cf.hashMatrixEntry(m2.checkSeed, sv, sv, 1, n);
-    util::BigUInt permAPiece = cf.hashMatrixEntry(m2.checkSeed, av, av, 1, n);
-    util::BigUInt autLPiece = cf.hashMatrixRow(m2.checkSeed, sv, hRow, n);
-    util::BigUInt autRPiece = cf.hashMatrixRow(m2.checkSeed, av, alphaHRow, n);
+    util::BigUInt idPiece = useBatch ? checkBatch.hashMatrixEntry(v, v, 1, n)
+                                     : cf.hashMatrixEntry(m2.checkSeed, v, v, 1, n);
+    util::BigUInt permSPiece = useBatch
+                                   ? checkBatch.hashMatrixEntry(sv, sv, 1, n)
+                                   : cf.hashMatrixEntry(m2.checkSeed, sv, sv, 1, n);
+    util::BigUInt permAPiece = useBatch
+                                   ? checkBatch.hashMatrixEntry(av, av, 1, n)
+                                   : cf.hashMatrixEntry(m2.checkSeed, av, av, 1, n);
+    util::BigUInt autLPiece = useBatch ? checkBatch.hashMatrixRow(sv, hRow, n)
+                                       : cf.hashMatrixRow(m2.checkSeed, sv, hRow, n);
+    util::BigUInt autRPiece = useBatch
+                                  ? checkBatch.hashMatrixRow(av, alphaHRow, n)
+                                  : cf.hashMatrixRow(m2.checkSeed, av, alphaHRow, n);
     if (!chainLinkHoldsAt(idPiece, children, entry(&GniGenM2PerNode::identity), v, checkP) ||
         !chainLinkHoldsAt(permSPiece, children, entry(&GniGenM2PerNode::permS), v, checkP) ||
         !chainLinkHoldsAt(permAPiece, children, entry(&GniGenM2PerNode::permA), v, checkP) ||
@@ -258,18 +327,35 @@ bool GniGeneralProtocol::nodeDecision(const GniInstance& instance, graph::Vertex
 
     if (m1.b[j] == 1) {
       util::BigUInt consSCPiece, consACPiece;
-      for (std::size_t i = 0; i < closed1.size(); ++i) {
-        consSCPiece = util::addMod(
-            consSCPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.sClaims[j][i], 1, n),
-            checkP);
-        consACPiece = util::addMod(
-            consACPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.aClaims[j][i], 1, n),
-            checkP);
+      if (useBatch) {
+        consRows.clear();
+        consCols.clear();
+        for (std::size_t i = 0; i < closed1.size(); ++i) {
+          consRows.push_back(closed1[i]);
+          consCols.push_back(m1.sClaims[j][i]);
+        }
+        consSCPiece = checkBatch.accumulateMatrixEntries(consRows, consCols, n);
+        consCols.clear();
+        for (std::size_t i = 0; i < closed1.size(); ++i) {
+          consCols.push_back(m1.aClaims[j][i]);
+        }
+        consACPiece = checkBatch.accumulateMatrixEntries(consRows, consCols, n);
+      } else {
+        for (std::size_t i = 0; i < closed1.size(); ++i) {
+          consSCPiece = util::addMod(
+              consSCPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.sClaims[j][i], 1, n),
+              checkP);
+          consACPiece = util::addMod(
+              consACPiece, cf.hashMatrixEntry(m2.checkSeed, closed1[i], m1.aClaims[j][i], 1, n),
+              checkP);
+        }
       }
       util::BigUInt consSTPiece =
-          cf.hashMatrixEntry(m2.checkSeed, v, sv, closed1.size(), n);
+          useBatch ? checkBatch.hashMatrixEntry(v, sv, closed1.size(), n)
+                   : cf.hashMatrixEntry(m2.checkSeed, v, sv, closed1.size(), n);
       util::BigUInt consATPiece =
-          cf.hashMatrixEntry(m2.checkSeed, v, av, closed1.size(), n);
+          useBatch ? checkBatch.hashMatrixEntry(v, av, closed1.size(), n)
+                   : cf.hashMatrixEntry(m2.checkSeed, v, av, closed1.size(), n);
       if (!chainLinkHoldsAt(consSCPiece, children, entry(&GniGenM2PerNode::consSC), v, checkP) ||
           !chainLinkHoldsAt(consSTPiece, children, entry(&GniGenM2PerNode::consST), v, checkP) ||
           !chainLinkHoldsAt(consACPiece, children, entry(&GniGenM2PerNode::consAC), v, checkP) ||
@@ -362,10 +448,12 @@ RunResult GniGeneralProtocol::run(const GniInstance& instance, GniGeneralProver&
     transcript.chargeToProver(v, checkBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge(
-        "GniGeneral/A2", v, transcript.roundBitsToProver(v),
-        wire::encodeChallenge(checkChallenges[v], params_.checkFamily).bitCount());
+    net::auditCharge("GniGeneral/A2", v, transcript.roundBitsToProver(v),
+                     wire::encodeChallenge(checkChallenges[v], params_.checkFamily,
+                                           &net::roundArena())
+                         .bitCount());
   }
 #endif
 
@@ -537,52 +625,98 @@ GniGenSecondMessage HonestGniGeneralProver::secondMessage(
     std::vector<std::uint64_t> lIdx, rIdx;
     std::vector<util::DynBitset> lRows, rRows;
     const bool useBatch = hash::batchEnabled();
+    thread_local hash::BatchLinearHashEvaluator batch;
+    thread_local hash::BatchLinearHashEvaluator gsBatch;
+    thread_local std::vector<std::uint64_t> gsIdx;
+    thread_local std::vector<util::DynBitset> gsRows;
+    thread_local std::vector<std::uint64_t> consRows;
+    thread_local std::vector<std::uint64_t> consCols;
+    std::vector<graph::Vertex> avList(n);
     if (useBatch) {
       lIdx.reserve(n);
       rIdx.reserve(n);
       lRows.reserve(n);
       rRows.reserve(n);
+      gsIdx.clear();
+      gsRows.clear();
+      // checkSeed is pinned for the whole message and the GS seed for the
+      // whole repetition: rows and entries on both families become table
+      // lookups (the batch evaluators' rebind short-circuits across j for
+      // the check family).
+      batch.rebind(cf.prime(), cf.dimension(), checkSeed);
+      gsBatch.rebind(params_.gsHash.inner(), challenge.seed.a);
     }
+    const std::size_t width = 2 * n;
     for (graph::Vertex v = 0; v < n; ++v) {
       graph::Vertex sv = found.sigma[v];
       graph::Vertex av = found.alpha[sv];
+      avList[v] = av;
       util::DynBitset hRow = graph::Graph::imageOf(gb.closedRow(v), found.sigma);
       util::DynBitset alphaHRow = graph::Graph::imageOf(hRow, found.alpha);
 
-      gsPieces[v] = gsPairPiece(params_.gsHash, n, challenge.seed, sv, av, hRow);
-      idPieces[v] = cf.hashMatrixEntry(checkSeed, v, v, 1, n);
-      permSPieces[v] = cf.hashMatrixEntry(checkSeed, sv, sv, 1, n);
-      permAPieces[v] = cf.hashMatrixEntry(checkSeed, av, av, 1, n);
       if (useBatch) {
+        gsIdx.push_back(sv);
+        gsRows.push_back(padRow(hRow, width));
+        idPieces[v] = batch.hashMatrixEntry(v, v, 1, n);
+        permSPieces[v] = batch.hashMatrixEntry(sv, sv, 1, n);
+        permAPieces[v] = batch.hashMatrixEntry(av, av, 1, n);
         // The 2n automorphism-check row hashes all share checkSeed: defer
         // them into two batch calls over one set of power tables.
         lIdx.push_back(sv);
-        lRows.push_back(hRow);
+        lRows.push_back(std::move(hRow));
         rIdx.push_back(av);
         rRows.push_back(std::move(alphaHRow));
       } else {
+        gsPieces[v] = gsPairPiece(params_.gsHash, n, challenge.seed, sv, av, hRow);
+        idPieces[v] = cf.hashMatrixEntry(checkSeed, v, v, 1, n);
+        permSPieces[v] = cf.hashMatrixEntry(checkSeed, sv, sv, 1, n);
+        permAPieces[v] = cf.hashMatrixEntry(checkSeed, av, av, 1, n);
         autLPieces[v] = cf.hashMatrixRow(checkSeed, sv, hRow, n);
         autRPieces[v] = cf.hashMatrixRow(checkSeed, av, alphaHRow, n);
       }
       if (found.b == 1) {
         std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
-        util::BigUInt accS, accA;
-        for (graph::Vertex u : closed1) {
-          accS = util::addMod(
-              accS, cf.hashMatrixEntry(checkSeed, u, found.sigma[u], 1, n), checkP);
-          accA = util::addMod(
-              accA, cf.hashMatrixEntry(checkSeed, u, found.alpha[found.sigma[u]], 1, n),
-              checkP);
+        if (useBatch) {
+          consRows.clear();
+          consCols.clear();
+          for (graph::Vertex u : closed1) {
+            consRows.push_back(u);
+            consCols.push_back(found.sigma[u]);
+          }
+          consSCPieces[v] = batch.accumulateMatrixEntries(consRows, consCols, n);
+          consCols.clear();
+          for (graph::Vertex u : closed1) {
+            consCols.push_back(found.alpha[found.sigma[u]]);
+          }
+          consACPieces[v] = batch.accumulateMatrixEntries(consRows, consCols, n);
+          consSTPieces[v] = batch.hashMatrixEntry(v, sv, closed1.size(), n);
+          consATPieces[v] = batch.hashMatrixEntry(v, av, closed1.size(), n);
+        } else {
+          util::BigUInt accS, accA;
+          for (graph::Vertex u : closed1) {
+            accS = util::addMod(
+                accS, cf.hashMatrixEntry(checkSeed, u, found.sigma[u], 1, n), checkP);
+            accA = util::addMod(
+                accA, cf.hashMatrixEntry(checkSeed, u, found.alpha[found.sigma[u]], 1, n),
+                checkP);
+          }
+          consSCPieces[v] = accS;
+          consACPieces[v] = accA;
+          consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closed1.size(), n);
+          consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closed1.size(), n);
         }
-        consSCPieces[v] = accS;
-        consACPieces[v] = accA;
-        consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closed1.size(), n);
-        consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closed1.size(), n);
       }
     }
     if (useBatch) {
-      thread_local hash::BatchLinearHashEvaluator batch;
-      batch.rebind(cf.prime(), cf.dimension(), checkSeed);
+      // gsPairPiece(sv, av, hRow) = innerRow(sv, pad(hRow)) +
+      // innerRow(n + sv, one-hot av) — the one-hot row is a single matrix
+      // entry of the 2n x 2n inner hash.
+      gsBatch.hashMatrixRows(gsIdx, gsRows, width, gsPieces);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        gsPieces[v] = params_.gsHash.combine(
+            gsPieces[v],
+            gsBatch.hashMatrixEntry(n + gsIdx[v], avList[v], 1, width));
+      }
       batch.hashMatrixRows(lIdx, lRows, n, autLPieces);
       batch.hashMatrixRows(rIdx, rRows, n, autRPieces);
     }

@@ -88,6 +88,7 @@ GniGenFirstMessage decodeGniGenFirst(const EncodedRound& round,
   util::BitReader broadcast(round.broadcast);
   graph::Vertex root = static_cast<graph::Vertex>(broadcast.readUInt(idBits));
   std::vector<GniChallenge> echo;
+  echo.reserve(k);
   std::vector<std::uint8_t> claimed(k), b(k);
   for (std::size_t j = 0; j < k; ++j) {
     GniChallenge challenge;

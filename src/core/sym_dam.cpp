@@ -51,6 +51,14 @@ SymDamProtocol::SymDamProtocol(hash::LinearHashFamily family)
 bool SymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
                                   const SymDamMessage& msg,
                                   const util::BigUInt& ownChallenge) const {
+  return nodeDecisionAt(g, v, msg, ownChallenge, nullptr, nullptr);
+}
+
+bool SymDamProtocol::nodeDecisionAt(const graph::Graph& g, graph::Vertex v,
+                                    const SymDamMessage& msg,
+                                    const util::BigUInt& ownChallenge,
+                                    const util::BigUInt* expectABase,
+                                    const util::BigUInt* expectBBase) const {
   const std::size_t n = g.numVertices();
   const util::BigUInt& p = family_.prime();
 
@@ -71,20 +79,36 @@ bool SymDamProtocol::nodeDecision(const graph::Graph& g, graph::Vertex v,
   });
   if (!consistent) return false;
 
-  // Line 1: spanning-tree local checks.
-  net::SpanningTreeAdvice tree{root, msg.parent, msg.dist};
+  // Line 1: spanning-tree local checks. The advice struct is rebuilt per
+  // node from the message fields; copy-assigning into a thread-local keeps
+  // the vector capacity across the n decisions (and across trials).
+  thread_local net::SpanningTreeAdvice tree;
+  tree.root = root;
+  tree.parent = msg.parent;
+  tree.dist = msg.dist;
   if (!net::verifyTreeLocally(g, tree, v)) return false;
 
   // Lines 2-3: chain verification. rho is fully known here, so the node
-  // evaluates rho(N(v)) itself.
-  util::BigUInt expectA = family_.hashMatrixRow(index, v, g.closedRow(v), n);
-  util::BigUInt expectB = family_.hashMatrixRow(
-      index, rho[v], graph::Graph::imageOf(g.closedRow(v), rho), n);
-  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
-    if (msg.a[child] >= p || msg.b[child] >= p) return false;
-    expectA = util::addMod(expectA, msg.a[child], p);
-    expectB = util::addMod(expectB, msg.b[child], p);
-  }
+  // evaluates rho(N(v)) itself. Thread-local accumulators keep the fold's
+  // limb storage alive across the n decisions.
+  thread_local util::BigUInt expectA;
+  thread_local util::BigUInt expectB;
+  expectA = expectABase ? expectABase[v]
+                        : family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  expectB = expectBBase ? expectBBase[v]
+                        : family_.hashMatrixRow(
+                              index, rho[v], graph::Graph::imageOf(g.closedRow(v), rho), n);
+  bool childrenOk = true;
+  net::forEachChild(g, tree, v, [&](graph::Vertex child) {
+    if (!childrenOk) return;
+    if (msg.a[child] >= p || msg.b[child] >= p) {
+      childrenOk = false;
+      return;
+    }
+    util::addModInPlace(expectA, msg.a[child], p);
+    util::addModInPlace(expectB, msg.b[child], p);
+  });
+  if (!childrenOk) return false;
   if (!(msg.a[v] == expectA) || !(msg.b[v] == expectB)) return false;
 
   // Line 4: root-only checks.
@@ -118,9 +142,11 @@ RunResult SymDamProtocol::run(const graph::Graph& g, SymDamProver& prover,
     transcript.chargeToProver(v, seedBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge("SymDam/A", v, transcript.roundBitsToProver(v),
-                     wire::encodeChallenge(challenges[v], family_).bitCount());
+    net::auditCharge(
+        "SymDam/A", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(challenges[v], family_, &net::roundArena()).bitCount());
   }
 #endif
 
@@ -141,12 +167,60 @@ RunResult SymDamProtocol::run(const graph::Graph& g, SymDamProver& prover,
   }
 #if DIP_AUDIT
   net::auditChargedRound("SymDam/M", transcript,
-                         [&] { return wire::encodeSymDam(msg, n, family_); });
+                         [&] { return wire::encodeSymDam(msg, n, family_, &net::roundArena()); });
 #endif
 
+  // Decisions. Under the honest uniform broadcast (one index, one rho copy
+  // at every node, entries in range) the 2n per-node row hashes all share a
+  // seed, so they batch over shared power tables; any trial failing the
+  // precondition falls back to per-node scalar recomputation with identical
+  // values.
+  thread_local std::vector<util::BigUInt> baseA;
+  thread_local std::vector<util::BigUInt> baseB;
+  const util::BigUInt* preA = nullptr;
+  const util::BigUInt* preB = nullptr;
+  if (hash::batchEnabled() && n > 0) {
+    const util::BigUInt& index = msg.indexPerNode[0];
+    const std::vector<graph::Vertex>& rho = msg.rhoPerNode[0];
+    bool uniform = index < family_.prime() && rho.size() == n;
+    for (graph::Vertex v = 1; uniform && v < n; ++v) {
+      if (!(msg.indexPerNode[v] == index) || msg.rhoPerNode[v] != rho) {
+        uniform = false;
+      }
+    }
+    for (graph::Vertex v = 0; uniform && v < n; ++v) {
+      if (rho[v] >= n) uniform = false;
+    }
+    if (uniform) {
+      thread_local hash::BatchLinearHashEvaluator batch;
+      thread_local std::vector<std::uint64_t> aIdx;
+      thread_local std::vector<std::uint64_t> bIdx;
+      thread_local std::vector<util::DynBitset> aRows;
+      thread_local std::vector<util::DynBitset> bRows;
+      batch.rebind(family_.prime(), family_.dimension(), index);
+      aIdx.clear();
+      bIdx.clear();
+      aRows.clear();
+      bRows.clear();
+      aIdx.reserve(n);
+      bIdx.reserve(n);
+      aRows.reserve(n);
+      bRows.reserve(n);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        aIdx.push_back(v);
+        aRows.push_back(g.closedRow(v));
+        bIdx.push_back(rho[v]);
+        bRows.push_back(graph::Graph::imageOf(g.closedRow(v), rho));
+      }
+      batch.hashMatrixRows(aIdx, aRows, n, baseA);
+      batch.hashMatrixRows(bIdx, bRows, n, baseB);
+      preA = baseA.data();
+      preB = baseB.data();
+    }
+  }
   result.accepted = true;
   for (graph::Vertex v = 0; v < n; ++v) {
-    if (!nodeDecision(g, v, msg, challenges[v])) {
+    if (!nodeDecisionAt(g, v, msg, challenges[v], preA, preB)) {
       result.accepted = false;
       break;
     }

@@ -70,11 +70,13 @@ ChainValues aggregateChains(const graph::Graph& g, const hash::LinearHashFamily&
     }
     batch.hashMatrixRows(aIdx, aRows, n, values.a);
     batch.hashMatrixRows(bIdx, bRows, n, values.b);
-    for (graph::Vertex v : net::bottomUpOrder(tree)) {
-      for (graph::Vertex child : net::childrenOf(g, tree, v)) {
-        values.a[v] = util::addMod(values.a[v], values.a[child], family.prime());
-        values.b[v] = util::addMod(values.b[v], values.b[child], family.prime());
-      }
+    thread_local std::vector<graph::Vertex> order;
+    net::bottomUpOrderInto(tree, order);
+    for (graph::Vertex v : order) {
+      net::forEachChild(g, tree, v, [&](graph::Vertex child) {
+        util::addModInPlace(values.a[v], values.a[child], family.prime());
+        util::addModInPlace(values.b[v], values.b[child], family.prime());
+      });
     }
     return values;
   }
@@ -82,14 +84,16 @@ ChainValues aggregateChains(const graph::Graph& g, const hash::LinearHashFamily&
   // the index is fixed, so every row hash reuses the pinned backend state.
   thread_local hash::LinearHashEvaluator evaluator;
   evaluator.rebind(family.prime(), family.dimension(), index);
-  for (graph::Vertex v : net::bottomUpOrder(tree)) {
+  thread_local std::vector<graph::Vertex> order;
+  net::bottomUpOrderInto(tree, order);
+  for (graph::Vertex v : order) {
     util::BigUInt a = evaluator.hashMatrixRow(v, g.closedRow(v), n);
     util::BigUInt b = evaluator.hashMatrixRow(rho[v],
                                               localImageOfClosedRow(g, v, rho), n);
-    for (graph::Vertex child : net::childrenOf(g, tree, v)) {
-      a = util::addMod(a, values.a[child], family.prime());
-      b = util::addMod(b, values.b[child], family.prime());
-    }
+    net::forEachChild(g, tree, v, [&](graph::Vertex child) {
+      util::addModInPlace(a, values.a[child], family.prime());
+      util::addModInPlace(b, values.b[child], family.prime());
+    });
     values.a[v] = a;
     values.b[v] = b;
   }
@@ -128,24 +132,33 @@ bool SymDmamProtocol::nodeDecisionAt(const graph::Graph& g, graph::Vertex v,
   if (!consistent) return false;
   if (index >= p) return false;
 
-  // Line 1: spanning-tree local checks.
-  net::SpanningTreeAdvice tree{root, first.parent, first.dist};
+  // Line 1: spanning-tree local checks (thread-local advice: see sym_dam).
+  thread_local net::SpanningTreeAdvice tree;
+  tree.root = root;
+  tree.parent = first.parent;
+  tree.dist = first.dist;
   if (!net::verifyTreeLocally(g, tree, v)) return false;
 
   // Lines 2-3: chain verification.
   if (!rhoInRange(g, v, first.rho)) return false;
-  util::BigUInt expectA = expectABase
-                              ? expectABase[v]
-                              : family_.hashMatrixRow(index, v, g.closedRow(v), n);
-  util::BigUInt expectB =
-      expectBBase ? expectBBase[v]
-                  : family_.hashMatrixRow(index, first.rho[v],
-                                          localImageOfClosedRow(g, v, first.rho), n);
-  for (graph::Vertex child : net::childrenOf(g, tree, v)) {
-    if (second.a[child] >= p || second.b[child] >= p) return false;
-    expectA = util::addMod(expectA, second.a[child], p);
-    expectB = util::addMod(expectB, second.b[child], p);
-  }
+  thread_local util::BigUInt expectA;
+  thread_local util::BigUInt expectB;
+  expectA = expectABase ? expectABase[v]
+                        : family_.hashMatrixRow(index, v, g.closedRow(v), n);
+  expectB = expectBBase ? expectBBase[v]
+                        : family_.hashMatrixRow(index, first.rho[v],
+                                                localImageOfClosedRow(g, v, first.rho), n);
+  bool childrenOk = true;
+  net::forEachChild(g, tree, v, [&](graph::Vertex child) {
+    if (!childrenOk) return;
+    if (second.a[child] >= p || second.b[child] >= p) {
+      childrenOk = false;
+      return;
+    }
+    util::addModInPlace(expectA, second.a[child], p);
+    util::addModInPlace(expectB, second.b[child], p);
+  });
+  if (!childrenOk) return false;
   if (!(second.a[v] == expectA) || !(second.b[v] == expectB)) return false;
 
   // Line 4: root-only checks.
@@ -182,7 +195,7 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   }
 #if DIP_AUDIT
   net::auditChargedRound("SymDmam/M1", transcript,
-                         [&] { return wire::encodeSymDmamFirst(first, n); });
+                         [&] { return wire::encodeSymDmamFirst(first, n, &net::roundArena()); });
 #endif
 
   // A: challenges.
@@ -195,9 +208,11 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
     transcript.chargeToProver(v, seedBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge("SymDmam/A", v, transcript.roundBitsToProver(v),
-                     wire::encodeChallenge(challenges[v], family_).bitCount());
+    net::auditCharge(
+        "SymDmam/A", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(challenges[v], family_, &net::roundArena()).bitCount());
   }
 #endif
 
@@ -213,7 +228,7 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   }
 #if DIP_AUDIT
   net::auditChargedRound("SymDmam/M2", transcript, [&] {
-    return wire::encodeSymDmamSecond(second, n, family_);
+    return wire::encodeSymDmamSecond(second, n, family_, &net::roundArena());
   });
 #endif
 
@@ -223,8 +238,8 @@ RunResult SymDmamProtocol::run(const graph::Graph& g, SymDmamProver& prover,
   // tables instead of 2n scalar walks. Any node whose precondition fails
   // falls back to the per-node scalar recomputation — values are identical
   // either way, only the evaluation strategy differs.
-  std::vector<util::BigUInt> baseA;
-  std::vector<util::BigUInt> baseB;
+  thread_local std::vector<util::BigUInt> baseA;
+  thread_local std::vector<util::BigUInt> baseB;
   const util::BigUInt* preA = nullptr;
   const util::BigUInt* preB = nullptr;
   if (hash::batchEnabled()) {

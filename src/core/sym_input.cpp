@@ -7,6 +7,7 @@
 #include "core/wire.hpp"
 #include "graph/generators.hpp"
 #include "graph/isomorphism.hpp"
+#include "hash/batch_eval.hpp"
 #include "net/audit.hpp"
 #include "net/spanning.hpp"
 #include "util/bitio.hpp"
@@ -31,9 +32,32 @@ SymInputPieces piecesFor(const SymInputInstance& instance,
   std::vector<graph::Vertex> closedH = instance.input.closedNeighbors(v);
 
   SymInputPieces pieces;
-  pieces.a = family.hashMatrixRow(index, v, instance.input.closedRow(v), n);
   util::DynBitset claimedImages(n);
   for (graph::Vertex image : claims) claimedImages.set(image);
+
+  if (hash::batchEnabled()) {
+    // The index is pinned across every per-node call of a trial (prover loop
+    // and the verifier's uniform echo), so the batch evaluator's rebind
+    // short-circuits and all four pieces become table lookups. Values are
+    // bit-identical to the scalar path below.
+    thread_local hash::BatchLinearHashEvaluator batch;
+    batch.rebind(family, index);
+    pieces.a = batch.hashMatrixRow(v, instance.input.closedRow(v), n);
+    pieces.b = batch.hashMatrixRow(rhoV, claimedImages, n);
+    thread_local std::vector<std::uint64_t> consRows;
+    thread_local std::vector<std::uint64_t> consCols;
+    consRows.clear();
+    consCols.clear();
+    for (std::size_t i = 0; i < closedH.size(); ++i) {
+      consRows.push_back(closedH[i]);
+      consCols.push_back(claims[i]);
+    }
+    pieces.consC = batch.accumulateMatrixEntries(consRows, consCols, n);
+    pieces.consT = batch.hashMatrixEntry(v, rhoV, closedH.size(), n);
+    return pieces;
+  }
+
+  pieces.a = family.hashMatrixRow(index, v, instance.input.closedRow(v), n);
   pieces.b = family.hashMatrixRow(index, rhoV, claimedImages, n);
   for (std::size_t i = 0; i < closedH.size(); ++i) {
     pieces.consC = util::addMod(
@@ -153,9 +177,11 @@ RunResult SymInputProtocol::run(const SymInputInstance& instance, SymInputProver
     transcript.chargeToProver(v, seedBits);
   }
 #if DIP_AUDIT
+  net::roundArena().reset();
   for (graph::Vertex v = 0; v < n; ++v) {
-    net::auditCharge("SymInput/A", v, transcript.roundBitsToProver(v),
-                     wire::encodeChallenge(challenges[v], family_).bitCount());
+    net::auditCharge(
+        "SymInput/A", v, transcript.roundBitsToProver(v),
+        wire::encodeChallenge(challenges[v], family_, &net::roundArena()).bitCount());
   }
 #endif
 

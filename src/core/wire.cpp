@@ -28,6 +28,19 @@ void requireNonEmpty(std::size_t n) {
   if (n == 0) throw std::invalid_argument("wire: empty round (n must be positive)");
 }
 
+// Empty round with the requested storage backend: heap writers, or arena
+// writers when the caller routes the encoding through a per-worker arena.
+EncodedRound makeRound(std::size_t n, util::Arena* arena) {
+  EncodedRound round;
+  if (arena != nullptr) {
+    round.broadcast = util::BitWriter(*arena);
+    round.unicast.assign(n, util::BitWriter(*arena));
+  } else {
+    round.unicast.resize(n);
+  }
+  return round;
+}
+
 }  // namespace
 
 void requireUnicastCount(const EncodedRound& round, std::size_t n) {
@@ -38,14 +51,15 @@ void requireUnicastCount(const EncodedRound& round, std::size_t n) {
 
 // ---- Protocol 1 ----
 
-EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n) {
+EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n,
+                                util::Arena* arena) {
   const unsigned idBits = idBitsFor(n);
   requireNonEmpty(n);
   requireFieldCount(message.rootPerNode.size(), n, "rootPerNode");
   requireFieldCount(message.rho.size(), n, "rho");
   requireFieldCount(message.parent.size(), n, "parent");
   requireFieldCount(message.dist.size(), n, "dist");
-  EncodedRound round;
+  EncodedRound round = makeRound(n, arena);
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
     if (message.rootPerNode[v] != message.rootPerNode[0]) consistent = false;
@@ -53,7 +67,6 @@ EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t 
   requireConsistentBroadcast(consistent);
 
   round.broadcast.writeUInt(message.rootPerNode[0], idBits);
-  round.unicast.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     round.unicast[v].writeUInt(message.rho[v], idBits);
     round.unicast[v].writeUInt(message.parent[v], idBits);
@@ -82,12 +95,13 @@ SymDmamFirstMessage decodeSymDmamFirst(const EncodedRound& round, std::size_t n)
 }
 
 EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_t n,
-                                 const hash::LinearHashFamily& family) {
+                                 const hash::LinearHashFamily& family,
+                                 util::Arena* arena) {
   requireNonEmpty(n);
   requireFieldCount(message.indexPerNode.size(), n, "indexPerNode");
   requireFieldCount(message.a.size(), n, "a");
   requireFieldCount(message.b.size(), n, "b");
-  EncodedRound round;
+  EncodedRound round = makeRound(n, arena);
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
     if (!(message.indexPerNode[v] == message.indexPerNode[0])) consistent = false;
@@ -95,7 +109,6 @@ EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_
   requireConsistentBroadcast(consistent);
 
   round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
-  round.unicast.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     round.unicast[v].writeBig(message.a[v], family.valueBits());
     round.unicast[v].writeBig(message.b[v], family.valueBits());
@@ -122,7 +135,7 @@ SymDmamSecondMessage decodeSymDmamSecond(const EncodedRound& round, std::size_t 
 // ---- Protocol 2 ----
 
 EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
-                          const hash::LinearHashFamily& family) {
+                          const hash::LinearHashFamily& family, util::Arena* arena) {
   const unsigned idBits = idBitsFor(n);
   requireNonEmpty(n);
   requireFieldCount(message.rhoPerNode.size(), n, "rhoPerNode");
@@ -133,7 +146,7 @@ EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
   requireFieldCount(message.a.size(), n, "a");
   requireFieldCount(message.b.size(), n, "b");
   requireFieldCount(message.rhoPerNode[0].size(), n, "rhoPerNode[0]");
-  EncodedRound round;
+  EncodedRound round = makeRound(n, arena);
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
     if (message.rhoPerNode[v] != message.rhoPerNode[0] ||
@@ -149,7 +162,6 @@ EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
   }
   round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
   round.broadcast.writeUInt(message.rootPerNode[0], idBits);
-  round.unicast.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     round.unicast[v].writeUInt(message.parent[v], idBits);
     round.unicast[v].writeUInt(message.dist[v], idBits);
@@ -190,7 +202,7 @@ SymDamMessage decodeSymDam(const EncodedRound& round, std::size_t n,
 // ---- DSym ----
 
 EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
-                        const hash::LinearHashFamily& family) {
+                        const hash::LinearHashFamily& family, util::Arena* arena) {
   const unsigned idBits = idBitsFor(n);
   requireNonEmpty(n);
   requireFieldCount(message.indexPerNode.size(), n, "indexPerNode");
@@ -199,7 +211,7 @@ EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
   requireFieldCount(message.dist.size(), n, "dist");
   requireFieldCount(message.a.size(), n, "a");
   requireFieldCount(message.b.size(), n, "b");
-  EncodedRound round;
+  EncodedRound round = makeRound(n, arena);
   bool consistent = true;
   for (graph::Vertex v = 0; v < n; ++v) {
     if (!(message.indexPerNode[v] == message.indexPerNode[0]) ||
@@ -211,7 +223,6 @@ EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
 
   round.broadcast.writeBig(message.indexPerNode[0], family.seedBits());
   round.broadcast.writeUInt(message.rootPerNode[0], idBits);
-  round.unicast.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     round.unicast[v].writeUInt(message.parent[v], idBits);
     round.unicast[v].writeUInt(message.dist[v], idBits);
@@ -247,8 +258,9 @@ DSymMessage decodeDSym(const EncodedRound& round, std::size_t n,
 // ---- Challenges ----
 
 util::BitWriter encodeChallenge(const util::BigUInt& index,
-                                const hash::LinearHashFamily& family) {
-  util::BitWriter writer;
+                                const hash::LinearHashFamily& family,
+                                util::Arena* arena) {
+  util::BitWriter writer = arena ? util::BitWriter(*arena) : util::BitWriter();
   writer.writeBig(index, family.seedBits());
   return writer;
 }

@@ -21,6 +21,12 @@ namespace dip::core::wire {
 
 // A fully encoded prover round: one broadcast payload plus one unicast
 // payload per node.
+//
+// Every encoder takes an optional util::Arena: when given, all payload
+// bytes bump-allocate from it (see BitWriter's arena backend) so the
+// audit-mode re-encoding inside a trial costs no heap traffic; the round
+// must then be dropped before the arena resets. With no arena the payloads
+// own heap storage and the round is freestanding.
 struct EncodedRound {
   util::BitWriter broadcast;
   std::vector<util::BitWriter> unicast;
@@ -41,25 +47,29 @@ void requireUnicastCount(const EncodedRound& round, std::size_t n);
 
 // ---- Protocol 1 (dMAM) ----
 
-EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n);
+EncodedRound encodeSymDmamFirst(const SymDmamFirstMessage& message, std::size_t n,
+                                util::Arena* arena = nullptr);
 SymDmamFirstMessage decodeSymDmamFirst(const EncodedRound& round, std::size_t n);
 
 EncodedRound encodeSymDmamSecond(const SymDmamSecondMessage& message, std::size_t n,
-                                 const hash::LinearHashFamily& family);
+                                 const hash::LinearHashFamily& family,
+                                 util::Arena* arena = nullptr);
 SymDmamSecondMessage decodeSymDmamSecond(const EncodedRound& round, std::size_t n,
                                          const hash::LinearHashFamily& family);
 
 // ---- Protocol 2 (dAM) ----
 
 EncodedRound encodeSymDam(const SymDamMessage& message, std::size_t n,
-                          const hash::LinearHashFamily& family);
+                          const hash::LinearHashFamily& family,
+                          util::Arena* arena = nullptr);
 SymDamMessage decodeSymDam(const EncodedRound& round, std::size_t n,
                            const hash::LinearHashFamily& family);
 
 // ---- DSym (dAM) ----
 
 EncodedRound encodeDSym(const DSymMessage& message, std::size_t n,
-                        const hash::LinearHashFamily& family);
+                        const hash::LinearHashFamily& family,
+                        util::Arena* arena = nullptr);
 DSymMessage decodeDSym(const EncodedRound& round, std::size_t n,
                        const hash::LinearHashFamily& family);
 
@@ -67,7 +77,8 @@ DSymMessage decodeDSym(const EncodedRound& round, std::size_t n,
 
 // Encodes one node's hash-index challenge; exactly family.seedBits() bits.
 util::BitWriter encodeChallenge(const util::BigUInt& index,
-                                const hash::LinearHashFamily& family);
+                                const hash::LinearHashFamily& family,
+                                util::Arena* arena = nullptr);
 util::BigUInt decodeChallenge(const util::BitWriter& encoded,
                               const hash::LinearHashFamily& family);
 

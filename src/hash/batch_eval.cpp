@@ -6,6 +6,11 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DIP_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
 namespace dip::hash {
 
 namespace {
@@ -49,11 +54,116 @@ std::atomic<bool>& batchFlag() {
   return flag;
 }
 
+bool avx2Supported() {
+#if DIP_HAVE_AVX2_KERNEL
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool initialAvx2Enabled() {
+  if (!avx2Supported()) return false;
+  if (const char* env = std::getenv("DIP_AVX2")) {
+    if (env[0] == '0' && env[1] == '\0') return false;
+  }
+  return true;
+}
+
+std::atomic<bool>& avx2Flag() {
+  static std::atomic<bool> flag{initialAvx2Enabled()};
+  return flag;
+}
+
+#if DIP_HAVE_AVX2_KERNEL
+
+// Four-lane addModTrick. Unsigned compares via the sign-bit bias: for
+// canonical residues x, y < p < 2^64, x < y (unsigned) iff
+// (x ^ bias) < (y ^ bias) (signed), which AVX2's cmpgt can evaluate.
+__attribute__((target("avx2"))) inline __m256i addModLanes(__m256i acc, __m256i term,
+                                                           __m256i pV, __m256i pBiased,
+                                                           __m256i bias) {
+  const __m256i sum = _mm256_add_epi64(acc, term);
+  const __m256i sumBiased = _mm256_xor_si256(sum, bias);
+  const __m256i wrapped =
+      _mm256_cmpgt_epi64(_mm256_xor_si256(term, bias), sumBiased);  // sum < term.
+  const __m256i below = _mm256_cmpgt_epi64(pBiased, sumBiased);     // sum < p.
+  const __m256i needSub =
+      _mm256_or_si256(wrapped, _mm256_cmpeq_epi64(below, _mm256_setzero_si256()));
+  return _mm256_sub_epi64(sum, _mm256_and_si256(pV, needSub));
+}
+
+// Residue sum over gathered table entries: two 4x64 accumulators so the
+// gather latency of one block overlaps the modular add of the other. Every
+// lane stays a canonical residue, so the lane fold plus scalar tail give the
+// same value as the serial left-to-right walk (modular addition of canonical
+// residues is associative and commutative).
+__attribute__((target("avx2"))) std::uint64_t residueSumAvx2(
+    const std::uint64_t* table, const std::uint32_t* positions, std::size_t count,
+    std::uint64_t p) {
+  const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i pV = _mm256_set1_epi64x(static_cast<long long>(p));
+  const __m256i pBiased = _mm256_xor_si256(pV, bias);
+  const long long* tableLL = reinterpret_cast<const long long*>(table);
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i idx0 = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(positions + i)));
+    const __m256i idx1 = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(positions + i + 4)));
+    acc0 = addModLanes(acc0, _mm256_i64gather_epi64(tableLL, idx0, 8), pV, pBiased, bias);
+    acc1 = addModLanes(acc1, _mm256_i64gather_epi64(tableLL, idx1, 8), pV, pBiased, bias);
+  }
+  alignas(32) std::uint64_t lanes[8];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), acc1);
+  std::uint64_t sum = 0;
+  for (std::uint64_t lane : lanes) sum = addModTrick(sum, lane, p);
+  for (; i < count; ++i) sum = addModTrick(sum, table[positions[i]], p);
+  return sum;
+}
+
+#endif  // DIP_HAVE_AVX2_KERNEL
+
+// Below this many input bits the serial walk wins: the vector path has to
+// materialize the position list and fold eight lanes regardless of how much
+// work the gather loop actually finds (protects small-n cells like the
+// protocol-2 family, n = 6).
+constexpr std::size_t kAvx2MinBits = 16;
+
+// Shared inner loop of the u64 backend: sum of table[w] over set bits of
+// `bits`, mod p. Runtime-dispatched to the AVX2 gather kernel for dense rows
+// when enabled; the serial forEachSet walk is the portable fallback and the
+// reference semantics.
+std::uint64_t bitsResidueSum(const util::DynBitset& bits, const std::uint64_t* table,
+                             std::uint64_t p) {
+#if DIP_HAVE_AVX2_KERNEL
+  if (bits.size() >= kAvx2MinBits && avx2Flag().load(std::memory_order_relaxed)) {
+    thread_local std::vector<std::uint32_t> positions;
+    positions.clear();
+    positions.reserve(bits.size());
+    bits.forEachSet(
+        [&](std::size_t w) { positions.push_back(static_cast<std::uint32_t>(w)); });
+    return residueSumAvx2(table, positions.data(), positions.size(), p);
+  }
+#endif
+  std::uint64_t sum = 0;
+  bits.forEachSet([&](std::size_t w) { sum = addModTrick(sum, table[w], p); });
+  return sum;
+}
+
 }  // namespace
 
 bool batchEnabled() { return batchFlag().load(std::memory_order_relaxed); }
 void setBatchEnabled(bool enabled) {
   batchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool avx2Enabled() { return avx2Flag().load(std::memory_order_relaxed); }
+void setAvx2Enabled(bool enabled) {
+  avx2Flag().store(enabled && avx2Supported(), std::memory_order_relaxed);
 }
 
 void BatchLinearHashEvaluator::rebind(const LinearHashFamily& family,
@@ -211,17 +321,15 @@ void BatchLinearHashEvaluator::hashMatrixRows(std::span<const std::uint64_t> row
     throw std::invalid_argument("hashMatrixRows: index/row count mismatch");
   }
   prepareTables(n, n);
-  out.clear();
-  out.reserve(rows.size());
+  // Rewrite out in place: resize keeps the elements' limb buffers alive, so
+  // a steady-state caller (the per-trial verifier loops) allocates nothing.
+  out.resize(rows.size());
   switch (backend_) {
     case Backend::kU64: {
       for (std::size_t i = 0; i < rows.size(); ++i) {
         checkRow(rowIndices[i], rows[i], n);
-        std::uint64_t sum = 0;
-        rows[i].forEachSet([&](std::size_t w) {
-          sum = addModTrick(sum, colPow64_[w], p64_);
-        });
-        out.push_back(util::BigUInt{mulModU64(rowBase64_[rowIndices[i]], sum, p64_)});
+        const std::uint64_t sum = bitsResidueSum(rows[i], colPow64_, p64_);
+        out[i].assignU64(mulModU64(rowBase64_[rowIndices[i]], sum, p64_));
       }
       break;
     }
@@ -234,7 +342,7 @@ void BatchLinearHashEvaluator::hashMatrixRows(std::span<const std::uint64_t> row
           ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
         });
         ctx_->mulRaw(rowSumM_, rowBaseM_ + rowIndices[i] * k, rowSumM_, scratch_);
-        out.push_back(ctx_->rawToPlain(rowSumM_));
+        out[i] = ctx_->rawToPlain(rowSumM_);
       }
       break;
     }
@@ -246,7 +354,7 @@ void BatchLinearHashEvaluator::hashMatrixRows(std::span<const std::uint64_t> row
         rows[i].forEachSet([&](std::size_t w) {
           row = util::addMod(row, colPowP_[w], p_);
         });
-        out.push_back(util::mulMod(row, rowBaseP_[rowIndices[i]], p_));
+        out[i] = util::mulMod(row, rowBaseP_[rowIndices[i]], p_);
       }
       break;
     }
@@ -265,10 +373,7 @@ util::BigUInt BatchLinearHashEvaluator::accumulateMatrixRows(
       std::uint64_t acc = 0;
       for (std::size_t i = 0; i < rows.size(); ++i) {
         checkRow(rowIndices[i], rows[i], n);
-        std::uint64_t sum = 0;
-        rows[i].forEachSet([&](std::size_t w) {
-          sum = addModTrick(sum, colPow64_[w], p64_);
-        });
+        const std::uint64_t sum = bitsResidueSum(rows[i], colPow64_, p64_);
         acc = addModTrick(acc, mulModU64(rowBase64_[rowIndices[i]], sum, p64_), p64_);
       }
       return util::BigUInt{acc};
@@ -303,6 +408,115 @@ util::BigUInt BatchLinearHashEvaluator::accumulateMatrixRows(
   }
 }
 
+void BatchLinearHashEvaluator::checkEntry(std::uint64_t rowIndex,
+                                          std::uint64_t colIndex,
+                                          std::uint64_t n) const {
+  if (n * n != m_) throw std::invalid_argument("hashMatrixEntry: dimension mismatch");
+  if (rowIndex >= n || colIndex >= n) {
+    throw std::out_of_range("hashMatrixEntry: bad entry");
+  }
+}
+
+util::BigUInt BatchLinearHashEvaluator::hashMatrixRow(std::uint64_t rowIndex,
+                                                      const util::DynBitset& columnBits,
+                                                      std::uint64_t n) {
+  prepareTables(n, n);
+  checkRow(rowIndex, columnBits, n);
+  switch (backend_) {
+    case Backend::kU64: {
+      const std::uint64_t sum = bitsResidueSum(columnBits, colPow64_, p64_);
+      return util::BigUInt{mulModU64(rowBase64_[rowIndex], sum, p64_)};
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      std::fill(rowSumM_, rowSumM_ + k, 0);
+      columnBits.forEachSet([&](std::size_t w) {
+        ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
+      });
+      ctx_->mulRaw(rowSumM_, rowBaseM_ + rowIndex * k, rowSumM_, scratch_);
+      return ctx_->rawToPlain(rowSumM_);
+    }
+    default: {
+      util::BigUInt row;
+      columnBits.forEachSet([&](std::size_t w) {
+        row = util::addMod(row, colPowP_[w], p_);
+      });
+      return util::mulMod(row, rowBaseP_[rowIndex], p_);
+    }
+  }
+}
+
+util::BigUInt BatchLinearHashEvaluator::hashMatrixEntry(std::uint64_t rowIndex,
+                                                        std::uint64_t colIndex,
+                                                        std::uint64_t coefficient,
+                                                        std::uint64_t n) {
+  prepareTables(n, n);
+  checkEntry(rowIndex, colIndex, n);
+  switch (backend_) {
+    case Backend::kU64: {
+      // rowBase[r] * colPow[c] = a^(r*n) * a^(c+1) = a^(r*n + c + 1).
+      std::uint64_t term = mulModU64(rowBase64_[rowIndex], colPow64_[colIndex], p64_);
+      return util::BigUInt{mulModU64(term, coefficient % p64_, p64_)};
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      ctx_->mulRaw(rowBaseM_ + rowIndex * k, colPowM_ + colIndex * k, rowSumM_,
+                   scratch_);
+      if (coefficient != 1) {
+        ctx_->toValue(util::BigUInt{coefficient}, stageV_, scratch_);
+        ctx_->mulRaw(rowSumM_, stageV_.limbs().data(), rowSumM_, scratch_);
+      }
+      return ctx_->rawToPlain(rowSumM_);
+    }
+    default: {
+      util::BigUInt term = util::mulMod(rowBaseP_[rowIndex], colPowP_[colIndex], p_);
+      return util::mulMod(term, util::BigUInt{coefficient} % p_, p_);
+    }
+  }
+}
+
+util::BigUInt BatchLinearHashEvaluator::accumulateMatrixEntries(
+    std::span<const std::uint64_t> rowIndices, std::span<const std::uint64_t> colIndices,
+    std::uint64_t n) {
+  if (rowIndices.size() != colIndices.size()) {
+    throw std::invalid_argument("accumulateMatrixEntries: index count mismatch");
+  }
+  prepareTables(n, n);
+  switch (backend_) {
+    case Backend::kU64: {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < rowIndices.size(); ++i) {
+        checkEntry(rowIndices[i], colIndices[i], n);
+        acc = addModTrick(
+            acc, mulModU64(rowBase64_[rowIndices[i]], colPow64_[colIndices[i]], p64_),
+            p64_);
+      }
+      return util::BigUInt{acc};
+    }
+    case Backend::kMontgomery: {
+      const std::size_t k = ctx_->numLimbs();
+      std::fill(accM_, accM_ + k, 0);
+      for (std::size_t i = 0; i < rowIndices.size(); ++i) {
+        checkEntry(rowIndices[i], colIndices[i], n);
+        ctx_->mulRaw(rowBaseM_ + rowIndices[i] * k, colPowM_ + colIndices[i] * k,
+                     rowSumM_, scratch_);
+        ctx_->addRaw(accM_, rowSumM_, accM_);
+      }
+      return ctx_->rawToPlain(accM_);
+    }
+    default: {
+      util::BigUInt acc;
+      for (std::size_t i = 0; i < rowIndices.size(); ++i) {
+        checkEntry(rowIndices[i], colIndices[i], n);
+        acc = util::addMod(
+            acc, util::mulMod(rowBaseP_[rowIndices[i]], colPowP_[colIndices[i]], p_),
+            p_);
+      }
+      return acc;
+    }
+  }
+}
+
 void BatchLinearHashEvaluator::hashBitsMany(std::span<const util::DynBitset> inputs,
                                             std::vector<util::BigUInt>& out) {
   std::size_t maxSize = 0;
@@ -311,38 +525,33 @@ void BatchLinearHashEvaluator::hashBitsMany(std::span<const util::DynBitset> inp
     maxSize = std::max(maxSize, bits.size());
   }
   prepareTables(maxSize, 0);
-  out.clear();
-  out.reserve(inputs.size());
+  out.resize(inputs.size());
   switch (backend_) {
     case Backend::kU64: {
-      for (const util::DynBitset& bits : inputs) {
-        std::uint64_t sum = 0;
-        bits.forEachSet([&](std::size_t w) {
-          sum = addModTrick(sum, colPow64_[w], p64_);
-        });
-        out.push_back(util::BigUInt{sum});
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        out[i].assignU64(bitsResidueSum(inputs[i], colPow64_, p64_));
       }
       break;
     }
     case Backend::kMontgomery: {
       const std::size_t k = ctx_->numLimbs();
-      for (const util::DynBitset& bits : inputs) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
         std::fill(rowSumM_, rowSumM_ + k, 0);
-        bits.forEachSet([&](std::size_t w) {
+        inputs[i].forEachSet([&](std::size_t w) {
           ctx_->addRaw(rowSumM_, colPowM_ + w * k, rowSumM_);
         });
-        out.push_back(ctx_->rawToPlain(rowSumM_));
+        out[i] = ctx_->rawToPlain(rowSumM_);
       }
       break;
     }
     default: {
       util::BigUInt row;
-      for (const util::DynBitset& bits : inputs) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
         row = util::BigUInt{};
-        bits.forEachSet([&](std::size_t w) {
+        inputs[i].forEachSet([&](std::size_t w) {
           row = util::addMod(row, colPowP_[w], p_);
         });
-        out.push_back(row);
+        out[i] = row;
       }
       break;
     }
@@ -357,15 +566,14 @@ void BatchLinearHashEvaluator::hashBitsManySeeds(const util::BigUInt& p,
   if (input.size() > dimension) {
     throw std::out_of_range("hashBits: bits exceed dimension");
   }
-  out.clear();
-  out.reserve(seeds.size());
+  out.resize(seeds.size());
   if (!p.fitsU64()) {
     // Wide fields: no table is shareable across distinct indices, so this is
     // the scalar walk per seed (rebind keeps the Montgomery context).
     thread_local LinearHashEvaluator evaluator;
-    for (const util::BigUInt& seed : seeds) {
-      evaluator.rebind(p, dimension, seed);
-      out.push_back(evaluator.hashBits(input));
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      evaluator.rebind(p, dimension, seeds[i]);
+      out[i] = evaluator.hashBits(input);
     }
     return;
   }
@@ -404,7 +612,7 @@ void BatchLinearHashEvaluator::hashBitsManySeeds(const util::BigUInt& p,
       }
     }
     for (std::size_t j = 0; j < lanes; ++j) {
-      out.push_back(util::BigUInt{rowL[j]});
+      out[base + j].assignU64(rowL[j]);
     }
   }
 }

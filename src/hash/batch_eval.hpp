@@ -55,6 +55,14 @@ namespace dip::hash {
 bool batchEnabled();
 void setBatchEnabled(bool enabled);
 
+// AVX2 residue-lane toggle for the u64 backend's dense-row inner loop.
+// Defaults to on when the build has the kernel, the CPU reports AVX2, and
+// DIP_AVX2 is not "0"; setAvx2Enabled(true) is clamped to CPU support so the
+// differential tests can flip it freely on any machine. Toggling never
+// changes any result, only which kernel computes the identical residue sum.
+bool avx2Enabled();
+void setAvx2Enabled(bool enabled);
+
 class BatchLinearHashEvaluator {
  public:
   // Lane width of the u64 many-seeds path: enough independent multiply
@@ -84,6 +92,24 @@ class BatchLinearHashEvaluator {
                                      std::span<const util::DynBitset> rows,
                                      std::uint64_t n);
 
+  // Single-call forms under the pinned index — same values and argument
+  // checks as the scalar evaluator, but every power is a table lookup
+  // (row base times column power). These serve call sites that interleave
+  // row and entry hashes per node (sym_input's piecesFor, the GNI check
+  // pieces), where the work per call is too mixed for the span entry points
+  // but the index is pinned across thousands of calls.
+  util::BigUInt hashMatrixRow(std::uint64_t rowIndex, const util::DynBitset& columnBits,
+                              std::uint64_t n);
+  util::BigUInt hashMatrixEntry(std::uint64_t rowIndex, std::uint64_t colIndex,
+                                std::uint64_t coefficient, std::uint64_t n);
+
+  // Sum over i of hashMatrixEntry(rowIndices[i], colIndices[i], 1, n) mod p
+  // with a single convert-out — the consistency-series shape. rowIndices and
+  // colIndices must have equal lengths.
+  util::BigUInt accumulateMatrixEntries(std::span<const std::uint64_t> rowIndices,
+                                        std::span<const std::uint64_t> colIndices,
+                                        std::uint64_t n);
+
   // One seed x many inputs: out[i] = hashBits(inputs[i]) (start exponent 1,
   // coefficient 1; each input.size() <= dimension).
   void hashBitsMany(std::span<const util::DynBitset> inputs,
@@ -106,6 +132,8 @@ class BatchLinearHashEvaluator {
   void prepareTables(std::size_t count, std::uint64_t n);
   void checkRow(std::uint64_t rowIndex, const util::DynBitset& bits,
                 std::uint64_t n) const;
+  void checkEntry(std::uint64_t rowIndex, std::uint64_t colIndex,
+                  std::uint64_t n) const;
 
   Backend backend_ = Backend::kUnbound;
   util::BigUInt p_;

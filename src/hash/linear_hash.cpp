@@ -84,6 +84,7 @@ void LinearHashEvaluator::rebind(const util::BigUInt& p, std::uint64_t dimension
       break;
     case Backend::kMontgomery:
       ctx_->toValue(a, aV_, scratch_);
+      aWindow_.limbs = 0;  // Base changed: rebuild lazily on first pow.
       break;
     case Backend::kPlain:
       aPlain_ = a % p_;
@@ -142,7 +143,7 @@ void LinearHashEvaluator::walkBits(std::uint64_t startExponent,
     }
     case Backend::kMontgomery: {
       exponent_ = util::BigUInt{startExponent};
-      ctx_->powValue(aV_, exponent_, powerV_, scratch_);
+      powPinnedA(exponent_, powerV_);
       bits.forEachSet([&](std::size_t w) {
         std::size_t gap = first ? w : w - previous;
         for (std::size_t step = 0; step < gap; ++step) {
@@ -170,6 +171,12 @@ void LinearHashEvaluator::walkBits(std::uint64_t startExponent,
   }
 }
 
+void LinearHashEvaluator::powPinnedA(const util::BigUInt& exponent,
+                                     util::MontgomeryValue& out) {
+  if (aWindow_.limbs == 0) ctx_->prepareWindow(aV_, aWindow_, scratch_);
+  ctx_->powValueWindowed(aWindow_, exponent, out, scratch_);
+}
+
 void LinearHashEvaluator::addTerm(std::uint64_t position, std::uint64_t coefficient) {
   switch (backend_) {
     case Backend::kU64: {
@@ -180,7 +187,7 @@ void LinearHashEvaluator::addTerm(std::uint64_t position, std::uint64_t coeffici
     }
     case Backend::kMontgomery: {
       exponent_ = util::BigUInt{position + 1};
-      ctx_->powValue(aV_, exponent_, powerV_, scratch_);
+      powPinnedA(exponent_, powerV_);
       if (coefficient != 1) {
         coeffBig_ = util::BigUInt{coefficient};
         ctx_->toValue(coeffBig_, coeffV_, scratch_);

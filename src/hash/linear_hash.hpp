@@ -139,6 +139,9 @@ class LinearHashEvaluator {
   void addTerm(std::uint64_t position, std::uint64_t coefficient);
   void clearRow();
   util::BigUInt rowValue();  // Converts the row accumulator out.
+  // a^exponent in-domain via the pinned-base window (built lazily on first
+  // use after a rebind, then shared by every pow until the index changes).
+  void powPinnedA(const util::BigUInt& exponent, util::MontgomeryValue& out);
 
   Backend backend_ = Backend::kUnbound;
   util::BigUInt p_;
@@ -153,6 +156,7 @@ class LinearHashEvaluator {
   std::shared_ptr<const util::MontgomeryContext> ctx_;
   util::MontgomeryContext::Scratch scratch_;
   util::MontgomeryValue aV_;
+  util::MontgomeryContext::PowWindow aWindow_;  // limbs == 0 until built.
   util::MontgomeryValue powerV_;
   util::MontgomeryValue coeffV_;
   util::MontgomeryValue rowV_;

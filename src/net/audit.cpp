@@ -4,6 +4,11 @@
 
 namespace dip::net {
 
+util::Arena& roundArena() {
+  thread_local util::Arena arena;
+  return arena;
+}
+
 void auditCharge(const char* label, graph::Vertex v, std::size_t chargedBits,
                  std::size_t encodedBits) {
   if (chargedBits == encodedBits) return;

@@ -20,6 +20,7 @@
 
 #include "graph/graph.hpp"
 #include "net/transcript.hpp"
+#include "util/arena.hpp"
 
 #ifndef DIP_AUDIT
 #define DIP_AUDIT 0
@@ -33,6 +34,13 @@ inline constexpr bool kAuditEnabled = DIP_AUDIT != 0;
 void auditCharge(const char* label, graph::Vertex v, std::size_t chargedBits,
                  std::size_t encodedBits);
 
+// Per-worker (thread-local) arena backing the audit re-encodings: the wire
+// encoders bump-allocate payload bytes here instead of the heap, and
+// auditChargedRound rewinds it before each round. Audit call sites that
+// encode outside auditChargedRound (the challenge loops) reset it
+// themselves before their first encode of a round.
+util::Arena& roundArena();
+
 // Audits one prover->nodes round: encode() must return an EncodedRound-like
 // object (broadcast + per-node unicast, bitsForNode()); the bits charged to
 // each node since the last beginRound must equal its encoded share.
@@ -45,6 +53,7 @@ void auditCharge(const char* label, graph::Vertex v, std::size_t chargedBits,
 template <typename EncodeFn>
 void auditChargedRound(const char* label, const Transcript& transcript,
                        EncodeFn&& encode) {
+  roundArena().reset();
   try {
     auto round = encode();
     for (graph::Vertex v = 0; v < transcript.numNodes(); ++v) {

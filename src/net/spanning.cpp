@@ -1,7 +1,6 @@
 #include "net/spanning.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 #include <stdexcept>
 
@@ -16,11 +15,15 @@ SpanningTreeAdvice buildBfsTree(const graph::Graph& g, graph::Vertex root) {
   advice.root = root;
   advice.parent.assign(n, root);
   advice.dist.assign(n, UINT32_MAX);
-  std::deque<graph::Vertex> queue{root};
+  // BFS frontier as a flat vector with a read cursor: every vertex enters
+  // the queue at most once, and the thread-local buffer keeps its capacity
+  // across the per-trial calls.
+  thread_local std::vector<graph::Vertex> queue;
+  queue.clear();
+  queue.push_back(root);
   advice.dist[root] = 0;
-  while (!queue.empty()) {
-    graph::Vertex v = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    graph::Vertex v = queue[head];
     g.row(v).forEachSet([&](std::size_t u) {
       if (advice.dist[u] == UINT32_MAX) {
         advice.dist[u] = advice.dist[v] + 1;
@@ -50,20 +53,31 @@ std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
                                       const SpanningTreeAdvice& advice,
                                       graph::Vertex v) {
   std::vector<graph::Vertex> children;
-  g.row(v).forEachSet([&](std::size_t u) {
-    if (advice.parent[u] == v && static_cast<graph::Vertex>(u) != advice.root) {
-      children.push_back(static_cast<graph::Vertex>(u));
-    }
-  });
+  forEachChild(g, advice, v, [&](graph::Vertex u) { children.push_back(u); });
   return children;
 }
 
+void bottomUpOrderInto(const SpanningTreeAdvice& advice,
+                       std::vector<graph::Vertex>& order) {
+  // Counting sort by decreasing distance, stable within a distance class —
+  // the exact order the stable_sort formulation produced, without its
+  // temporary buffer (this runs once per trial in the chain aggregators).
+  const std::size_t n = advice.dist.size();
+  order.resize(n);
+  std::uint32_t maxDist = 0;
+  for (std::uint32_t d : advice.dist) maxDist = std::max(maxDist, d);
+  thread_local std::vector<std::size_t> starts;
+  starts.assign(static_cast<std::size_t>(maxDist) + 2, 0);
+  for (std::uint32_t d : advice.dist) ++starts[maxDist - d + 1];
+  for (std::size_t i = 1; i < starts.size(); ++i) starts[i] += starts[i - 1];
+  for (std::size_t v = 0; v < n; ++v) {
+    order[starts[maxDist - advice.dist[v]]++] = static_cast<graph::Vertex>(v);
+  }
+}
+
 std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice) {
-  std::vector<graph::Vertex> order(advice.dist.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](graph::Vertex a, graph::Vertex b) {
-    return advice.dist[a] > advice.dist[b];
-  });
+  std::vector<graph::Vertex> order;
+  bottomUpOrderInto(advice, order);
   return order;
 }
 

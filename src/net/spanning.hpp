@@ -39,9 +39,26 @@ std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
                                       const SpanningTreeAdvice& advice,
                                       graph::Vertex v);
 
+// Visits C(v) in the same ascending order childrenOf returns, without
+// materializing the vector — the per-node chain folds run once per node per
+// trial, so the hot loops use this form.
+template <typename Visitor>
+void forEachChild(const graph::Graph& g, const SpanningTreeAdvice& advice,
+                  graph::Vertex v, Visitor&& visit) {
+  g.row(v).forEachSet([&](std::size_t u) {
+    if (advice.parent[u] == v && static_cast<graph::Vertex>(u) != advice.root) {
+      visit(static_cast<graph::Vertex>(u));
+    }
+  });
+}
+
 // Vertices ordered by decreasing claimed distance (leaves first); the honest
 // prover aggregates subtree hash values in this order.
 std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice);
+// Same order written into a caller-reused buffer (counting sort, no
+// temporaries) — the per-trial aggregators use this form.
+void bottomUpOrderInto(const SpanningTreeAdvice& advice,
+                       std::vector<graph::Vertex>& order);
 
 // Number of bits the advice costs per node: parent id + distance + root id.
 std::size_t treeAdviceBitsPerNode(std::size_t numVertices);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/trial.hpp"
@@ -21,12 +22,25 @@ namespace dip::sim {
 struct ThroughputCell {
   std::string protocol;  // Stable identifier, e.g. "sym_dmam_p1".
   TrialStats stats;
+  // Engine the cell actually ran with: "batch", "scalar", or
+  // "scalar-fallback" (batch requested, but the cell is on the no-win list
+  // so the workload pinned it to the scalar path).
+  std::string engine;
   double trialsPerSecond() const {
     return stats.wallSeconds > 0.0
                ? static_cast<double>(stats.trials) / stats.wallSeconds
                : 0.0;
   }
 };
+
+// True when `protocol` is on the static no-win list: cells whose committed
+// baseline shows no batch speedup run the scalar path even when the batch
+// engine is globally enabled (values are identical either way, so this only
+// changes the evaluation strategy). The list is maintained against
+// BENCH_throughput.json: any cell whose speedup drops below 1.0 belongs
+// here — tools/check_throughput.py fails the gate for no-win cells that are
+// not pinned. Currently every cell wins, so the list is empty.
+bool scalarPreferred(std::string_view protocol);
 
 // Which cell groups to run: the four fast Sym-family cells, the two slow
 // GNI cells, or (default) all six. The determinism tests split the groups

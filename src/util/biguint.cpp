@@ -187,6 +187,17 @@ BigUInt::BigUInt(std::uint64_t value) {
 #endif
 }
 
+void BigUInt::assignU64(std::uint64_t value) {
+  limbs_.clear();
+  if (value == 0) return;
+#if defined(DIP_BIGUINT_LIMB32)
+  limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+#else
+  limbs_.push_back(value);
+#endif
+}
+
 void BigUInt::normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
 }
@@ -581,6 +592,11 @@ BigUInt addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
   BigUInt sum = a + b;
   if (sum >= m) sum -= m;
   return sum;
+}
+
+void addModInPlace(BigUInt& acc, const BigUInt& term, const BigUInt& m) {
+  acc += term;
+  if (acc >= m) acc -= m;
 }
 
 BigUInt subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {

@@ -67,6 +67,9 @@ class BigUInt {
   bool fitsU64() const { return limbs_.size() * kLimbBits <= 64; }
   // Requires fitsU64(); throws std::overflow_error otherwise.
   std::uint64_t toU64() const;
+  // *this = value, reusing the existing limb storage (no allocation once the
+  // capacity exists) — the batch evaluator's out-vectors rewrite in place.
+  void assignU64(std::uint64_t value);
   // Approximate conversion (for plotting/scaling); +inf if enormous.
   double toDouble() const;
   // Approximate base-2 logarithm; -inf for zero.
@@ -144,6 +147,10 @@ inline BigUInt operator%(const BigUInt& lhs, const BigUInt& rhs) {
 
 // (a + b) mod m. Requires a, b < m.
 BigUInt addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+// acc = (acc + term) mod m in place. Requires acc, term < m. The in-place
+// form reuses acc's limb storage — the protocols' per-node chain folds call
+// this thousands of times per trial, so the temporary-free variant matters.
+void addModInPlace(BigUInt& acc, const BigUInt& term, const BigUInt& m);
 // (a - b) mod m. Requires a, b < m.
 BigUInt subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
 // (a * b) mod m. Requires m != 0. Has a 64-bit fast path when m fits a word.

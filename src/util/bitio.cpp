@@ -4,10 +4,29 @@
 
 namespace dip::util {
 
+void BitWriter::pushZeroByte() {
+  const std::size_t used = (bitCount_ + 7) / 8;
+  if (arena_ == nullptr) {
+    heapBytes_.push_back(0);
+    return;
+  }
+  if (used == arenaCapacity_) {
+    const std::size_t grown = arenaCapacity_ ? arenaCapacity_ * 2 : 16;
+    auto* fresh = arena_->allocateArray<std::uint8_t>(grown);
+    std::copy(arenaData_, arenaData_ + used, fresh);
+    arenaData_ = fresh;
+    arenaCapacity_ = grown;
+  }
+  arenaData_[used] = 0;
+}
+
 void BitWriter::writeBit(bool bit) {
   std::size_t byteIndex = bitCount_ / 8;
-  if (byteIndex == bytes_.size()) bytes_.push_back(0);
-  if (bit) bytes_[byteIndex] |= static_cast<std::uint8_t>(1u << (7 - bitCount_ % 8));
+  if (bitCount_ % 8 == 0) pushZeroByte();
+  if (bit) {
+    auto* data = arena_ ? arenaData_ : heapBytes_.data();
+    data[byteIndex] |= static_cast<std::uint8_t>(1u << (7 - bitCount_ % 8));
+  }
   ++bitCount_;
 }
 

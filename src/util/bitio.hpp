@@ -11,12 +11,22 @@
 #include <span>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/biguint.hpp"
 
 namespace dip::util {
 
+// Writers come in two storage flavors sharing one write path: the default
+// heap-vector backend, and an arena backend (construct with an Arena) whose
+// byte buffer bump-allocates from the caller's arena — the per-round audit
+// encoders use this so a trial's wire encodings cost no heap traffic and
+// vanish with the worker's per-trial reset(). An arena-backed writer must
+// not be written to after the arena resets.
 class BitWriter {
  public:
+  BitWriter() = default;
+  explicit BitWriter(Arena& arena) : arena_(&arena) {}
+
   void writeBit(bool bit);
   // Writes the low `width` bits of value, most-significant bit first.
   // Requires width <= 64 and value < 2^width.
@@ -27,10 +37,21 @@ class BitWriter {
   void writeVarUInt(std::uint64_t value);
 
   std::size_t bitCount() const { return bitCount_; }
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::span<const std::uint8_t> bytes() const {
+    return {data(), (bitCount_ + 7) / 8};
+  }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* data() const {
+    return arena_ ? arenaData_ : heapBytes_.data();
+  }
+  // Appends one zero byte, growing the backing storage.
+  void pushZeroByte();
+
+  std::vector<std::uint8_t> heapBytes_;  // Heap backend (arena_ == nullptr).
+  Arena* arena_ = nullptr;               // Arena backend otherwise.
+  std::uint8_t* arenaData_ = nullptr;
+  std::size_t arenaCapacity_ = 0;
   std::size_t bitCount_ = 0;
 };
 

@@ -304,8 +304,19 @@ BigUInt MontgomeryContext::rawToPlain(const Limb* v) const {
   return BigUInt::fromWords(std::vector<Limb>(t.begin(), t.begin() + k));
 }
 
-void MontgomeryContext::powValue(const MontgomeryValue& base, const BigUInt& exponent,
-                                 MontgomeryValue& out, Scratch& scratch) const {
+void MontgomeryContext::buildWindowTable(const Limb* base, unsigned wMax, Limb* table,
+                                         Limb* t) const {
+  const std::size_t k = numLimbs_;
+  std::copy(one_.limbs_.begin(), one_.limbs_.end(), table);
+  if (wMax >= 1) std::copy(base, base + k, table + k);
+  for (unsigned w = 2; w <= wMax; ++w) {
+    montMulRaw(table + (w - 1) * k, table + k, t);
+    std::copy(t, t + k, table + w * k);
+  }
+}
+
+void MontgomeryContext::powWithTable(const Limb* table, const BigUInt& exponent,
+                                     MontgomeryValue& out, Scratch& scratch) const {
   const std::size_t k = numLimbs_;
   const std::size_t bits = exponent.bitLength();
   if (bits == 0) {
@@ -313,19 +324,7 @@ void MontgomeryContext::powValue(const MontgomeryValue& base, const BigUInt& exp
     return;
   }
   if (scratch.t.size() < k + 2) scratch.t.resize(k + 2);
-  if (scratch.table.size() < 16 * k) scratch.table.resize(16 * k);
   Limb* t = scratch.t.data();
-  Limb* table = scratch.table.data();
-
-  // table[w] = base^w in-domain; small exponents only need a prefix.
-  const unsigned wMax =
-      bits >= 4 ? 15u : static_cast<unsigned>((1u << bits) - 1);
-  std::copy(one_.limbs_.begin(), one_.limbs_.end(), table);
-  std::copy(base.limbs_.begin(), base.limbs_.end(), table + k);
-  for (unsigned w = 2; w <= wMax; ++w) {
-    montMulRaw(table + (w - 1) * k, table + k, t);
-    std::copy(t, t + k, table + w * k);
-  }
 
   auto windowAt = [&](std::size_t w) {
     unsigned value = 0;
@@ -351,6 +350,40 @@ void MontgomeryContext::powValue(const MontgomeryValue& base, const BigUInt& exp
       std::copy(t, t + k, out.limbs_.begin());
     }
   }
+}
+
+void MontgomeryContext::powValue(const MontgomeryValue& base, const BigUInt& exponent,
+                                 MontgomeryValue& out, Scratch& scratch) const {
+  const std::size_t k = numLimbs_;
+  const std::size_t bits = exponent.bitLength();
+  if (bits == 0) {
+    out.limbs_ = one_.limbs_;
+    return;
+  }
+  if (scratch.t.size() < k + 2) scratch.t.resize(k + 2);
+  if (scratch.table.size() < 16 * k) scratch.table.resize(16 * k);
+  // table[w] = base^w in-domain; small exponents only need a prefix.
+  const unsigned wMax = bits >= 4 ? 15u : static_cast<unsigned>((1u << bits) - 1);
+  buildWindowTable(base.limbs_.data(), wMax, scratch.table.data(), scratch.t.data());
+  powWithTable(scratch.table.data(), exponent, out, scratch);
+}
+
+void MontgomeryContext::prepareWindow(const MontgomeryValue& base, PowWindow& window,
+                                      Scratch& scratch) const {
+  const std::size_t k = numLimbs_;
+  if (scratch.t.size() < k + 2) scratch.t.resize(k + 2);
+  window.table.resize(16 * k);
+  buildWindowTable(base.limbs_.data(), 15, window.table.data(), scratch.t.data());
+  window.limbs = k;
+}
+
+void MontgomeryContext::powValueWindowed(const PowWindow& window,
+                                         const BigUInt& exponent, MontgomeryValue& out,
+                                         Scratch& scratch) const {
+  if (window.limbs != numLimbs_) {
+    throw std::logic_error("powValueWindowed: window not built for this context");
+  }
+  powWithTable(window.table.data(), exponent, out, scratch);
 }
 
 BigUInt MontgomeryContext::mulMod(const BigUInt& a, const BigUInt& b) const {

@@ -89,6 +89,22 @@ class MontgomeryContext {
   void powValue(const MontgomeryValue& base, const BigUInt& exponent,
                 MontgomeryValue& out, Scratch& scratch) const;
 
+  // Precomputed fixed-window table for a pinned base. powValue rebuilds its
+  // 16-entry power table on every call (15 multiplies); when the same base
+  // is raised to many exponents — the hash evaluators re-exponentiate the
+  // pinned index a across a whole trial batch — prepareWindow pays that
+  // build once and powValueWindowed runs just the ladder. Results are
+  // identical to powValue. A window is bound to the context (limb count)
+  // and base it was built from; rebuild it when either changes.
+  struct PowWindow {
+    std::vector<Limb> table;  // 16 * k limbs: Mont(base^w), w in [0, 16).
+    std::size_t limbs = 0;    // k at build time; 0 = unbuilt.
+  };
+  void prepareWindow(const MontgomeryValue& base, PowWindow& window,
+                     Scratch& scratch) const;
+  void powValueWindowed(const PowWindow& window, const BigUInt& exponent,
+                        MontgomeryValue& out, Scratch& scratch) const;
+
   // --- Raw-limb batch API --------------------------------------------------
   //
   // The batch hash engine keeps its power tables as flat numLimbs()-limb
@@ -125,6 +141,13 @@ class MontgomeryContext {
   // both are read-only.
   void montMulRaw(const Limb* __restrict a, const Limb* __restrict b,
                   Limb* __restrict t) const;
+  // Fills table[w] = Mont(base^w) for w in [0, wMax]; t is a k + 2 limb
+  // accumulator. The shared ladder below only dereferences entries a window
+  // of the exponent can name, so small exponents get away with a prefix.
+  void buildWindowTable(const Limb* base, unsigned wMax, Limb* table, Limb* t) const;
+  // The 4-bit-window ladder over a prepared table (powValue's second half).
+  void powWithTable(const Limb* table, const BigUInt& exponent, MontgomeryValue& out,
+                    Scratch& scratch) const;
   // Pads a reduced plain value (< m) to k limbs in scratch.stage.
   const Limb* stagePlain(const BigUInt& x, Scratch& scratch) const;
 

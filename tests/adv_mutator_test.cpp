@@ -7,6 +7,8 @@
 // seed; this file proves the seed does what the registry claims.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <set>
 #include <string>
 
@@ -32,11 +34,13 @@ core::wire::EncodedRound sampleRound(std::size_t numNodes, std::uint64_t seed) {
 bool roundsEqual(const core::wire::EncodedRound& a,
                  const core::wire::EncodedRound& b) {
   if (a.broadcast.bitCount() != b.broadcast.bitCount()) return false;
-  if (a.broadcast.bytes() != b.broadcast.bytes()) return false;
+  if (!std::ranges::equal(a.broadcast.bytes(), b.broadcast.bytes())) return false;
   if (a.unicast.size() != b.unicast.size()) return false;
   for (std::size_t v = 0; v < a.unicast.size(); ++v) {
     if (a.unicast[v].bitCount() != b.unicast[v].bitCount()) return false;
-    if (a.unicast[v].bytes() != b.unicast[v].bytes()) return false;
+    if (!std::ranges::equal(a.unicast[v].bytes(), b.unicast[v].bytes())) {
+      return false;
+    }
   }
   return true;
 }

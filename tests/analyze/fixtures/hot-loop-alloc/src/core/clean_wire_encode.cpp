@@ -1,0 +1,11 @@
+// Fixture: the encode loop writes through references into preallocated
+// writers — nothing is constructed per node; must stay clean.
+#include "util/biguint.hpp"
+
+void encodeShares(const util::BigUInt* shares, std::size_t n) {
+  util::BigUInt scratch;
+  for (std::size_t v = 0; v < n; ++v) {
+    scratch = shares[v];
+    scratch.shiftLeft(1);
+  }
+}

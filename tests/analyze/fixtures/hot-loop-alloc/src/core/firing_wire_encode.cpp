@@ -1,0 +1,11 @@
+// Fixture: the transcript-encode path (core wire modules) is covered by
+// hot-loop-alloc — under DIP_AUDIT every round re-encodes inside the trial
+// loop, so a fresh BigUInt per node is one heap block per node per round.
+#include "util/biguint.hpp"
+
+void encodeShares(const util::BigUInt* shares, std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    util::BigUInt share = shares[v];  // hot-loop-alloc fires
+    share.shiftLeft(1);
+  }
+}

@@ -10,11 +10,18 @@
 // The many-seeds path additionally sweeps every lane remainder around
 // kLanes so partial final blocks are exercised, not just full ones.
 //
+// The single-call forms (hashMatrixEntry, hashMatrixRow) and the
+// entry-series accumulator — the shapes behind sym_input's piecesFor
+// fingerprints and the GNI eps-API consistency series — get their own
+// 10^4-case sweep, and the u64 backend's AVX2 residue lanes are pinned
+// against the portable kernel at every gather-tail remainder.
+//
 // CI runs this suite under ASan/UBSan (full ctest) and TSan (the sanitizer
 // preset's regex includes batch_eval).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "hash/batch_eval.hpp"
@@ -140,6 +147,129 @@ TEST(batch_eval, PlainBackendMatchesScalar) {
     const util::BigUInt a = randomBelow(rng, p, k);
     runMatrixCase(rng, p, a, batch, scalar);
   }
+}
+
+// One differential case for the single-call forms and the entry-series
+// accumulator under a pinned index: random entry coordinates against the
+// scalar evaluator, plus the scalar fold for accumulateMatrixEntries.
+void runEntryCase(util::Rng& rng, const util::BigUInt& p, const util::BigUInt& a,
+                  BatchLinearHashEvaluator& batch, LinearHashEvaluator& scalar) {
+  const std::uint64_t n = 1 + rng.nextBelow(17);
+  batch.rebind(p, n * n, a);
+  scalar.rebind(p, n * n, a);
+
+  const std::size_t count = 1 + rng.nextBelow(2 * n);
+  std::vector<std::uint64_t> rowIndices(count);
+  std::vector<std::uint64_t> colIndices(count);
+  util::BigUInt sum;
+  for (std::size_t i = 0; i < count; ++i) {
+    rowIndices[i] = rng.nextBelow(n);
+    colIndices[i] = rng.nextBelow(n);
+    sum = util::addMod(sum, scalar.hashMatrixEntry(rowIndices[i], colIndices[i], 1, n),
+                       p);
+  }
+  EXPECT_EQ(batch.accumulateMatrixEntries(rowIndices, colIndices, n).toHex(),
+            sum.toHex())
+      << "p=" << p.toHex() << " a=" << a.toHex() << " n=" << n;
+
+  const std::uint64_t coefficient = 1 + rng.nextBelow(7);
+  ASSERT_EQ(
+      batch.hashMatrixEntry(rowIndices[0], colIndices[0], coefficient, n).toHex(),
+      scalar.hashMatrixEntry(rowIndices[0], colIndices[0], coefficient, n).toHex());
+
+  const util::DynBitset row = randomBits(rng, n);
+  ASSERT_EQ(batch.hashMatrixRow(rowIndices[0], row, n).toHex(),
+            scalar.hashMatrixRow(rowIndices[0], row, n).toHex());
+}
+
+TEST(batch_eval, U64EntrySeriesMatchScalar) {
+  util::Rng rng(0xBA7C4009ull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < kMatrixCases; ++i) {
+    const std::size_t bits = 2 + rng.nextBelow(63);
+    std::uint64_t p = rng.nextU64() >> (64 - bits);
+    if (p < 2) p = 2;
+    const util::BigUInt pBig{p};
+    const util::BigUInt a{rng.nextU64() % p};
+    runEntryCase(rng, pBig, a, batch, scalar);
+  }
+}
+
+TEST(batch_eval, WideEntrySeriesMatchScalar) {
+  util::Rng rng(0xBA7C400Aull);
+  BatchLinearHashEvaluator batch;
+  LinearHashEvaluator scalar;
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t k = 2 + rng.nextBelow(3);
+    // Alternate odd (Montgomery) and even (plain) wide moduli.
+    const util::BigUInt p = randomWideModulus(rng, k, /*odd=*/(i % 2) == 0);
+    const util::BigUInt a = randomBelow(rng, p, k);
+    runEntryCase(rng, p, a, batch, scalar);
+  }
+}
+
+TEST(batch_eval, Avx2LanesMatchPortableKernel) {
+  // The same rows through the u64 backend with AVX2 residue lanes on and
+  // off: canonical-residue modular addition is associative, so the four-lane
+  // fold must land on the portable kernel's value bit-for-bit. Rows at and
+  // above kAvx2MinBits engage the lanes; dense rows on widths 16..47 sweep
+  // every gather-tail remainder (set-bit count mod 8). On machines without
+  // AVX2 both passes run the portable kernel and the test still holds.
+  const bool saved = avx2Enabled();
+  util::Rng rng(0xBA7C400Bull);
+  BatchLinearHashEvaluator batch;
+  for (int i = 0; i < 2500; ++i) {
+    const std::size_t bits = 2 + rng.nextBelow(63);
+    std::uint64_t p = rng.nextU64() >> (64 - bits);
+    if (p < 2) p = 2;
+    const util::BigUInt pBig{p};
+    const util::BigUInt a{rng.nextU64() % p};
+    const std::uint64_t n = 16 + rng.nextBelow(32);
+    batch.rebind(pBig, n * n, a);
+
+    std::vector<std::uint64_t> rowIndices;
+    std::vector<util::DynBitset> rows;
+    const std::size_t rowCount = 1 + rng.nextBelow(4);
+    for (std::size_t r = 0; r < rowCount; ++r) {
+      rowIndices.push_back(rng.nextBelow(n));
+      util::DynBitset row(n);
+      if (r == 0) {
+        for (std::size_t w = 0; w < n; ++w) row.set(w);  // Dense: count == n.
+      } else {
+        row = randomBits(rng, n);
+      }
+      rows.push_back(std::move(row));
+    }
+
+    std::vector<util::BigUInt> gotAvx2;
+    std::vector<util::BigUInt> gotPortable;
+    setAvx2Enabled(true);
+    batch.hashMatrixRows(rowIndices, rows, n, gotAvx2);
+    const util::BigUInt accAvx2 = batch.accumulateMatrixRows(rowIndices, rows, n);
+    setAvx2Enabled(false);
+    batch.hashMatrixRows(rowIndices, rows, n, gotPortable);
+    const util::BigUInt accPortable = batch.accumulateMatrixRows(rowIndices, rows, n);
+
+    ASSERT_EQ(gotAvx2.size(), gotPortable.size());
+    for (std::size_t r = 0; r < gotAvx2.size(); ++r) {
+      ASSERT_EQ(gotAvx2[r].toHex(), gotPortable[r].toHex())
+          << "p=" << p << " n=" << n << " row " << r;
+    }
+    ASSERT_EQ(accAvx2.toHex(), accPortable.toHex());
+  }
+  setAvx2Enabled(saved);
+}
+
+TEST(batch_eval, Avx2ToggleClampsToCpuSupport) {
+  const bool saved = avx2Enabled();
+  setAvx2Enabled(false);
+  EXPECT_FALSE(avx2Enabled());
+  // true is clamped to CPU capability: afterwards the flag either reports
+  // support (and the lanes run) or stays false — never an illegal kernel.
+  setAvx2Enabled(true);
+  setAvx2Enabled(saved);
+  EXPECT_EQ(avx2Enabled(), saved);
 }
 
 TEST(batch_eval, HashBitsManyMatchesScalar) {

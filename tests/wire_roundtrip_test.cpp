@@ -14,6 +14,8 @@
 // Every iteration draws from a counter-based child stream (fuzz_seed.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <vector>
 
 #include "core/dsym_dam.hpp"
@@ -42,10 +44,11 @@ using util::Rng;
 void expectRoundsIdentical(const wire::EncodedRound& a, const wire::EncodedRound& b) {
   ASSERT_EQ(a.unicast.size(), b.unicast.size());
   EXPECT_EQ(a.broadcast.bitCount(), b.broadcast.bitCount());
-  EXPECT_EQ(a.broadcast.bytes(), b.broadcast.bytes());
+  EXPECT_TRUE(std::ranges::equal(a.broadcast.bytes(), b.broadcast.bytes()));
   for (graph::Vertex v = 0; v < a.unicast.size(); ++v) {
     EXPECT_EQ(a.unicast[v].bitCount(), b.unicast[v].bitCount()) << "node " << v;
-    EXPECT_EQ(a.unicast[v].bytes(), b.unicast[v].bytes()) << "node " << v;
+    EXPECT_TRUE(std::ranges::equal(a.unicast[v].bytes(), b.unicast[v].bytes()))
+        << "node " << v;
     EXPECT_EQ(a.bitsForNode(v), b.bitsForNode(v)) << "node " << v;
   }
 }
@@ -150,7 +153,7 @@ TEST_F(WireRoundTrip, Challenge) {
     util::BigUInt decoded = wire::decodeChallenge(encoded, family_);
     util::BitWriter reencoded = wire::encodeChallenge(decoded, family_);
     EXPECT_EQ(encoded.bitCount(), reencoded.bitCount());
-    EXPECT_EQ(encoded.bytes(), reencoded.bytes());
+    EXPECT_TRUE(std::ranges::equal(encoded.bytes(), reencoded.bytes()));
   }
 }
 

@@ -8,6 +8,11 @@ dimensionless number that survives moving between CI runners. A cell
 regresses when its current speedup falls more than TOLERANCE below the
 baseline speedup.
 
+Independently of the baseline comparison, any cell whose current speedup is
+below 1.0 fails outright: a no-win cell must either be fixed or pinned to
+the scalar path via the no-win list in sim/throughput.cpp, in which case its
+"engine" field reads "scalar-fallback" and the sub-1.0 ratio is exempt.
+
 Usage: check_throughput.py BASELINE.json CURRENT.json
 Exit 0 when every cell is within tolerance, 1 otherwise.
 """
@@ -48,6 +53,13 @@ def main(argv):
             failed.append(
                 f"{protocol}: speedup {cur_speedup:.3f} below floor {floor:.3f} "
                 f"(baseline {base_speedup:.3f}, tolerance {TOLERANCE:.0%})"
+            )
+        if cur_speedup < 1.0 and cur.get("engine") != "scalar-fallback":
+            failed.append(
+                f"{protocol}: batch engine loses to scalar "
+                f"(speedup {cur_speedup:.3f} < 1.0) and the cell is not pinned "
+                f"to the scalar path — fix it or add it to the no-win list in "
+                f"sim/throughput.cpp"
             )
     for protocol in sorted(set(current) - set(baseline)):
         print(f"{protocol:12s}  new cell (not in baseline) — add it to the baseline")

@@ -191,6 +191,32 @@ const SeededCase kCases[] = {
      "  }\n"
      "}\n",
      nullptr},
+    {"src/core/bad_wire_loop_alloc.cpp",
+     "EncodedRound encode(const Message& message, std::size_t n) {\n"
+     "  EncodedRound round;\n"
+     "  for (graph::Vertex v = 0; v < n; ++v) {\n"
+     "    util::BigUInt share = message.a[v];\n"
+     "    round.unicast[v].writeBig(share, 64);\n"
+     "  }\n"
+     "  return round;\n"
+     "}\n",
+     "hot-loop-alloc"},
+    {"src/core/good_wire_hoisted.cpp",
+     "EncodedRound encode(const Message& message, std::size_t n) {\n"
+     "  EncodedRound round;\n"
+     "  for (graph::Vertex v = 0; v < n; ++v) {\n"
+     "    round.unicast[v].writeBig(message.a[v], 64);\n"
+     "  }\n"
+     "  return round;\n"
+     "}\n",
+     nullptr},
+    {"src/net/bad_audit_growth.cpp",
+     "void stage(std::vector<std::size_t>& charged, std::size_t n) {\n"
+     "  for (std::size_t v = 0; v < n; ++v) {\n"
+     "    charged.push_back(v);\n"
+     "  }\n"
+     "}\n",
+     "hot-loop-alloc"},
 
     // --- charge-coverage --------------------------------------------------
     {"src/core/bad_free_encode_round.cpp",

@@ -109,6 +109,12 @@ bool isHotPath(std::string_view path) {
   return path.starts_with("src/hash/") || path == "src/util/montgomery.cpp";
 }
 
+bool isTranscriptEncodePath(std::string_view path) {
+  if (path == "src/util/bitio.cpp") return true;
+  if (isTranscriptImpl(path)) return true;
+  return path.starts_with("src/core/") && isWireModule(path);
+}
+
 bool isAdvPath(std::string_view path) { return path.starts_with("src/adv/"); }
 
 }  // namespace dip::analyze
