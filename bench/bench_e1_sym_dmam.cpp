@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/dryrun_section.hpp"
 #include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dmam.hpp"
@@ -74,6 +75,14 @@ int main(int argc, char** argv) {
     }
     std::printf("%6zu  %14s  %12zu  %14zu  %9.1fx\n", n, measured.c_str(), model, lcp,
                 static_cast<double>(lcp) / static_cast<double>(model));
+  }
+  std::printf("\n(c) Large-n structural dry-run (CSR engine, model widths)\n");
+  bench::printDryRunColumns();
+  for (std::size_t bigN : bench::kDryRunSizes) {
+    bench::forEachDryRunFamily(bigN, [&](const char* family, const graph::CsrGraph& g) {
+      const sim::SymWidths widths = sim::symDmamModelWidths(g.numVertices());
+      bench::printDryRunRow(family, g, sim::dryRunSymDmam(g, widths));
+    });
   }
   std::printf(
       "\nShape check (paper): per-node cost grows additively with log n while\n"

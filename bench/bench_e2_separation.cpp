@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/dryrun_section.hpp"
 #include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/dsym_dam.hpp"
@@ -83,6 +84,16 @@ int main(int argc, char** argv) {
     std::printf("  NO instance (mismatched side): %s\n", bench::formatRate(noStats).c_str());
   }
 
+  std::printf("\n(c) Large-n structural dry-run (CSR DSym instances, r = 2)\n");
+  bench::printDryRunColumns();
+  for (std::size_t bigN : bench::kDryRunSizes) {
+    // sideSize chosen so the instance has ~bigN vertices (N = 2 side + 2r + 1).
+    const std::size_t side = (bigN - 5) / 2;
+    util::Rng rng(0xD1700 + bigN);
+    graph::CsrGraph g = graph::csrDsymOverTree(side, 2, rng);
+    const sim::SymWidths widths = sim::dsymDamModelWidths(g.numVertices());
+    bench::printDryRunRow("dsym", g, sim::dryRunDsymDam(g, widths));
+  }
   std::printf(
       "\nShape check (paper): one Arthur-Merlin round decides DSym with\n"
       "O(log n) bits — the same language needs Omega(n^2)-bit labels without\n"

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/dryrun_section.hpp"
 #include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/sym_dam.hpp"
@@ -69,6 +70,14 @@ int main(int argc, char** argv) {
       measured = std::to_string(protocol.run(g, prover, rng).transcript.maxPerNodeBits());
     }
     std::printf("%6zu  %12zu  %16.2f  %16s\n", n, model, normalized, measured.c_str());
+  }
+  std::printf("\n(c) Large-n structural dry-run (CSR engine, model widths)\n");
+  bench::printDryRunColumns();
+  for (std::size_t bigN : bench::kDryRunSizes) {
+    bench::forEachDryRunFamily(bigN, [&](const char* family, const graph::CsrGraph& g) {
+      const sim::SymWidths widths = sim::symDamModelWidths(g.numVertices());
+      bench::printDryRunRow(family, g, sim::dryRunSymDam(g, widths));
+    });
   }
   std::printf(
       "\nShape check (paper): the normalized column is flat => Theta(n log n),\n"

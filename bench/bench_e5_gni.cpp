@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/dryrun_section.hpp"
 #include "bench/options.hpp"
 #include "bench/table.hpp"
 #include "core/gni_amam.hpp"
@@ -78,6 +79,19 @@ int main(int argc, char** argv) {
     std::size_t baseline = pls::GniFullInfo::adviceBitsPerNode(n);
     std::printf("%6zu  %14zu  %18.2f  %16zu  %7.2fx\n", n, cost, perRepNorm, baseline,
                 static_cast<double>(baseline) / static_cast<double>(cost));
+  }
+  std::printf("\n(d) Large-n structural dry-run (CSR engine, k = 1, honest claims)\n");
+  bench::printDryRunColumns();
+  {
+    sim::GniClaimProfile profile;
+    profile.claimed.assign(1, 1);
+    profile.b.assign(1, 1);
+    for (std::size_t bigN : bench::kDryRunSizes) {
+      bench::forEachDryRunFamily(bigN, [&](const char* family, const graph::CsrGraph& g) {
+        const sim::GniWidths widths = sim::gniModelWidths(g.numVertices(), 1);
+        bench::printDryRunRow(family, g, sim::dryRunGniAmam(g, g, widths, profile));
+      });
+    }
   }
   std::printf(
       "\nShape check (paper): per-repetition cost is Theta(n log n) (flat\n"

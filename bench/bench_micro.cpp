@@ -6,12 +6,14 @@
 
 #include "core/sym_dmam.hpp"
 #include "graph/canonical.hpp"
+#include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/ir.hpp"
 #include "graph/isomorphism.hpp"
 #include "hash/batch_eval.hpp"
 #include "hash/eps_api.hpp"
 #include "hash/linear_hash.hpp"
+#include "net/spanning.hpp"
 #include "util/biguint.hpp"
 #include "util/montgomery.hpp"
 #include "util/primes.hpp"
@@ -300,6 +302,50 @@ static void BM_CensusSlice(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CensusSlice);
+
+static void BM_CsrBuild(benchmark::State& state) {
+  // Edge list -> delta-compressed CSR: sort + dedup + per-block width scan
+  // + bit packing. The setup cost every large-n dry-run table pays once per
+  // family.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng setup(13);
+  graph::CsrGraph g = graph::csrRandomBoundedDegree(n, 8, n / 4, setup);
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edges;
+  edges.reserve(g.numEdges());
+  g.forEachEdge([&](graph::Vertex u, graph::Vertex v) { edges.emplace_back(u, v); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CsrGraph::fromEdges(n, edges));
+  }
+}
+BENCHMARK(BM_CsrBuild)->Arg(1024)->Arg(16384)->Arg(262144);
+
+static void BM_CsrNeighborSweep(benchmark::State& state) {
+  // Full forEachNeighbor pass over every vertex: the streaming block
+  // decoder's per-edge cost (header read + gap add), nothing materialized.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng setup(14);
+  graph::CsrGraph g = graph::csrRandomBoundedDegree(n, 8, n / 4, setup);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      g.forEachNeighbor(v, [&](graph::Vertex u) { acc += u; });
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CsrNeighborSweep)->Arg(1024)->Arg(16384)->Arg(262144);
+
+static void BM_SpanningTreeCsr(benchmark::State& state) {
+  // buildBfsTree through the compressed representation — the structural
+  // dry-run engine's dominant traversal.
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng setup(15);
+  graph::CsrGraph g = graph::csrRandomBoundedDegree(n, 8, n / 4, setup);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::buildBfsTree(g, 0).dist.back());
+  }
+}
+BENCHMARK(BM_SpanningTreeCsr)->Arg(1024)->Arg(16384)->Arg(262144);
 
 static void BM_Protocol1FullRun(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));

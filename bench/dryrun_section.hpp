@@ -1,0 +1,64 @@
+// Shared large-n CSR dry-run plumbing for the experiment cost tables
+// (bench_e1/e2/e3/e5 section (c)) and the dedicated bench_e15_dryrun
+// memory report. Families and seeds are fixed here so every table and the
+// committed BENCH_memory.json budget agree on the exact same instances.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "pls/sym_lcp.hpp"
+#include "sim/dryrun.hpp"
+#include "util/rng.hpp"
+
+namespace dip::bench {
+
+// The large-n rows every dry-run table reports.
+inline constexpr std::size_t kDryRunSizes[] = {10'000, 100'000, 1'000'000};
+
+// The two committed sparse random families (plus the deterministic grid).
+// Seeds derive from n so rows are reproducible in isolation.
+inline graph::CsrGraph dryRunTree(std::size_t n) {
+  util::Rng rng(0xD1500 + n);
+  return graph::csrRandomTree(n, rng);
+}
+
+inline graph::CsrGraph dryRunBoundedDegree(std::size_t n) {
+  util::Rng rng(0xD1600 + n);
+  return graph::csrRandomBoundedDegree(n, 8, n / 4, rng);
+}
+
+inline graph::CsrGraph dryRunGrid(std::size_t n) {
+  const std::size_t side =
+      static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(n))));
+  return graph::csrGridGraph(side, side);
+}
+
+template <typename Fn>
+void forEachDryRunFamily(std::size_t n, Fn&& fn) {
+  fn("tree", dryRunTree(n));
+  fn("deg<=8", dryRunBoundedDegree(n));
+  fn("grid", dryRunGrid(n));
+}
+
+inline double bytesPerNode(const graph::CsrGraph& g) {
+  return static_cast<double>(g.memoryBytes()) /
+         static_cast<double>(g.numVertices());
+}
+
+inline void printDryRunColumns() {
+  std::printf("%8s  %8s  %12s  %14s  %10s\n", "n", "family", "f(n) bits",
+              "LCP baseline", "B/node");
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline void printDryRunRow(const char* family, const graph::CsrGraph& g,
+                           const sim::DryRunReport& report) {
+  const std::size_t n = g.numVertices();
+  const std::size_t lcp = pls::SymLcp::adviceBitsPerNode(n);
+  std::printf("%8zu  %8s  %12zu  %14zu  %10.1f\n", n, family,
+              report.maxPerNodeBits, lcp, bytesPerNode(g));
+}
+
+}  // namespace dip::bench

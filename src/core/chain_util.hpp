@@ -23,9 +23,9 @@ inline std::vector<util::BigUInt> subtreeSums(const graph::Graph& g,
   std::vector<util::BigUInt> sums(g.numVertices());
   for (graph::Vertex v : net::bottomUpOrder(tree)) {
     util::BigUInt acc = pieces[v];
-    for (graph::Vertex child : net::childrenOf(g, tree, v)) {
+    net::forEachChild(g, tree, v, [&](graph::Vertex child) {
       acc = util::addMod(acc, sums[child], prime);
-    }
+    });
     sums[v] = acc;
   }
   return sums;

@@ -526,9 +526,9 @@ GniFirstMessage HonestGniProver::firstMessage(
       m1.b[j] = found.b;
       m1.s[j] = found.sigma[v];
       if (found.b == 1) {
-        for (graph::Vertex u : instance.g1.closedNeighbors(v)) {
-          m1.claims[j].push_back(found.sigma[u]);
-        }
+        m1.claims[j].reserve(instance.g1.degree(v) + 1);
+        instance.g1.forEachClosedNeighbor(
+            v, [&](graph::Vertex u) { m1.claims[j].push_back(found.sigma[u]); });
       }
     }
   }
@@ -596,28 +596,28 @@ GniSecondMessage HonestGniProver::secondMessage(
                                                              found.sigma[v], 1, n);
       }
       if (found.b == 1) {
-        std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
+        const std::size_t closedCount = instance.g1.degree(v) + 1;
         if (useBatch) {
           consRows.clear();
           consCols.clear();
-          for (graph::Vertex u : closed1) {
+          instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
             consRows.push_back(u);
             consCols.push_back(found.sigma[u]);
-          }
+          });
           consCPieces[v] = checkBatch.accumulateMatrixEntries(consRows, consCols, n);
           consTPieces[v] = checkBatch.hashMatrixEntry(v, found.sigma[v],
-                                                      closed1.size(), n);
+                                                      closedCount, n);
         } else {
           util::BigUInt acc;
-          for (graph::Vertex u : closed1) {
+          instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
             acc = util::addMod(acc,
                                params_.checkFamily.hashMatrixEntry(
                                    checkSeed, u, found.sigma[u], 1, n),
                                checkP);
-          }
+          });
           consCPieces[v] = acc;
           consTPieces[v] = params_.checkFamily.hashMatrixEntry(
-              checkSeed, v, found.sigma[v], closed1.size(), n);
+              checkSeed, v, found.sigma[v], closedCount, n);
         }
       }
     }

@@ -578,10 +578,12 @@ GniGenFirstMessage HonestGniGeneralProver::firstMessage(
       m1.s[j] = found.sigma[v];
       m1.a[j] = found.alpha[found.sigma[v]];
       if (found.b == 1) {
-        for (graph::Vertex u : instance.g1.closedNeighbors(v)) {
+        m1.sClaims[j].reserve(instance.g1.degree(v) + 1);
+        m1.aClaims[j].reserve(instance.g1.degree(v) + 1);
+        instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
           m1.sClaims[j].push_back(found.sigma[u]);
           m1.aClaims[j].push_back(found.alpha[found.sigma[u]]);
-        }
+        });
       }
     }
   }
@@ -675,35 +677,35 @@ GniGenSecondMessage HonestGniGeneralProver::secondMessage(
         autRPieces[v] = cf.hashMatrixRow(checkSeed, av, alphaHRow, n);
       }
       if (found.b == 1) {
-        std::vector<graph::Vertex> closed1 = instance.g1.closedNeighbors(v);
+        const std::size_t closedCount = instance.g1.degree(v) + 1;
         if (useBatch) {
           consRows.clear();
           consCols.clear();
-          for (graph::Vertex u : closed1) {
+          instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
             consRows.push_back(u);
             consCols.push_back(found.sigma[u]);
-          }
+          });
           consSCPieces[v] = batch.accumulateMatrixEntries(consRows, consCols, n);
           consCols.clear();
-          for (graph::Vertex u : closed1) {
+          instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
             consCols.push_back(found.alpha[found.sigma[u]]);
-          }
+          });
           consACPieces[v] = batch.accumulateMatrixEntries(consRows, consCols, n);
-          consSTPieces[v] = batch.hashMatrixEntry(v, sv, closed1.size(), n);
-          consATPieces[v] = batch.hashMatrixEntry(v, av, closed1.size(), n);
+          consSTPieces[v] = batch.hashMatrixEntry(v, sv, closedCount, n);
+          consATPieces[v] = batch.hashMatrixEntry(v, av, closedCount, n);
         } else {
           util::BigUInt accS, accA;
-          for (graph::Vertex u : closed1) {
+          instance.g1.forEachClosedNeighbor(v, [&](graph::Vertex u) {
             accS = util::addMod(
                 accS, cf.hashMatrixEntry(checkSeed, u, found.sigma[u], 1, n), checkP);
             accA = util::addMod(
                 accA, cf.hashMatrixEntry(checkSeed, u, found.alpha[found.sigma[u]], 1, n),
                 checkP);
-          }
+          });
           consSCPieces[v] = accS;
           consACPieces[v] = accA;
-          consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closed1.size(), n);
-          consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closed1.size(), n);
+          consSTPieces[v] = cf.hashMatrixEntry(checkSeed, v, sv, closedCount, n);
+          consATPieces[v] = cf.hashMatrixEntry(checkSeed, v, av, closedCount, n);
         }
       }
     }

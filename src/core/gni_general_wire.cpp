@@ -114,7 +114,7 @@ GniGenFirstMessage decodeGniGenFirst(const EncodedRound& round,
     m1.a.resize(k);
     m1.sClaims.resize(k);
     m1.aClaims.resize(k);
-    const std::size_t claimCount = instance.g1.closedNeighbors(v).size();
+    const std::size_t claimCount = instance.g1.degree(v) + 1;
     for (std::size_t j = 0; j < k; ++j) {
       m1.s[j] = static_cast<graph::Vertex>(reader.readUInt(idBits));
       m1.a[j] = static_cast<graph::Vertex>(reader.readUInt(idBits));

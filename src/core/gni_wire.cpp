@@ -146,7 +146,7 @@ GniFirstMessage decodeGniFirst(const EncodedRound& round, const GniInstance& ins
     m1.dist = static_cast<std::uint32_t>(reader.readUInt(idBits));
     m1.s.resize(k);
     m1.claims.resize(k);
-    const std::size_t claimCount = instance.g1.closedNeighbors(v).size();
+    const std::size_t claimCount = instance.g1.degree(v) + 1;
     for (std::size_t j = 0; j < k; ++j) {
       m1.s[j] = static_cast<graph::Vertex>(reader.readUInt(idBits));
       if (claimed[j] && b[j] == 1) {

@@ -248,10 +248,11 @@ SymInputFirstMessage buildFirstMessage(const SymInputInstance& instance,
   first.dist = tree.dist;
   first.claims.resize(n);
   for (graph::Vertex v = 0; v < n; ++v) {
-    for (graph::Vertex u : instance.input.closedNeighbors(v)) {
+    first.claims[v].reserve(instance.input.degree(v) + 1);
+    instance.input.forEachClosedNeighbor(v, [&](graph::Vertex u) {
       // The self-claim must match the commitment even when lying elsewhere.
       first.claims[v].push_back(u == v ? rho[v] : claimMapping[u]);
-    }
+    });
   }
   return first;
 }

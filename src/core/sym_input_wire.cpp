@@ -19,7 +19,7 @@ EncodedRound encodeSymInputFirst(const SymInputFirstMessage& message,
       throw std::invalid_argument(
           "encodeSymInputFirst: inconsistent witness broadcast");
     }
-    if (message.claims[v].size() != instance.input.closedNeighbors(v).size()) {
+    if (message.claims[v].size() != instance.input.degree(v) + 1) {
       throw std::invalid_argument("encodeSymInputFirst: wrong claim count");
     }
   }
@@ -56,7 +56,7 @@ SymInputFirstMessage decodeSymInputFirst(const EncodedRound& round,
     message.rho[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
     message.parent[v] = static_cast<graph::Vertex>(reader.readUInt(idBits));
     message.dist[v] = static_cast<std::uint32_t>(reader.readUInt(idBits));
-    const std::size_t claimCount = instance.input.closedNeighbors(v).size();
+    const std::size_t claimCount = instance.input.degree(v) + 1;
     message.claims[v].reserve(claimCount);
     for (std::size_t i = 0; i < claimCount; ++i) {
       message.claims[v].push_back(static_cast<graph::Vertex>(reader.readUInt(idBits)));

@@ -1,0 +1,164 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace dip::graph {
+namespace {
+
+// Gap width for one block: enough bits for the largest (gap - 1) value.
+// Single-entry blocks carry no gaps; width 1 keeps the header canonical.
+unsigned blockGapWidth(const Vertex* neighbors, std::size_t len) {
+  Vertex maxGap = 0;
+  for (std::size_t i = 1; i < len; ++i) {
+    maxGap = std::max(maxGap, static_cast<Vertex>(neighbors[i] - neighbors[i - 1] - 1));
+  }
+  unsigned width = 1;
+  while ((maxGap >> width) != 0) ++width;
+  return width;
+}
+
+}  // namespace
+
+void CsrGraph::appendBits(std::uint64_t value, unsigned width) {
+  const std::uint64_t word = blobBits_ >> 6;
+  const unsigned shift = static_cast<unsigned>(blobBits_ & 63);
+  while (blob_.size() <= word + 1) blob_.push_back(0);
+  blob_[word] |= value << shift;
+  if (shift + width > 64) blob_[word + 1] |= value >> (64 - shift);
+  blobBits_ += width;
+}
+
+void CsrGraph::beginEncoding(std::size_t numVertices) {
+  n_ = numVertices;
+  numEdges_ = 0;
+  idBits_ = util::bitsFor(numVertices);
+  blobBits_ = 0;
+  degrees_.assign(n_, 0);
+  offsets_.assign(n_, 0);
+  blob_.assign(1, 0);
+}
+
+void CsrGraph::encodeVertex(Vertex v, const Vertex* neighbors, std::size_t count) {
+  offsets_[v] = blobBits_;
+  degrees_[v] = static_cast<std::uint32_t>(count);
+  for (std::size_t done = 0; done < count; done += kBlockCap) {
+    const std::size_t len = std::min(kBlockCap, count - done);
+    const Vertex* block = neighbors + done;
+    const unsigned width = blockGapWidth(block, len);
+    appendBits(width - 1, 5);
+    appendBits(block[0], idBits_);
+    for (std::size_t i = 1; i < len; ++i) {
+      appendBits(static_cast<std::uint64_t>(block[i] - block[i - 1] - 1), width);
+    }
+  }
+}
+
+void CsrGraph::finishEncoding() {
+  // Keep one zero word past the payload so readBits' spill word always
+  // exists; trim anything beyond that.
+  blob_.resize((blobBits_ >> 6) + 2, 0);
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < n_; ++v) total += degrees_[v];
+  numEdges_ = static_cast<std::size_t>(total / 2);
+}
+
+CsrGraph CsrGraph::fromGraph(const Graph& g) {
+  CsrGraph csr;
+  csr.beginEncoding(g.numVertices());
+  std::vector<Vertex> scratch;
+  for (Vertex v = 0; v < csr.n_; ++v) {
+    scratch.clear();
+    g.row(v).forEachSet([&](std::size_t u) { scratch.push_back(static_cast<Vertex>(u)); });
+    csr.encodeVertex(v, scratch.data(), scratch.size());
+  }
+  csr.finishEncoding();
+  return csr;
+}
+
+Graph CsrGraph::toGraph() const {
+  Graph g(n_);
+  forEachEdge([&](Vertex u, Vertex v) { g.addEdge(u, v); });
+  return g;
+}
+
+CsrGraph CsrGraph::fromEdges(std::size_t numVertices,
+                             const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  std::vector<std::pair<Vertex, Vertex>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) throw std::invalid_argument("CsrGraph::fromEdges: self-loop");
+    if (u >= numVertices || v >= numVertices) {
+      throw std::out_of_range("CsrGraph::fromEdges: vertex out of range");
+    }
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()), directed.end());
+
+  CsrGraph csr;
+  csr.beginEncoding(numVertices);
+  std::vector<Vertex> scratch;
+  std::size_t i = 0;
+  for (Vertex v = 0; v < csr.n_; ++v) {
+    scratch.clear();
+    while (i < directed.size() && directed[i].first == v) {
+      scratch.push_back(directed[i].second);
+      ++i;
+    }
+    csr.encodeVertex(v, scratch.data(), scratch.size());
+  }
+  csr.finishEncoding();
+  return csr;
+}
+
+std::size_t CsrGraph::maxDegree() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t d : degrees_) best = std::max(best, d);
+  return best;
+}
+
+bool CsrGraph::hasEdge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  // Scan the lower-degree endpoint's stream.
+  if (degrees_[v] < degrees_[u]) std::swap(u, v);
+  bool found = false;
+  forEachNeighbor(u, [&](Vertex w) { found = found || w == v; });
+  return found;
+}
+
+bool CsrGraph::isConnected() const {
+  if (n_ <= 1) return true;
+  std::vector<bool> seen(n_, false);
+  std::vector<Vertex> queue;
+  queue.reserve(n_);
+  queue.push_back(0);
+  seen[0] = true;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Vertex v = queue[head++];
+    forEachNeighbor(v, [&](Vertex u) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    });
+  }
+  return queue.size() == n_;
+}
+
+std::size_t CsrGraph::memoryBytes() const {
+  return blob_.size() * sizeof(std::uint64_t) +
+         degrees_.size() * sizeof(std::uint32_t) +
+         offsets_.size() * sizeof(std::uint64_t) + sizeof(CsrGraph);
+}
+
+double CsrGraph::bitsPerEdge() const {
+  if (numEdges_ == 0) return 0.0;
+  return static_cast<double>(blobBits_) / static_cast<double>(numEdges_);
+}
+
+}  // namespace dip::graph

@@ -1,0 +1,148 @@
+// Compressed sparse-row adjacency for large-n structural workloads.
+//
+// The dense `Graph` stores n rows of n bits — O(n^2) memory, which caps the
+// cost tables near n = 10^3 (~125 GB at n = 10^6). Structural dry-runs only
+// ever ITERATE neighborhoods (spanning trees, degree sweeps, charge
+// schedules), so `CsrGraph` stores each vertex's sorted neighbor list as
+// delta-compressed blocks and exposes streaming visitors instead of
+// materialized rows.
+//
+// Layout (all fields little-endian bit order inside one packed word blob):
+//
+//   vertex v stream  :=  block*                 (degree(v) entries total)
+//   block            :=  header  first  gap*
+//   header           :=  5 bits: gap width w - 1          (w in 1..32)
+//   first            :=  idBits-bit absolute id of the block's first neighbor
+//   gap              :=  w-bit (u_i - u_{i-1} - 1), strictly ascending ids
+//
+// Blocks hold up to kBlockCap = 32 neighbors; block lengths are derived
+// from degree(v), so no per-block count is stored. The per-block width lets
+// a vertex mix dense runs (grid/path gaps of 1 encode in 1-bit gaps) with a
+// few far edges without paying the worst-case width everywhere — the same
+// packed-header + per-block-delta-width scheme as the FAM codec family
+// (see docs/PERFORMANCE.md "Large-n CSR graph engine" for the layout facts
+// this design relies on).
+//
+// Traversal never allocates: `forEachNeighbor(v, fn)` decodes the stream
+// in place. Conversion to/from the dense `Graph` is an exact round trip.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dip::graph {
+
+class CsrGraph {
+ public:
+  // Neighbors per compressed block. 32 amortizes the (5 + idBits)-bit block
+  // overhead to under 1 bit/edge at full blocks while keeping the tail cost
+  // of low-degree vertices (trees: degree 1-3) one short block.
+  static constexpr std::size_t kBlockCap = 32;
+
+  CsrGraph() = default;
+
+  // Exact conversions: fromGraph(g).toGraph() == g for every dense graph.
+  static CsrGraph fromGraph(const Graph& g);
+  Graph toGraph() const;
+
+  // Builds from an undirected edge list (each edge listed once, loops
+  // rejected, duplicates collapsed) without any dense intermediate: peak
+  // memory is the 2m-entry scatter array plus the compressed result.
+  static CsrGraph fromEdges(std::size_t numVertices,
+                            const std::vector<std::pair<Vertex, Vertex>>& edges);
+
+  std::size_t numVertices() const { return n_; }
+  std::size_t numEdges() const { return numEdges_; }
+  std::size_t degree(Vertex v) const { return degrees_[v]; }
+  std::size_t maxDegree() const;
+
+  // Scans v's stream; O(degree(v)) like one visitor pass.
+  bool hasEdge(Vertex u, Vertex v) const;
+
+  bool isConnected() const;
+
+  // Visits v's open neighborhood in ascending order, decoding blocks in
+  // place — no neighbor vector is ever materialized.
+  template <typename Fn>
+  void forEachNeighbor(Vertex v, Fn&& fn) const {
+    std::uint64_t pos = offsets_[v];
+    std::size_t remaining = degrees_[v];
+    while (remaining > 0) {
+      const unsigned width = static_cast<unsigned>(readBits(pos, 5)) + 1;
+      const std::size_t len = remaining < kBlockCap ? remaining : kBlockCap;
+      Vertex value = static_cast<Vertex>(readBits(pos, idBits_));
+      fn(value);
+      for (std::size_t i = 1; i < len; ++i) {
+        value += static_cast<Vertex>(readBits(pos, width)) + 1;
+        fn(value);
+      }
+      remaining -= len;
+    }
+  }
+
+  // Closed neighborhood N_G(v) (v included), ascending — the paper's N(v).
+  template <typename Fn>
+  void forEachClosedNeighbor(Vertex v, Fn&& fn) const {
+    bool emitted = false;
+    forEachNeighbor(v, [&](Vertex u) {
+      if (!emitted && u > v) {
+        emitted = true;
+        fn(v);
+      }
+      fn(u);
+    });
+    if (!emitted) fn(v);
+  }
+
+  // Visits every edge once as (u, v) with u < v, ascending by (u, v).
+  template <typename Fn>
+  void forEachEdge(Fn&& fn) const {
+    for (Vertex u = 0; u < n_; ++u) {
+      forEachNeighbor(u, [&](Vertex v) {
+        if (v > u) fn(u, v);
+      });
+    }
+  }
+
+  bool operator==(const CsrGraph& other) const = default;
+
+  // ---- Memory accounting (the bytes-per-node budget gate reads these) ----
+
+  // Bits of compressed adjacency payload (headers + firsts + gaps).
+  std::size_t adjacencyBits() const { return blobBits_; }
+  // Total resident bytes: payload words + offset/degree arrays + header.
+  std::size_t memoryBytes() const;
+  // Payload bits per edge endpoint pair (0 for edgeless graphs).
+  double bitsPerEdge() const;
+
+ private:
+  std::uint64_t readBits(std::uint64_t& pos, unsigned width) const {
+    const std::uint64_t word = pos >> 6;
+    const unsigned shift = static_cast<unsigned>(pos & 63);
+    std::uint64_t value = blob_[word] >> shift;
+    if (shift + width > 64 && word + 1 < blob_.size()) {
+      value |= blob_[word + 1] << (64 - shift);
+    }
+    pos += width;
+    return value & (width == 64 ? ~0ull : ((1ull << width) - 1));
+  }
+
+  void appendBits(std::uint64_t value, unsigned width);
+  // Appends one vertex's sorted neighbor segment and records its offset.
+  void encodeVertex(Vertex v, const Vertex* neighbors, std::size_t count);
+  void beginEncoding(std::size_t numVertices);
+  void finishEncoding();
+
+  std::size_t n_ = 0;
+  std::size_t numEdges_ = 0;
+  unsigned idBits_ = 1;
+  std::uint64_t blobBits_ = 0;
+  std::vector<std::uint32_t> degrees_;
+  std::vector<std::uint64_t> offsets_;  // n entries: bit offset of v's stream.
+  std::vector<std::uint64_t> blob_;
+};
+
+}  // namespace dip::graph

@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <stdexcept>
+#include <unordered_set>
 
 #include "graph/isomorphism.hpp"
 
@@ -128,6 +129,112 @@ Permutation randomPermutation(std::size_t n, util::Rng& rng) {
 
 Graph randomIsomorphicCopy(const Graph& g, util::Rng& rng) {
   return g.relabeled(randomPermutation(g.numVertices(), rng));
+}
+
+CsrGraph csrPathGraph(std::size_t n) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return CsrGraph::fromEdges(n, edges);
+}
+
+CsrGraph csrStarGraph(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("csrStarGraph: need n >= 2");
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n - 1);
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return CsrGraph::fromEdges(n, edges);
+}
+
+CsrGraph csrGridGraph(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(2 * rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrGraph::fromEdges(rows * cols, edges);
+}
+
+CsrGraph csrRandomTree(std::size_t n, util::Rng& rng) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (Vertex v = 1; v < n; ++v) {
+    edges.emplace_back(v, static_cast<Vertex>(rng.nextBelow(v)));
+  }
+  return CsrGraph::fromEdges(n, edges);
+}
+
+CsrGraph csrRandomBoundedDegree(std::size_t n, std::size_t maxDegree,
+                                std::size_t extraEdges, util::Rng& rng) {
+  if (maxDegree < 2) {
+    throw std::invalid_argument("csrRandomBoundedDegree: need maxDegree >= 2");
+  }
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve((n > 0 ? n - 1 : 0) + extraEdges);
+  std::vector<std::uint32_t> degree(n, 0);
+  // Degree-capped random recursive tree. A non-full parent always exists:
+  // the tree on v vertices has total degree 2(v - 1) < maxDegree * v for
+  // maxDegree >= 2.
+  for (Vertex v = 1; v < n; ++v) {
+    Vertex parent = static_cast<Vertex>(rng.nextBelow(v));
+    while (degree[parent] >= maxDegree) parent = (parent + 1) % v;
+    edges.emplace_back(v, parent);
+    ++degree[v];
+    ++degree[parent];
+  }
+  if (extraEdges > 0 && n >= 2) {
+    // Membership set over edge keys (min, max) packed into one word; O(m)
+    // memory — never the dense matrix.
+    std::unordered_set<std::uint64_t> present;
+    present.reserve(edges.size() + extraEdges);
+    auto key = [](Vertex a, Vertex b) {
+      if (a > b) std::swap(a, b);
+      return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    for (const auto& [u, v] : edges) present.insert(key(u, v));
+    std::size_t budget = extraEdges;
+    std::size_t guard = 0;
+    const std::size_t guardLimit = 100 * extraEdges + 1000;
+    while (budget > 0 && guard < guardLimit) {
+      ++guard;
+      Vertex u = static_cast<Vertex>(rng.nextBelow(n));
+      Vertex v = static_cast<Vertex>(rng.nextBelow(n));
+      if (u == v || degree[u] >= maxDegree || degree[v] >= maxDegree) continue;
+      if (!present.insert(key(u, v)).second) continue;
+      edges.emplace_back(u, v);
+      ++degree[u];
+      ++degree[v];
+      --budget;
+    }
+  }
+  return CsrGraph::fromEdges(n, edges);
+}
+
+CsrGraph csrDsymOverTree(std::size_t sideSize, std::size_t pathRadius,
+                         util::Rng& rng) {
+  if (sideSize < 1) throw std::invalid_argument("csrDsymOverTree: empty side");
+  const std::size_t n = sideSize;
+  const std::size_t total = 2 * n + 2 * pathRadius + 1;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(2 * (n - 1) + 2 * pathRadius + 2);
+  for (Vertex v = 1; v < n; ++v) {
+    const Vertex parent = static_cast<Vertex>(rng.nextBelow(v));
+    edges.emplace_back(v, parent);
+    edges.emplace_back(static_cast<Vertex>(v + n), static_cast<Vertex>(parent + n));
+  }
+  // The path 0 - (2n) - (2n+1) - ... - (2n+2r) - n.
+  const Vertex firstPath = static_cast<Vertex>(2 * n);
+  const Vertex lastPath = static_cast<Vertex>(2 * n + 2 * pathRadius);
+  edges.emplace_back(0, firstPath);
+  for (Vertex v = firstPath; v < lastPath; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(lastPath, static_cast<Vertex>(n));
+  return CsrGraph::fromEdges(total, edges);
 }
 
 }  // namespace dip::graph

@@ -2,6 +2,7 @@
 // verified rigid / symmetric instance factories used by the experiments.
 #pragma once
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -35,5 +36,36 @@ Permutation randomPermutation(std::size_t n, util::Rng& rng);
 
 // g relabeled by a fresh uniform permutation (an isomorphic copy).
 Graph randomIsomorphicCopy(const Graph& g, util::Rng& rng);
+
+// ---- CSR-native sparse families (large n, no dense intermediate) ----
+//
+// These build `CsrGraph` from O(m) edge buffers, so n = 10^6 instances fit
+// in tens of megabytes where the dense constructors would need ~125 GB.
+// The random generators consume their Rng in a documented draw order so
+// equal seeds give equal graphs across representations where a dense twin
+// exists (csrRandomTree matches randomTree draw-for-draw).
+
+CsrGraph csrPathGraph(std::size_t n);
+CsrGraph csrStarGraph(std::size_t n);  // Vertex 0 is the hub.
+CsrGraph csrGridGraph(std::size_t rows, std::size_t cols);
+
+// Random recursive tree; identical edges to randomTree(n, rng) for equal rng
+// state (one nextBelow(v) draw per vertex v = 1..n-1).
+CsrGraph csrRandomTree(std::size_t n, util::Rng& rng);
+
+// Connected random graph with every degree <= maxDegree (requires
+// maxDegree >= 2): a degree-capped random recursive tree (draw a parent
+// below v; on a full parent, probe downward cyclically to the nearest
+// vertex with spare capacity) plus up to extraEdges uniform extra edges
+// that respect the cap.
+CsrGraph csrRandomBoundedDegree(std::size_t n, std::size_t maxDegree,
+                                std::size_t extraEdges, util::Rng& rng);
+
+// DSym YES-instance (Definition 5 layout, see graph/builders.hpp) over a
+// random recursive tree side: equal-seed twin of
+// dsymInstance(randomTree(sideSize, rng), pathRadius), built edge-list
+// native for large sideSize.
+CsrGraph csrDsymOverTree(std::size_t sideSize, std::size_t pathRadius,
+                         util::Rng& rng);
 
 }  // namespace dip::graph

@@ -45,6 +45,41 @@ class Graph {
   // Closed neighbors (v included), sorted.
   std::vector<Vertex> closedNeighbors(Vertex v) const;
 
+  // Allocation-free neighborhood iteration, ascending. These mirror
+  // CsrGraph's visitors so traversal code (spanning trees, lower-bound
+  // baselines, dry-run accounting) can be templated over either
+  // representation; hot loops must use these instead of neighbors() /
+  // closedNeighbors(), which build a fresh vector per call.
+  template <typename Fn>
+  void forEachNeighbor(Vertex v, Fn&& fn) const {
+    rows_[v].forEachSet([&](std::size_t u) { fn(static_cast<Vertex>(u)); });
+  }
+
+  // Closed neighborhood (v included), ascending.
+  template <typename Fn>
+  void forEachClosedNeighbor(Vertex v, Fn&& fn) const {
+    bool emitted = false;
+    rows_[v].forEachSet([&](std::size_t bit) {
+      const Vertex u = static_cast<Vertex>(bit);
+      if (!emitted && u > v) {
+        emitted = true;
+        fn(v);
+      }
+      fn(u);
+    });
+    if (!emitted) fn(v);
+  }
+
+  // Visits every edge once as (u, v) with u < v, ascending by (u, v).
+  template <typename Fn>
+  void forEachEdge(Fn&& fn) const {
+    for (Vertex u = 0; u < n_; ++u) {
+      rows_[u].forEachSet([&](std::size_t bit) {
+        if (bit > u) fn(u, static_cast<Vertex>(bit));
+      });
+    }
+  }
+
   bool isConnected() const;
 
   // The graph with vertex v renamed to perm[v] (sigma(G) in the paper).

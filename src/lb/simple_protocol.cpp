@@ -182,7 +182,7 @@ SimpleToyProtocol parityToyProtocol() {
                                 const std::vector<std::uint8_t>& challenges,
                                 const std::vector<std::uint8_t>& responses) {
     std::uint8_t expected = challenges[v] & 1u;
-    g.row(v).forEachSet([&](std::size_t u) { expected ^= responses[u] & 1u; });
+    g.forEachNeighbor(v, [&](graph::Vertex u) { expected ^= responses[u] & 1u; });
     return (responses[v] & 1u) == expected;
   };
   protocol.bridgeF = [](const graph::Graph&, graph::Vertex,

@@ -1,61 +1,10 @@
 #include "net/spanning.hpp"
 
 #include <algorithm>
-#include <numeric>
-#include <stdexcept>
 
 #include "util/bitio.hpp"
 
 namespace dip::net {
-
-SpanningTreeAdvice buildBfsTree(const graph::Graph& g, graph::Vertex root) {
-  const std::size_t n = g.numVertices();
-  if (root >= n) throw std::out_of_range("buildBfsTree: root out of range");
-  SpanningTreeAdvice advice;
-  advice.root = root;
-  advice.parent.assign(n, root);
-  advice.dist.assign(n, UINT32_MAX);
-  // BFS frontier as a flat vector with a read cursor: every vertex enters
-  // the queue at most once, and the thread-local buffer keeps its capacity
-  // across the per-trial calls.
-  thread_local std::vector<graph::Vertex> queue;
-  queue.clear();
-  queue.push_back(root);
-  advice.dist[root] = 0;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    graph::Vertex v = queue[head];
-    g.row(v).forEachSet([&](std::size_t u) {
-      if (advice.dist[u] == UINT32_MAX) {
-        advice.dist[u] = advice.dist[v] + 1;
-        advice.parent[u] = v;
-        queue.push_back(static_cast<graph::Vertex>(u));
-      }
-    });
-  }
-  for (std::uint32_t d : advice.dist) {
-    if (d == UINT32_MAX) throw std::invalid_argument("buildBfsTree: graph not connected");
-  }
-  return advice;
-}
-
-bool verifyTreeLocally(const graph::Graph& g, const SpanningTreeAdvice& advice,
-                       graph::Vertex v) {
-  if (advice.parent.size() != g.numVertices() || advice.dist.size() != g.numVertices()) {
-    return false;
-  }
-  if (v == advice.root) return advice.dist[v] == 0;
-  graph::Vertex parent = advice.parent[v];
-  if (parent >= g.numVertices() || !g.hasEdge(v, parent)) return false;
-  return advice.dist[v] >= 1 && advice.dist[parent] == advice.dist[v] - 1;
-}
-
-std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
-                                      const SpanningTreeAdvice& advice,
-                                      graph::Vertex v) {
-  std::vector<graph::Vertex> children;
-  forEachChild(g, advice, v, [&](graph::Vertex u) { children.push_back(u); });
-  return children;
-}
 
 void bottomUpOrderInto(const SpanningTreeAdvice& advice,
                        std::vector<graph::Vertex>& order) {
@@ -79,6 +28,12 @@ std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice) {
   std::vector<graph::Vertex> order;
   bottomUpOrderInto(advice, order);
   return order;
+}
+
+std::uint32_t treeHeight(const SpanningTreeAdvice& advice) {
+  std::uint32_t maxDist = 0;
+  for (std::uint32_t d : advice.dist) maxDist = std::max(maxDist, d);
+  return maxDist;
 }
 
 std::size_t treeAdviceBitsPerNode(std::size_t numVertices) {

@@ -10,8 +10,15 @@
 // On a connected graph, all nodes passing implies the parent edges form a
 // spanning tree rooted at r (distances strictly decrease toward the root,
 // so parent chains terminate at r and cannot cycle).
+//
+// Everything here is templated over the graph representation: any type with
+// `numVertices()`, `hasEdge(u, v)` and an ascending `forEachNeighbor(v, fn)`
+// qualifies — the dense `graph::Graph` and the compressed `graph::CsrGraph`
+// both do, and they produce identical advice for equal graphs (BFS visits
+// neighbors in the same ascending order either way).
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -25,31 +32,71 @@ struct SpanningTreeAdvice {
 };
 
 // BFS tree from `root` (the honest prover's choice). Requires g connected.
-SpanningTreeAdvice buildBfsTree(const graph::Graph& g, graph::Vertex root);
+template <typename G>
+SpanningTreeAdvice buildBfsTree(const G& g, graph::Vertex root) {
+  const std::size_t n = g.numVertices();
+  if (root >= n) throw std::out_of_range("buildBfsTree: root out of range");
+  SpanningTreeAdvice advice;
+  advice.root = root;
+  advice.parent.assign(n, root);
+  advice.dist.assign(n, UINT32_MAX);
+  // BFS frontier as a flat vector with a read cursor: every vertex enters
+  // the queue at most once, and the thread-local buffer keeps its capacity
+  // across the per-trial calls.
+  thread_local std::vector<graph::Vertex> queue;
+  queue.clear();
+  queue.push_back(root);
+  advice.dist[root] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    graph::Vertex v = queue[head];
+    g.forEachNeighbor(v, [&](graph::Vertex u) {
+      if (advice.dist[u] == UINT32_MAX) {
+        advice.dist[u] = advice.dist[v] + 1;
+        advice.parent[u] = v;
+        queue.push_back(u);
+      }
+    });
+  }
+  for (std::uint32_t d : advice.dist) {
+    if (d == UINT32_MAX) throw std::invalid_argument("buildBfsTree: graph not connected");
+  }
+  return advice;
+}
 
 // Node v's local tree check. v reads only its own advice and the advice of
 // its closed neighborhood (d_{t_v} is visible because t_v must be a
 // neighbor).
-bool verifyTreeLocally(const graph::Graph& g, const SpanningTreeAdvice& advice,
-                       graph::Vertex v);
+template <typename G>
+bool verifyTreeLocally(const G& g, const SpanningTreeAdvice& advice,
+                       graph::Vertex v) {
+  if (advice.parent.size() != g.numVertices() || advice.dist.size() != g.numVertices()) {
+    return false;
+  }
+  if (v == advice.root) return advice.dist[v] == 0;
+  graph::Vertex parent = advice.parent[v];
+  if (parent >= g.numVertices() || !g.hasEdge(v, parent)) return false;
+  return advice.dist[v] >= 1 && advice.dist[parent] == advice.dist[v] - 1;
+}
 
-// C(v) = { u in N(v) | t_u = v } — v's children under the claimed advice
-// (Protocol 1, line 2). Computable from v's local view.
-std::vector<graph::Vertex> childrenOf(const graph::Graph& g,
-                                      const SpanningTreeAdvice& advice,
-                                      graph::Vertex v);
-
-// Visits C(v) in the same ascending order childrenOf returns, without
-// materializing the vector — the per-node chain folds run once per node per
-// trial, so the hot loops use this form.
-template <typename Visitor>
-void forEachChild(const graph::Graph& g, const SpanningTreeAdvice& advice,
+// Visits C(v) = { u in N(v) | t_u = v } — v's children under the claimed
+// advice (Protocol 1, line 2) — in ascending order without materializing the
+// vector; the per-node chain folds run once per node per trial, so the hot
+// loops use this form. Computable from v's local view.
+template <typename G, typename Visitor>
+void forEachChild(const G& g, const SpanningTreeAdvice& advice,
                   graph::Vertex v, Visitor&& visit) {
-  g.row(v).forEachSet([&](std::size_t u) {
-    if (advice.parent[u] == v && static_cast<graph::Vertex>(u) != advice.root) {
-      visit(static_cast<graph::Vertex>(u));
-    }
+  g.forEachNeighbor(v, [&](graph::Vertex u) {
+    if (advice.parent[u] == v && u != advice.root) visit(u);
   });
+}
+
+// C(v) as a sorted vector; convenience for tests and cold paths only.
+template <typename G>
+std::vector<graph::Vertex> childrenOf(const G& g, const SpanningTreeAdvice& advice,
+                                      graph::Vertex v) {
+  std::vector<graph::Vertex> children;
+  forEachChild(g, advice, v, [&](graph::Vertex u) { children.push_back(u); });
+  return children;
 }
 
 // Vertices ordered by decreasing claimed distance (leaves first); the honest
@@ -59,6 +106,9 @@ std::vector<graph::Vertex> bottomUpOrder(const SpanningTreeAdvice& advice);
 // temporaries) — the per-trial aggregators use this form.
 void bottomUpOrderInto(const SpanningTreeAdvice& advice,
                        std::vector<graph::Vertex>& order);
+
+// Height of the claimed tree: max distance over all nodes.
+std::uint32_t treeHeight(const SpanningTreeAdvice& advice);
 
 // Number of bits the advice costs per node: parent id + distance + root id.
 std::size_t treeAdviceBitsPerNode(std::size_t numVertices);

@@ -40,7 +40,7 @@ std::vector<bool> SymLcp::verify(const graph::Graph& g,
     }
     // (b) Neighbor consistency.
     bool consistent = true;
-    g.row(v).forEachSet([&](std::size_t u) {
+    g.forEachNeighbor(v, [&](graph::Vertex u) {
       if (!(advice[u] == label)) consistent = false;
     });
     if (!consistent) {

@@ -1,0 +1,14 @@
+// Fixture: closedNeighbors() in a loop body on the lower-bound baseline
+// path (src/lb) must fire hot-loop-alloc via the traversal shape.
+#include "graph/graph.hpp"
+
+namespace dip::lb {
+
+bool allNonEmpty(const graph::Graph* g, std::size_t rounds, graph::Vertex v) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (g->closedNeighbors(v).empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dip::lb

@@ -1,0 +1,19 @@
+// Fixture: the streaming visitor form of the same loop is clean, and a
+// one-shot neighbors() call outside any loop is tolerated (cold snapshot).
+#include "graph/graph.hpp"
+
+namespace dip::net {
+
+std::size_t sumDegrees(const graph::Graph& g) {
+  std::size_t acc = 0;
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    g.forEachNeighbor(v, [&](graph::Vertex u) { acc += u; });
+  }
+  return acc;
+}
+
+std::vector<graph::Vertex> snapshot(const graph::Graph& g, graph::Vertex v) {
+  return g.closedNeighbors(v);
+}
+
+}  // namespace dip::net

@@ -1,0 +1,15 @@
+// Fixture: neighbor-vector materialization inside a traversal loop on a
+// src/net path must fire hot-loop-alloc.
+#include "graph/graph.hpp"
+
+namespace dip::net {
+
+std::size_t sumDegrees(const graph::Graph& g) {
+  std::size_t acc = 0;
+  for (graph::Vertex v = 0; v < g.numVertices(); ++v) {
+    acc += g.neighbors(v).size();
+  }
+  return acc;
+}
+
+}  // namespace dip::net

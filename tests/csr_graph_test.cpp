@@ -1,0 +1,246 @@
+// Differential suite for the compressed CSR graph engine: CsrGraph must be
+// observationally identical to the dense Graph on every graph — exhaustively
+// for n <= 7 (every upper-triangle code), plus 10^3 seeded sparse instances
+// at the sizes the dense representation still tolerates, plus the codec's
+// block-boundary cases (empty, star, path, full blocks, block tails).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "net/spanning.hpp"
+#include "sim/dryrun.hpp"
+#include "util/rng.hpp"
+
+namespace dip::graph {
+namespace {
+
+// Collects forEachNeighbor output into a reused buffer.
+template <typename G>
+void neighborsInto(const G& g, Vertex v, std::vector<Vertex>& out) {
+  out.clear();
+  g.forEachNeighbor(v, [&](Vertex u) { out.push_back(u); });
+}
+
+// Full observational comparison of one dense/CSR pair. Returns false (and
+// records one gtest failure) on the first mismatch so exhaustive sweeps do
+// not drown the log.
+bool equivalent(const Graph& g, const CsrGraph& c, const char* what) {
+  const std::size_t n = g.numVertices();
+  if (c.numVertices() != n || c.numEdges() != g.numEdges()) {
+    ADD_FAILURE() << what << ": size mismatch";
+    return false;
+  }
+  Graph back = c.toGraph();
+  if (!(back == g) || !(back.upperTriangleBits() == g.upperTriangleBits())) {
+    ADD_FAILURE() << what << ": round trip not byte-identical";
+    return false;
+  }
+  if (CsrGraph::fromGraph(back) != c) {
+    ADD_FAILURE() << what << ": re-encoding is not canonical";
+    return false;
+  }
+  thread_local std::vector<Vertex> denseNbrs, csrNbrs;
+  for (Vertex v = 0; v < n; ++v) {
+    if (c.degree(v) != g.degree(v)) {
+      ADD_FAILURE() << what << ": degree(" << v << ") mismatch";
+      return false;
+    }
+    neighborsInto(g, v, denseNbrs);
+    neighborsInto(c, v, csrNbrs);
+    if (denseNbrs != csrNbrs) {
+      ADD_FAILURE() << what << ": neighbor set of " << v << " mismatch";
+      return false;
+    }
+    denseNbrs.clear();
+    g.forEachClosedNeighbor(v, [&](Vertex u) { denseNbrs.push_back(u); });
+    csrNbrs.clear();
+    c.forEachClosedNeighbor(v, [&](Vertex u) { csrNbrs.push_back(u); });
+    if (denseNbrs != csrNbrs) {
+      ADD_FAILURE() << what << ": closed neighborhood of " << v << " mismatch";
+      return false;
+    }
+  }
+  std::size_t denseMax = 0;
+  for (Vertex v = 0; v < n; ++v) denseMax = std::max(denseMax, g.degree(v));
+  if (n > 0 && c.maxDegree() != denseMax) {
+    ADD_FAILURE() << what << ": maxDegree mismatch";
+    return false;
+  }
+  if (c.isConnected() != g.isConnected()) {
+    ADD_FAILURE() << what << ": connectivity mismatch";
+    return false;
+  }
+  return true;
+}
+
+// Spanning-tree and dry-run identity on a connected pair: the BFS advice and
+// the degree-dependent GNI charge digest must agree bit for bit.
+bool equivalentTraversal(const Graph& g, const CsrGraph& c,
+                         const sim::GniWidths& widths, const char* what) {
+  net::SpanningTreeAdvice dense = net::buildBfsTree(g, 0);
+  net::SpanningTreeAdvice csr = net::buildBfsTree(c, 0);
+  if (dense.parent != csr.parent || dense.dist != csr.dist) {
+    ADD_FAILURE() << what << ": BFS advice differs across representations";
+    return false;
+  }
+  sim::GniClaimProfile profile;
+  profile.claimed.assign(1, 1);
+  profile.b.assign(1, 1);
+  const sim::DryRunReport a = sim::dryRunGniAmam(g, g, widths, profile);
+  const sim::DryRunReport b = sim::dryRunGniAmam(c, c, widths, profile);
+  if (a.costDigest != b.costDigest || a.maxPerNodeBits != b.maxPerNodeBits ||
+      a.totalBits != b.totalBits || a.treeHeight != b.treeHeight ||
+      a.maxDegree != b.maxDegree) {
+    ADD_FAILURE() << what << ": dry-run report differs across representations";
+    return false;
+  }
+  return true;
+}
+
+TEST(CsrGraph, ExhaustiveSmallGraphs) {
+  for (std::size_t n = 1; n <= 7; ++n) {
+    const std::size_t pairBits = n * (n - 1) / 2;
+    const std::uint64_t codes = 1ull << pairBits;
+    const sim::GniWidths widths = sim::gniModelWidths(n, 1);
+    char what[64];
+    for (std::uint64_t code = 0; code < codes; ++code) {
+      std::snprintf(what, sizeof(what), "n=%zu code=%llu", n,
+                    static_cast<unsigned long long>(code));
+      Graph g = Graph::fromUpperTriangleCode(n, code);
+      CsrGraph c = CsrGraph::fromGraph(g);
+      ASSERT_TRUE(equivalent(g, c, what));
+      if (g.isConnected()) {
+        ASSERT_TRUE(equivalentTraversal(g, c, widths, what));
+      }
+    }
+  }
+}
+
+TEST(CsrGraph, SeededSparseInstances) {
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::size_t n = 30 + (i * 7) % 170;
+    char what[64];
+    std::snprintf(what, sizeof(what), "instance %zu (n=%zu)", i, n);
+    util::Rng rng(987000 + i);
+    CsrGraph c;
+    switch (i % 3) {
+      case 0:
+        c = csrRandomTree(n, rng);
+        break;
+      case 1:
+        c = csrRandomBoundedDegree(n, 3 + i % 6, n / 3, rng);
+        break;
+      default:
+        c = csrDsymOverTree(n, 1 + i % 4, rng);
+        break;
+    }
+    Graph g = c.toGraph();
+    ASSERT_TRUE(equivalent(g, c, what));
+    ASSERT_TRUE(c.isConnected()) << what;
+    const sim::GniWidths widths = sim::gniModelWidths(g.numVertices(), 1);
+    ASSERT_TRUE(equivalentTraversal(g, c, widths, what));
+  }
+}
+
+TEST(CsrGraph, EqualSeedTwins) {
+  // The csr* sparse generators consume randomness draw-for-draw like their
+  // dense counterparts, so equal seeds must give equal graphs.
+  for (std::size_t n : {2u, 3u, 17u, 64u, 257u}) {
+    util::Rng a(5550 + n), b(5550 + n);
+    EXPECT_EQ(csrRandomTree(n, a).toGraph(), randomTree(n, b)) << "tree n=" << n;
+  }
+  for (std::size_t side : {1u, 4u, 20u}) {
+    for (std::size_t r : {1u, 2u, 5u}) {
+      util::Rng a(6660 + side * 10 + r), b(6660 + side * 10 + r);
+      Graph dense = dsymInstance(randomTree(side, b), r);
+      EXPECT_EQ(csrDsymOverTree(side, r, a).toGraph(), dense)
+          << "dsym side=" << side << " r=" << r;
+    }
+  }
+}
+
+TEST(CsrGraph, FixedFamiliesMatchDense) {
+  EXPECT_EQ(csrPathGraph(1).toGraph(), pathGraph(1));
+  EXPECT_EQ(csrPathGraph(9).toGraph(), pathGraph(9));
+  EXPECT_EQ(csrStarGraph(2).toGraph(), starGraph(2));
+  EXPECT_EQ(csrStarGraph(40).toGraph(), starGraph(40));
+  EXPECT_EQ(csrGridGraph(1, 1).toGraph(), gridGraph(1, 1));
+  EXPECT_EQ(csrGridGraph(3, 5).toGraph(), gridGraph(3, 5));
+  EXPECT_EQ(csrGridGraph(8, 8).toGraph(), gridGraph(8, 8));
+}
+
+TEST(CsrGraph, CompressionBoundaries) {
+  // Empty graphs: no payload, zero edges, still round-trips.
+  for (std::size_t n : {0u, 1u, 5u, 100u}) {
+    Graph g(n);
+    CsrGraph c = CsrGraph::fromGraph(g);
+    EXPECT_EQ(c.numEdges(), 0u);
+    EXPECT_EQ(c.adjacencyBits(), 0u);
+    EXPECT_EQ(c.bitsPerEdge(), 0.0);
+    EXPECT_EQ(c.toGraph(), g);
+  }
+  // Hub degrees straddling the 32-neighbor block cap: one short block, one
+  // exactly full block, a full block plus a 1-entry tail, two full blocks,
+  // and two full blocks plus a tail.
+  for (std::size_t hubDegree : {31u, 32u, 33u, 64u, 65u}) {
+    Graph g = starGraph(hubDegree + 1);
+    CsrGraph c = CsrGraph::fromGraph(g);
+    char what[32];
+    std::snprintf(what, sizeof(what), "star deg=%zu", hubDegree);
+    ASSERT_TRUE(equivalent(g, c, what));
+    EXPECT_EQ(c.maxDegree(), hubDegree);
+  }
+  // Paths keep every gap at 1 (minimum-width blocks); long enough to cross
+  // several word boundaries in the blob.
+  for (std::size_t n : {2u, 33u, 200u}) {
+    Graph g = pathGraph(n);
+    char what[32];
+    std::snprintf(what, sizeof(what), "path n=%zu", n);
+    ASSERT_TRUE(equivalent(g, CsrGraph::fromGraph(g), what));
+  }
+}
+
+TEST(CsrGraph, FromEdgesNormalizes) {
+  // Duplicates (in either orientation) collapse; order does not matter.
+  CsrGraph a = CsrGraph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  CsrGraph b = CsrGraph::fromEdges(4, {{3, 2}, {1, 0}, {2, 1}, {1, 2}, {0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.numEdges(), 3u);
+  EXPECT_EQ(a.toGraph(), Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}}));
+
+  EXPECT_THROW(CsrGraph::fromEdges(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph::fromEdges(3, {{0, 3}}), std::out_of_range);
+}
+
+TEST(CsrGraph, HasEdgeScansEitherEndpoint) {
+  util::Rng rng(424242);
+  CsrGraph c = csrRandomBoundedDegree(120, 8, 60, rng);
+  Graph g = c.toGraph();
+  for (Vertex u = 0; u < 120; ++u) {
+    for (Vertex v = 0; v < 120; ++v) {
+      ASSERT_EQ(c.hasEdge(u, v), g.hasEdge(u, v)) << u << "," << v;
+    }
+  }
+  EXPECT_LE(c.maxDegree(), 8u);
+}
+
+TEST(CsrGraph, MemoryAccountingIsSane) {
+  util::Rng rng(31337);
+  CsrGraph c = csrRandomTree(4096, rng);
+  // Compressed adjacency must undercut the dense rows (4096^2 bits) by a
+  // wide margin, and the per-edge payload stays within the header-amortized
+  // bound: 5 (header) + idBits (first) + idBits (worst-case gap) per
+  // endpoint pair is a loose ceiling for a tree.
+  EXPECT_LT(c.memoryBytes(), 4096u * 4096u / 8u / 10u);
+  EXPECT_GT(c.bitsPerEdge(), 0.0);
+  EXPECT_LT(c.bitsPerEdge(), 2.0 * (5.0 + 2.0 * 12.0));
+  EXPECT_EQ(c.numEdges(), 4095u);
+}
+
+}  // namespace
+}  // namespace dip::graph

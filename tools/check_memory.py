@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CI gate for the CSR graph engine's bytes-per-node budget.
+
+Compares a fresh `bench_e15_dryrun --json` memory report against the
+committed ceilings in BENCH_memory.json. The report is fully deterministic
+(fixed seeds, no timing), so unlike the throughput gate there is no
+tolerance band: a row fails when its bytes-per-node exceeds the committed
+ceiling, and the ceilings carry the headroom explicitly.
+
+A committed row that is missing from the current run also fails — dropping
+a family or size from the bench silently would un-gate it.
+
+Usage: check_memory.py BASELINE.json CURRENT.json
+Exit 0 when every committed row is present and within its ceiling,
+1 otherwise.
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        ceilings = json.load(handle)["maxBytesPerNode"]
+    with open(argv[2]) as handle:
+        rows = json.load(handle)["rows"]
+    current = {(row["family"], row["n"]): row for row in rows}
+
+    failed = []
+    for entry in ceilings:
+        key = (entry["family"], entry["n"])
+        label = f"{entry['family']:>8s} n={entry['n']:<8d}"
+        row = current.get(key)
+        if row is None:
+            print(f"{label}  MISSING from current run")
+            failed.append(f"{key}: missing from current run")
+            continue
+        measured = float(row["bytesPerNode"])
+        ceiling = float(entry["ceiling"])
+        status = "ok" if measured <= ceiling else "OVER BUDGET"
+        print(f"{label}  {measured:6.2f} B/node  ceiling {ceiling:6.2f}  {status}")
+        if measured > ceiling:
+            failed.append(f"{key}: {measured:.3f} B/node exceeds ceiling {ceiling:.3f}")
+
+    if failed:
+        print("\nMemory budget violations:", file=sys.stderr)
+        for line in failed:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(ceilings)} rows within the committed bytes-per-node budget.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

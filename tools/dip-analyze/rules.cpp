@@ -197,9 +197,20 @@ void ruleThreadContainment(SourceFile& file, std::vector<Finding>& findings) {
 // new, and container growth (push_back/emplace_back) on a receiver that was
 // never reserve()d earlier in the file -- geometric regrowth reallocates
 // mid-loop.
+//
+// A fourth shape guards the traversal paths (src/net, src/lb) specifically:
+// `g.neighbors(v)` / `g.closedNeighbors(v)` inside a loop body materializes
+// a fresh vector per visited vertex, which is exactly the allocation the
+// streaming `forEachNeighbor` visitors exist to avoid — spanning-tree
+// construction and the lower-bound baselines run these loops once per node
+// per trial. Only the traversal shape applies there; the three allocation
+// shapes above stay scoped to the hash/encode paths so cold src/net setup
+// code is not spuriously flagged.
 
 void ruleHotLoopAlloc(SourceFile& file, std::vector<Finding>& findings) {
-  if (!isHotPath(file.path) && !isTranscriptEncodePath(file.path)) return;
+  const bool allocScoped = isHotPath(file.path) || isTranscriptEncodePath(file.path);
+  const bool traversalScoped = isTraversalPath(file.path);
+  if (!allocScoped && !traversalScoped) return;
   const std::vector<Token>& tokens = file.tokens();
   auto bodies = loopBodies(tokens);
   auto inLoop = [&](std::size_t index) {
@@ -208,6 +219,22 @@ void ruleHotLoopAlloc(SourceFile& file, std::vector<Finding>& findings) {
     }
     return false;
   };
+  if (traversalScoped) {
+    for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+      if (!(tokens[i].isIdent("neighbors") || tokens[i].isIdent("closedNeighbors"))) {
+        continue;
+      }
+      if (!tokens[i + 1].isPunct("(")) continue;
+      if (!(tokens[i - 1].isPunct(".") || tokens[i - 1].isPunct("->"))) continue;
+      if (!inLoop(i)) continue;
+      emitAt(file, findings, "hot-loop-alloc",
+             tokens[i],
+             tokens[i].text + "() inside a traversal loop: materializes a "
+             "neighbor vector per visited vertex -- use the streaming "
+             "forEachNeighbor/forEachClosedNeighbor visitors instead");
+    }
+  }
+  if (!allocScoped) return;
   for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
     if (!tokens[i].isIdent("BigUInt")) continue;
     if (tokens[i + 1].kind != TokenKind::kIdentifier) continue;

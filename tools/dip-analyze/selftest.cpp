@@ -217,6 +217,46 @@ const SeededCase kCases[] = {
      "  }\n"
      "}\n",
      "hot-loop-alloc"},
+    {"src/net/bad_traversal_neighbors.cpp",
+     "std::size_t scan(const graph::Graph& g, std::size_t n) {\n"
+     "  std::size_t acc = 0;\n"
+     "  for (graph::Vertex v = 0; v < n; ++v) {\n"
+     "    for (graph::Vertex u : g.neighbors(v)) acc += u;\n"
+     "  }\n"
+     "  return acc;\n"
+     "}\n",
+     "hot-loop-alloc"},
+    {"src/lb/bad_traversal_closed.cpp",
+     "bool check(const graph::Graph* g, graph::Vertex v, std::size_t rounds) {\n"
+     "  for (std::size_t r = 0; r < rounds; ++r) {\n"
+     "    if (g->closedNeighbors(v).empty()) return false;\n"
+     "  }\n"
+     "  return true;\n"
+     "}\n",
+     "hot-loop-alloc"},
+    {"src/net/good_traversal_foreach.cpp",
+     "std::size_t scan(const graph::Graph& g, std::size_t n) {\n"
+     "  std::size_t acc = 0;\n"
+     "  for (graph::Vertex v = 0; v < n; ++v) {\n"
+     "    g.forEachNeighbor(v, [&](graph::Vertex u) { acc += u; });\n"
+     "  }\n"
+     "  return acc;\n"
+     "}\n",
+     nullptr},
+    {"src/net/good_traversal_cold.cpp",
+     "std::vector<graph::Vertex> snapshot(const graph::Graph& g, graph::Vertex v) {\n"
+     "  return g.neighbors(v);\n"
+     "}\n",
+     nullptr},
+    {"src/core/good_traversal_unscoped.cpp",
+     "std::size_t scan(const graph::Graph& g, std::size_t n) {\n"
+     "  std::size_t acc = 0;\n"
+     "  for (graph::Vertex v = 0; v < n; ++v) {\n"
+     "    acc += g.neighbors(v).size();\n"
+     "  }\n"
+     "  return acc;\n"
+     "}\n",
+     nullptr},
 
     // --- charge-coverage --------------------------------------------------
     {"src/core/bad_free_encode_round.cpp",

@@ -115,6 +115,10 @@ bool isTranscriptEncodePath(std::string_view path) {
   return path.starts_with("src/core/") && isWireModule(path);
 }
 
+bool isTraversalPath(std::string_view path) {
+  return path.starts_with("src/net/") || path.starts_with("src/lb/");
+}
+
 bool isAdvPath(std::string_view path) { return path.starts_with("src/adv/"); }
 
 }  // namespace dip::analyze
