@@ -1,0 +1,157 @@
+// E16 — distributed verification throughput: the dipd multi-process runtime
+// against the worker-count axis (1 -> N), all six workload cells.
+//
+// The deterministic table (protocol, trials, accepts, maxBits, digest) goes
+// to stdout ONCE and is bit-identical for every worker count — the bench
+// itself verifies that by running the whole cell set at each fleet size and
+// comparing results, so a determinism break fails the bench, not just the
+// test tier. Timings (trials/sec per worker count, scaling vs one worker)
+// go to stderr and, with --json PATH, to a JSON file in the
+// BENCH_distributed.json baseline format; CI pins the digests exactly
+// (machine-independent) and gates scaling_vs_1 against committed floors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+#include "bench/table.hpp"
+#include "sim/distributed.hpp"
+#include "sim/workload.hpp"
+
+using namespace dip;
+
+namespace {
+
+constexpr unsigned kWorkerCounts[] = {1, 2, 4};
+constexpr int kRepeats = 3;  // Best-of wall time; results are checked identical.
+
+struct CellRun {
+  std::string protocol;
+  unsigned workers = 0;
+  sim::TrialStats stats;
+};
+
+std::vector<CellRun> runFleet(unsigned workers, unsigned threadsPerWorker) {
+  sim::TrialConfig base;  // The committed base seed (0): digests match goldens.
+  sim::DistributedConfig dist;
+  dist.workers = workers;
+  dist.threadsPerWorker = threadsPerWorker;
+  dist.grain = 64;
+  sim::DistributedRunner runner(base, dist);
+  std::vector<CellRun> runs;
+  for (const sim::workload::CellInfo& info : sim::workload::cells()) {
+    CellRun run;
+    run.protocol = std::string(info.name);
+    run.workers = workers;
+    run.stats = runner.runCell(info.name);
+    for (int rep = 1; rep < kRepeats; ++rep) {
+      sim::TrialStats again = runner.runCell(info.name);
+      if (!again.sameResults(run.stats)) {
+        std::fprintf(stderr, "repeat diverged on %s\n", info.name.data());
+        std::exit(1);
+      }
+      if (again.wallSeconds < run.stats.wallSeconds) run.stats = again;
+    }
+    runs.push_back(std::move(run));
+  }
+  runner.shutdown();
+  return runs;
+}
+
+double trialsPerSecond(const sim::TrialStats& stats) {
+  return stats.wallSeconds > 0.0
+             ? static_cast<double>(stats.trials) / stats.wallSeconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  unsigned threadsPerWorker = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      jsonPath = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--threads-per-worker") == 0 && i + 1 < argc) {
+      threadsPerWorker = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+
+  bench::printHeader("E16", "Distributed verification: dipd throughput scaling 1 -> N workers");
+  std::fprintf(stderr, "[dipd fleet: %u thread(s) per worker]\n", threadsPerWorker);
+
+  std::vector<std::vector<CellRun>> byWorkers;
+  for (unsigned workers : kWorkerCounts) {
+    byWorkers.push_back(runFleet(workers, threadsPerWorker));
+  }
+
+  // Deterministic table, printed from the single-worker fleet; every other
+  // fleet size must agree bit for bit.
+  const std::vector<CellRun>& base = byWorkers.front();
+  std::printf("\n%-12s  %7s  %7s  %8s  %18s\n", "protocol", "trials", "accepts",
+              "maxBits", "digest");
+  bench::printRule();
+  bool identical = true;
+  for (const CellRun& run : base) {
+    std::printf("%-12s  %7zu  %7zu  %8zu  0x%016llx\n", run.protocol.c_str(),
+                run.stats.trials, run.stats.accepts, run.stats.maxPerNodeBits,
+                static_cast<unsigned long long>(run.stats.digest));
+  }
+  for (std::size_t w = 1; w < byWorkers.size(); ++w) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (!byWorkers[w][i].stats.sameResults(base[i].stats)) identical = false;
+    }
+  }
+  std::printf("\nresults identical across worker counts {1, 2, 4}: %s\n",
+              identical ? "yes" : "NO (BUG)");
+
+  // Timings: stderr + optional JSON, never stdout.
+  std::fprintf(stderr, "\n%-12s  %7s  %12s  %10s\n", "protocol", "workers",
+               "trials/s", "scaling");
+  for (std::size_t w = 0; w < byWorkers.size(); ++w) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const CellRun& run = byWorkers[w][i];
+      const double scaling =
+          trialsPerSecond(base[i].stats) > 0.0
+              ? trialsPerSecond(run.stats) / trialsPerSecond(base[i].stats)
+              : 0.0;
+      std::fprintf(stderr, "%-12s  %7u  %12.1f  %9.2fx\n", run.protocol.c_str(),
+                   run.workers, trialsPerSecond(run.stats), scaling);
+    }
+  }
+
+  if (!jsonPath.empty()) {
+    std::FILE* out = std::fopen(jsonPath.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"bench_e16_distributed\",\n  \"cells\": [\n");
+    bool first = true;
+    for (std::size_t w = 0; w < byWorkers.size(); ++w) {
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        const CellRun& run = byWorkers[w][i];
+        const double scaling =
+            trialsPerSecond(base[i].stats) > 0.0
+                ? trialsPerSecond(run.stats) / trialsPerSecond(base[i].stats)
+                : 0.0;
+        std::fprintf(out,
+                     "%s    {\"protocol\": \"%s\", \"workers\": %u, \"trials\": %zu, "
+                     "\"accepts\": %zu, \"max_bits\": %zu, \"digest\": \"0x%016llx\", "
+                     "\"trials_per_sec\": %.1f, \"scaling_vs_1\": %.3f}",
+                     first ? "" : ",\n", run.protocol.c_str(), run.workers,
+                     run.stats.trials, run.stats.accepts, run.stats.maxPerNodeBits,
+                     static_cast<unsigned long long>(run.stats.digest),
+                     trialsPerSecond(run.stats), scaling);
+        first = false;
+      }
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+  }
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+#include "rpc/channel.hpp"
+
+#include <cerrno>
+#include <cstddef>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dip::rpc {
+
+FrameChannel::~FrameChannel() { close(); }
+
+FrameChannel::FrameChannel(FrameChannel&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void FrameChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FrameChannel::send(Verb verb, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> bytes;
+  encodeFrame(verb, payload, bytes);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full socket buffer: wait for writability
+        // so a frame is always sent whole (frames interleave, not bytes).
+        struct pollfd pfd{fd_, POLLOUT, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
+      return false;  // EPIPE/ECONNRESET: peer is gone.
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool FrameChannel::readAvailable() {
+  if (fd_ < 0) return false;
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + got);
+      if (static_cast<std::size_t>(got) < sizeof(chunk)) return true;
+      continue;  // A full chunk: there may be more queued.
+    }
+    if (got == 0) return false;  // EOF.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+std::optional<Frame> FrameChannel::recv() {
+  for (;;) {
+    if (std::optional<Frame> frame = next()) return frame;
+    if (fd_ < 0) return std::nullopt;
+    std::uint8_t chunk[65536];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + got);
+      continue;
+    }
+    if (got == 0) return std::nullopt;  // EOF.
+    if (errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+}  // namespace dip::rpc

@@ -1,0 +1,58 @@
+// Framed message transport over a local stream-socket file descriptor.
+//
+// FrameChannel owns the byte-level mechanics both dipd endpoints share:
+// partial writes, EINTR retries, read-buffer accumulation and frame
+// extraction. It is deliberately thread-free (the coordinator multiplexes
+// channels with poll(2) on one thread; a worker's reader thread lives in
+// src/sim with the rest of the thread management) and never signals:
+// writes use MSG_NOSIGNAL so a dead peer surfaces as a clean false return,
+// not SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rpc/frame.hpp"
+
+namespace dip::rpc {
+
+class FrameChannel {
+ public:
+  // Takes ownership of `fd` (closed on destruction or close()).
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel();
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  FrameChannel(FrameChannel&& other) noexcept;
+  FrameChannel& operator=(FrameChannel&&) = delete;
+
+  int fd() const { return fd_; }
+  void close();
+
+  // Writes one whole frame (blocking until sent). Returns false when the
+  // peer is gone (EPIPE/ECONNRESET) or the channel is closed.
+  bool send(Verb verb, std::span<const std::uint8_t> payload);
+  bool send(Verb verb) { return send(verb, {}); }
+
+  // Drains whatever the socket currently holds into the read buffer.
+  // Returns false on EOF or a hard read error (the peer is gone); with a
+  // non-blocking fd it returns true as soon as the socket would block, so
+  // poll loops call it once per readiness event.
+  bool readAvailable();
+
+  // Extracts the next complete frame from the read buffer, or nullopt.
+  // Throws CodecError on malformed bytes (see rpc::extractFrame).
+  std::optional<Frame> next() { return extractFrame(buffer_); }
+
+  // Blocking receive: reads until one full frame is available. nullopt on
+  // EOF. Only for blocking fds (the worker-side handshake).
+  std::optional<Frame> recv();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace dip::rpc

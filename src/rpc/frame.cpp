@@ -1,0 +1,243 @@
+#include "rpc/frame.hpp"
+
+#include <algorithm>
+
+#include "util/bitio.hpp"
+
+namespace dip::rpc {
+
+namespace {
+
+// Ceilings on embedded counts, enforced before any allocation sized by
+// attacker-controlled bytes. A 16-trial seed-range PARTIAL holds 16
+// outcomes; 1<<16 leaves three orders of magnitude of headroom while
+// keeping a corrupt count harmless.
+constexpr std::uint64_t kMaxOutcomes = 1u << 16;
+constexpr std::uint64_t kMaxCellName = 256;
+
+void writeString(util::BitWriter& writer, const std::string& text) {
+  writer.writeVarUInt(text.size());
+  for (char c : text) {
+    writer.writeUInt(static_cast<std::uint8_t>(c), 8);
+  }
+}
+
+std::string readString(util::BitReader& reader) {
+  const std::uint64_t length = reader.readVarUInt();
+  if (length > kMaxCellName) throw CodecError("string length exceeds ceiling");
+  std::string text;
+  text.reserve(static_cast<std::size_t>(length));
+  for (std::uint64_t i = 0; i < length; ++i) {
+    text.push_back(static_cast<char>(reader.readUInt(8)));
+  }
+  return text;
+}
+
+std::vector<std::uint8_t> finish(const util::BitWriter& writer) {
+  auto bytes = writer.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+// Runs a payload decoder with the bitio exceptions translated to
+// CodecError, and enforces that the decoder consumed the whole payload
+// (only zero padding bits in the final byte may remain).
+template <typename Fn>
+auto decodePayload(const Frame& frame, Verb expect, Fn&& fn) {
+  if (frame.verb != expect) {
+    throw CodecError(std::string("unexpected verb: got ") +
+                     std::string(verbName(frame.verb)) + ", want " +
+                     std::string(verbName(expect)));
+  }
+  try {
+    util::BitReader reader(frame.payload, frame.payload.size() * 8);
+    auto msg = fn(reader);
+    if (reader.bitsRemaining() >= 8) {
+      throw CodecError("trailing bytes after payload");
+    }
+    while (reader.bitsRemaining() > 0) {
+      if (reader.readBit()) throw CodecError("nonzero padding bits");
+    }
+    return msg;
+  } catch (const CodecError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CodecError(std::string("malformed ") + std::string(verbName(expect)) +
+                     " payload: " + e.what());
+  }
+}
+
+}  // namespace
+
+bool verbKnown(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(Verb::kHello) &&
+         raw <= static_cast<std::uint8_t>(Verb::kShutdown);
+}
+
+std::string_view verbName(Verb verb) {
+  switch (verb) {
+    case Verb::kHello: return "HELLO";
+    case Verb::kAssign: return "ASSIGN";
+    case Verb::kPartial: return "PARTIAL";
+    case Verb::kRetire: return "RETIRE";
+    case Verb::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+void encodeFrame(Verb verb, std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out) {
+  if (payload.size() > kMaxFramePayload) {
+    throw CodecError("frame payload exceeds ceiling");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + 5 + payload.size());
+  out.push_back(static_cast<std::uint8_t>(length & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((length >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((length >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((length >> 24) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(verb));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::optional<Frame> extractFrame(std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < 5) return std::nullopt;
+  const std::uint32_t length = static_cast<std::uint32_t>(buffer[0]) |
+                               (static_cast<std::uint32_t>(buffer[1]) << 8) |
+                               (static_cast<std::uint32_t>(buffer[2]) << 16) |
+                               (static_cast<std::uint32_t>(buffer[3]) << 24);
+  if (length > kMaxFramePayload) {
+    // Consume the poisoned header so the caller can fail the peer without
+    // re-throwing forever on the same bytes.
+    buffer.clear();
+    throw CodecError("frame length prefix exceeds ceiling");
+  }
+  if (!verbKnown(buffer[4])) {
+    buffer.clear();
+    throw CodecError("unknown verb tag");
+  }
+  if (buffer.size() < 5u + length) return std::nullopt;
+  Frame frame;
+  frame.verb = static_cast<Verb>(buffer[4]);
+  frame.payload.assign(buffer.begin() + 5, buffer.begin() + 5 + length);
+  buffer.erase(buffer.begin(), buffer.begin() + 5 + length);
+  return frame;
+}
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg& msg) {
+  util::BitWriter writer;
+  writer.writeVarUInt(msg.version);
+  writer.writeVarUInt(msg.pid);
+  writer.writeVarUInt(msg.threads);
+  return finish(writer);
+}
+
+HelloMsg decodeHello(const Frame& frame) {
+  return decodePayload(frame, Verb::kHello, [](util::BitReader& reader) {
+    HelloMsg msg;
+    msg.version = reader.readVarUInt();
+    msg.pid = reader.readVarUInt();
+    msg.threads = reader.readVarUInt();
+    if (msg.version != kProtocolVersion) throw CodecError("version mismatch");
+    if (msg.threads == 0 || msg.threads > 1024) {
+      throw CodecError("implausible worker thread count");
+    }
+    return msg;
+  });
+}
+
+std::vector<std::uint8_t> encodeHelloAck(const HelloAckMsg& msg) {
+  util::BitWriter writer;
+  writer.writeVarUInt(msg.version);
+  writer.writeVarUInt(msg.workerId);
+  return finish(writer);
+}
+
+HelloAckMsg decodeHelloAck(const Frame& frame) {
+  return decodePayload(frame, Verb::kHello, [](util::BitReader& reader) {
+    HelloAckMsg msg;
+    msg.version = reader.readVarUInt();
+    msg.workerId = reader.readVarUInt();
+    if (msg.version != kProtocolVersion) throw CodecError("version mismatch");
+    return msg;
+  });
+}
+
+std::vector<std::uint8_t> encodeAssign(const AssignMsg& msg) {
+  util::BitWriter writer;
+  writer.writeVarUInt(msg.epoch);
+  writer.writeVarUInt(msg.rangeIndex);
+  writer.writeVarUInt(msg.lo);
+  writer.writeVarUInt(msg.hi);
+  writer.writeUInt(msg.masterSeed, 64);
+  writeString(writer, msg.cell);
+  return finish(writer);
+}
+
+AssignMsg decodeAssign(const Frame& frame) {
+  return decodePayload(frame, Verb::kAssign, [](util::BitReader& reader) {
+    AssignMsg msg;
+    msg.epoch = reader.readVarUInt();
+    msg.rangeIndex = reader.readVarUInt();
+    msg.lo = reader.readVarUInt();
+    msg.hi = reader.readVarUInt();
+    msg.masterSeed = reader.readUInt(64);
+    msg.cell = readString(reader);
+    if (msg.hi <= msg.lo) throw CodecError("empty or inverted seed-range");
+    if (msg.hi - msg.lo > kMaxOutcomes) throw CodecError("seed-range too wide");
+    if (msg.cell.empty()) throw CodecError("empty cell name");
+    return msg;
+  });
+}
+
+std::vector<std::uint8_t> encodePartial(const PartialMsg& msg) {
+  util::BitWriter writer;
+  writer.writeVarUInt(msg.workerId);
+  writer.writeVarUInt(msg.epoch);
+  writer.writeVarUInt(msg.rangeIndex);
+  writer.writeBit(msg.done);
+  writer.writeVarUInt(msg.outcomes.size());
+  for (const sim::TrialOutcome& outcome : msg.outcomes) {
+    writer.writeBit(outcome.accepted);
+    writer.writeVarUInt(outcome.maxPerNodeBits);
+    writer.writeUInt(outcome.digest, 64);
+  }
+  return finish(writer);
+}
+
+PartialMsg decodePartial(const Frame& frame) {
+  return decodePayload(frame, Verb::kPartial, [](util::BitReader& reader) {
+    PartialMsg msg;
+    msg.workerId = reader.readVarUInt();
+    msg.epoch = reader.readVarUInt();
+    msg.rangeIndex = reader.readVarUInt();
+    msg.done = reader.readBit();
+    const std::uint64_t count = reader.readVarUInt();
+    if (count > kMaxOutcomes) throw CodecError("outcome count exceeds ceiling");
+    if (!msg.done && count != 0) {
+      throw CodecError("heartbeat beacon must carry no outcomes");
+    }
+    msg.outcomes.resize(static_cast<std::size_t>(count));
+    for (sim::TrialOutcome& outcome : msg.outcomes) {
+      outcome.accepted = reader.readBit();
+      outcome.maxPerNodeBits = static_cast<std::size_t>(reader.readVarUInt());
+      outcome.digest = reader.readUInt(64);
+    }
+    return msg;
+  });
+}
+
+std::vector<std::uint8_t> encodeRetire(const RetireMsg& msg) {
+  util::BitWriter writer;
+  writer.writeVarUInt(msg.rangesCompleted);
+  return finish(writer);
+}
+
+RetireMsg decodeRetire(const Frame& frame) {
+  return decodePayload(frame, Verb::kRetire, [](util::BitReader& reader) {
+    RetireMsg msg;
+    msg.rangesCompleted = reader.readVarUInt();
+    return msg;
+  });
+}
+
+}  // namespace dip::rpc

@@ -1,0 +1,139 @@
+// The dipd wire protocol: length-prefixed frames over a local stream
+// socket, one explicit request/response pair per verb.
+//
+//   frame := u32-LE payloadBytes | u8 verb | payload[payloadBytes]
+//
+// Payloads are encoded with the same util::BitWriter/BitReader codec the
+// protocol wire formats use (net bitio conventions: varuints for counts and
+// identifiers, fixed-width writeUInt for 64-bit values, MSB-first). The
+// verb vocabulary, with direction and reply:
+//
+//   verb      direction            reply
+//   HELLO     worker -> coord      HELLO (ack carries the worker id)
+//   ASSIGN    coord  -> worker     PARTIAL* (beacons), then PARTIAL done=1
+//   PARTIAL   worker -> coord      (none; done=1 completes the ASSIGN)
+//   RETIRE    coord  -> worker     RETIRE (ack carries ranges completed)
+//   SHUTDOWN  coord  -> worker     (none; worker exits)
+//
+// Every decoder validates before trusting: unknown verb tags, truncated
+// payloads, oversized length prefixes and overlong varuints all raise
+// CodecError — never UB, never a crash (the rpc fuzz suite drives this
+// with the seeded-corpus pattern from tests/fuzz_seed.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/trial.hpp"
+
+namespace dip::rpc {
+
+// Malformed frame or payload. Carries a human-readable reason; callers
+// treat the peer as faulty (coordinator: mark worker dead; worker: exit).
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Verb : std::uint8_t {
+  kHello = 1,
+  kAssign = 2,
+  kPartial = 3,
+  kRetire = 4,
+  kShutdown = 5,
+};
+
+// True for the five known verb tags (decode rejects everything else).
+bool verbKnown(std::uint8_t raw);
+std::string_view verbName(Verb verb);
+
+// The protocol version both sides must agree on (HELLO handshake).
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+// Hard ceiling on a frame payload. A length prefix above this is rejected
+// before any allocation happens — a corrupt or hostile 4 GiB prefix must
+// not become a 4 GiB buffer.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+struct Frame {
+  Verb verb = Verb::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- Frame layer -----------------------------------------------------------
+
+// Appends the encoded frame (header + payload) to `out`.
+void encodeFrame(Verb verb, std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out);
+
+// Extracts one frame from the front of `buffer`, erasing its bytes, or
+// returns nullopt when the buffer does not yet hold a complete frame.
+// Throws CodecError for oversized length prefixes and unknown verbs (the
+// offending bytes are consumed so a poll loop can fail the peer cleanly).
+std::optional<Frame> extractFrame(std::vector<std::uint8_t>& buffer);
+
+// ---- Verb payloads ---------------------------------------------------------
+
+// HELLO, worker -> coordinator: who is calling.
+struct HelloMsg {
+  std::uint64_t version = kProtocolVersion;
+  std::uint64_t pid = 0;
+  std::uint64_t threads = 1;  // Worker-side trial-engine pool size.
+};
+
+// HELLO ack, coordinator -> worker: the assigned worker id.
+struct HelloAckMsg {
+  std::uint64_t version = kProtocolVersion;
+  std::uint64_t workerId = 0;
+};
+
+// ASSIGN, coordinator -> worker: run trials [lo, hi) of the named workload
+// cell under the engine-level base seed. rangeIndex tags every PARTIAL the
+// assignment produces; the coordinator's exactly-once fold dedups on it.
+// epoch identifies the coordinator-side run the assignment belongs to (a
+// daemon session serves many runs): a PARTIAL echoing a stale epoch can
+// refresh liveness but must never fold.
+struct AssignMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t rangeIndex = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t masterSeed = 0;
+  std::string cell;
+};
+
+// PARTIAL, worker -> coordinator. done=false frames are heartbeat beacons
+// (progress liveness, no outcomes); the done=true frame carries the full
+// outcome vector for the range, outcome i being global trial lo + i.
+struct PartialMsg {
+  std::uint64_t workerId = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t rangeIndex = 0;
+  bool done = false;
+  std::vector<sim::TrialOutcome> outcomes;
+};
+
+// RETIRE ack, worker -> coordinator (the request payload is empty).
+struct RetireMsg {
+  std::uint64_t rangesCompleted = 0;
+};
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg& msg);
+std::vector<std::uint8_t> encodeHelloAck(const HelloAckMsg& msg);
+std::vector<std::uint8_t> encodeAssign(const AssignMsg& msg);
+std::vector<std::uint8_t> encodePartial(const PartialMsg& msg);
+std::vector<std::uint8_t> encodeRetire(const RetireMsg& msg);
+
+// Decoders throw CodecError on any malformed payload (wrong verb, short or
+// trailing-garbage payloads, overlong strings/counts).
+HelloMsg decodeHello(const Frame& frame);
+HelloAckMsg decodeHelloAck(const Frame& frame);
+AssignMsg decodeAssign(const Frame& frame);
+PartialMsg decodePartial(const Frame& frame);
+RetireMsg decodeRetire(const Frame& frame);
+
+}  // namespace dip::rpc

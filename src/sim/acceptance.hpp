@@ -31,6 +31,22 @@ inline std::uint64_t runDigest(const core::RunResult& result) {
   return digest;
 }
 
+// The one trial body both substrates execute: build the trial's prover, run
+// the protocol on the trial's counter-derived stream, fingerprint the
+// transcript. Exposed so seed-range execution (distributed workers) and
+// whole-batch execution (estimateAcceptance) share it verbatim.
+template <typename Protocol, typename Instance, typename ProverFactory>
+auto acceptanceBody(const Protocol& protocol, const Instance& instance,
+                    ProverFactory&& proverFactory) {
+  return [&protocol, &instance,
+          factory = std::forward<ProverFactory>(proverFactory)](TrialContext& ctx) {
+    auto prover = factory(ctx.index);
+    core::RunResult result = protocol.run(instance, *prover, ctx.rng);
+    return TrialOutcome{result.accepted, result.transcript.maxPerNodeBits(),
+                        runDigest(result)};
+  };
+}
+
 // ProverFactory: std::size_t trialIndex -> owning pointer (or value) whose
 // dereference is the prover passed to Protocol::run.
 template <typename Protocol, typename Instance, typename ProverFactory>
@@ -41,13 +57,23 @@ TrialStats estimateAcceptance(const Protocol& protocol, const Instance& instance
   TrialRunner runner(config);
   return runner.run(
       trials,
-      [&](TrialContext& ctx) {
-        auto prover = proverFactory(ctx.index);
-        core::RunResult result = protocol.run(instance, *prover, ctx.rng);
-        return TrialOutcome{result.accepted, result.transcript.maxPerNodeBits(),
-                            runDigest(result)};
-      },
+      acceptanceBody(protocol, instance,
+                     std::forward<ProverFactory>(proverFactory)),
       outcomes);
+}
+
+// Seed-range slice of estimateAcceptance: outcomes for GLOBAL trial indices
+// [lo, hi) only, identical entry-for-entry to the same slice of the full
+// run (see TrialRunner::runRange).
+template <typename Protocol, typename Instance, typename ProverFactory>
+std::vector<TrialOutcome> estimateAcceptanceRange(
+    const Protocol& protocol, const Instance& instance,
+    ProverFactory&& proverFactory, std::uint64_t lo, std::uint64_t hi,
+    const TrialConfig& config) {
+  TrialRunner runner(config);
+  return runner.runRange(lo, hi,
+                         acceptanceBody(protocol, instance,
+                                        std::forward<ProverFactory>(proverFactory)));
 }
 
 // Parallel per-repetition hit estimation for the GNI protocols. HitFn:

@@ -1,0 +1,91 @@
+// Bounded blocking MPMC queue — the backpressure primitive of the dipd
+// worker runtime.
+//
+// A worker's socket-reader thread pushes ASSIGN jobs here and its executor
+// pops them. The bound is the backpressure contract: when the queue is
+// full the reader blocks, stops draining its socket, and the coordinator's
+// per-worker outstanding-range cap keeps the pipeline from running ahead
+// of execution. close() ends the stream: pushes fail immediately, pops
+// drain whatever is buffered and then return nullopt. The tsan suite
+// drives the blocking, shutdown-while-full and drain semantics with real
+// concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dip::sim {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Blocks while the queue is full. Returns false (dropping `value`) when
+  // the queue is closed — including a close that arrives mid-wait.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push: false when full or closed.
+  bool tryPush(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Returns nullopt only when
+  // the queue is closed AND drained: items buffered before close() are
+  // still delivered, in order.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return value;
+  }
+
+  // Ends the stream and wakes every waiter (blocked pushers give up,
+  // blocked poppers drain then give up).
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dip::sim

@@ -1,0 +1,116 @@
+// dipd: verification-as-a-service over local worker processes.
+//
+// DistributedRunner is the coordinator half of the dipd runtime: it forks N
+// worker processes connected by socketpair(AF_UNIX, SOCK_STREAM) links,
+// shards a cell's trial indices into seed-ranges (ShardScheduler), streams
+// ASSIGN frames with bounded per-worker outstanding work, collects PARTIAL
+// outcome vectors and folds them with sim::foldOutcomes in global index
+// order. The determinism contract is the whole point:
+//
+//   stdout-visible results are byte-identical to the in-process
+//   TrialRunner for ANY worker count, ANY arrival order, and ANY
+//   crash/hang/delay pattern the fault plan can express.
+//
+// That holds because (a) trial outcomes are pure functions of
+// (cell, master seed, global index), (b) the coordinator stores outcomes by
+// global index and folds once at the end, and (c) ShardScheduler::complete
+// is an exactly-once gate — a range re-issued after a heartbeat timeout can
+// be completed by two workers, but only the first completion folds.
+//
+// Failure handling: a worker that misses its heartbeat deadline is marked
+// SUSPECT (its ranges re-issue, its socket stays open — a late completion
+// is deduped, any frame rehabilitates it); a worker whose socket reaches
+// EOF or speaks garbage is DEAD (SIGKILL + reissue). The run fails only
+// when every worker is dead.
+//
+// The worker half (runWorker) never returns: it handshakes, splits into a
+// socket-reader thread feeding a BoundedQueue (the backpressure contract)
+// and an executor that rebuilds cells by name and runs seed-ranges in
+// beacon-sized chunks, then parks until SHUTDOWN. Fault injection
+// (kill/hang/delay at a trial threshold) hooks between chunks so a fault
+// always lands mid-range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/trial.hpp"
+#include "sim/trial_runner.hpp"
+
+namespace dip::sim {
+
+// Injectable worker failure, for the fault tier. Applies to the worker
+// whose id matches `worker`; `afterTrials` counts trials EXECUTED by that
+// worker (across ranges), so the trigger lands mid-range whenever it is not
+// a multiple of the range width.
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kKill,   // _exit mid-range: coordinator sees EOF, re-issues.
+    kHang,   // stop forever mid-range: heartbeat timeout, suspect + re-issue.
+    kDelay,  // sleep once mid-range: timeout + re-issue, then the LATE
+             // completion still arrives — the exactly-once dedup path.
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t worker = 0;
+  std::uint64_t afterTrials = 0;
+  unsigned delayMillis = 0;
+};
+
+struct DistributedConfig {
+  unsigned workers = 2;
+  unsigned threadsPerWorker = 1;  // TrialRunner pool size inside each worker.
+  std::uint64_t grain = 16;       // Trials per seed-range.
+  unsigned maxOutstanding = 2;    // ASSIGNs in flight per worker (backpressure).
+  std::uint64_t beaconTrials = 8; // Worker emits a heartbeat every this many trials.
+  unsigned timeoutMillis = 2000;  // Silence beyond this => worker is suspect.
+  unsigned graceMillis = 2000;    // Shutdown patience before SIGKILL.
+  FaultPlan fault;
+};
+
+// Coordinator for a session of distributed cell runs. Workers are forked
+// lazily on the first runCell (fork happens while the parent holds no
+// engine threads) and live across calls, caching built cells by name —
+// the daemon shape: one spawn, many verification requests.
+class DistributedRunner {
+ public:
+  DistributedRunner(TrialConfig base, DistributedConfig dist);
+  ~DistributedRunner();  // Implies shutdown().
+  DistributedRunner(const DistributedRunner&) = delete;
+  DistributedRunner& operator=(const DistributedRunner&) = delete;
+
+  unsigned workers() const;
+  unsigned liveWorkers() const;
+  // Scheduler counters from the most recent runCell — what the fault tier
+  // asserts on: re-issues prove recovery ran, duplicates prove the
+  // exactly-once gate dropped a late completion.
+  std::uint64_t lastReissues() const;
+  std::uint64_t lastDuplicates() const;
+
+  // Runs the named workload cell (all committed trials, or the first
+  // trialLimit when trialLimit > 0) across the worker fleet and returns the
+  // index-ordered fold. If `outcomes` is non-null it receives the per-trial
+  // vector (what the differential suite compares against TrialRunner).
+  // Throws std::invalid_argument for unknown cells and std::runtime_error
+  // when every worker has died.
+  TrialStats runCell(std::string_view cell, std::size_t trialLimit = 0,
+                     std::vector<TrialOutcome>* outcomes = nullptr);
+
+  // Graceful teardown: RETIRE each live worker, await acks, SHUTDOWN,
+  // reap with SIGKILL after the grace window. Idempotent.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Worker-process entry point: speaks the dipd protocol on `fd` until
+// SHUTDOWN or coordinator EOF, then _exits — it NEVER returns (forked
+// children must not fall back into the parent's stack, e.g. gtest).
+[[noreturn]] void runWorker(int fd, unsigned threads, std::uint64_t beaconTrials,
+                            std::size_t queueCapacity, const FaultPlan& fault);
+
+}  // namespace dip::sim

@@ -1,0 +1,88 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dip::sim {
+
+std::vector<SeedRange> shardRanges(std::uint64_t trials, std::uint64_t grain) {
+  if (grain == 0) grain = 1;
+  std::vector<SeedRange> ranges;
+  ranges.reserve(static_cast<std::size_t>((trials + grain - 1) / grain));
+  std::uint64_t index = 0;
+  for (std::uint64_t lo = 0; lo < trials; lo += grain) {
+    ranges.push_back({index++, lo, std::min(lo + grain, trials)});
+  }
+  return ranges;
+}
+
+ShardScheduler::ShardScheduler(std::uint64_t trials, std::uint64_t grain)
+    : trials_(trials), ranges_(shardRanges(trials, grain)) {
+  states_.assign(ranges_.size(), State::kPending);
+  assignee_.assign(ranges_.size(), 0);
+  for (const SeedRange& range : ranges_) pending_.push_back(range.index);
+}
+
+const SeedRange& ShardScheduler::range(std::uint64_t index) const {
+  if (index >= ranges_.size()) {
+    throw std::out_of_range("ShardScheduler::range: index out of range");
+  }
+  return ranges_[static_cast<std::size_t>(index)];
+}
+
+std::optional<SeedRange> ShardScheduler::claim(std::uint64_t worker) {
+  while (!pending_.empty()) {
+    const std::uint64_t index = pending_.front();
+    pending_.pop_front();
+    // A pending entry can be stale: the range may have completed while it
+    // sat queued after a re-issue (its original assignee delivered late).
+    if (states_[static_cast<std::size_t>(index)] != State::kPending) continue;
+    states_[static_cast<std::size_t>(index)] = State::kAssigned;
+    assignee_[static_cast<std::size_t>(index)] = worker;
+    return ranges_[static_cast<std::size_t>(index)];
+  }
+  return std::nullopt;
+}
+
+bool ShardScheduler::complete(std::uint64_t rangeIndex) {
+  if (rangeIndex >= ranges_.size()) {
+    throw std::out_of_range("ShardScheduler::complete: stale range index");
+  }
+  State& state = states_[static_cast<std::size_t>(rangeIndex)];
+  if (state == State::kDone) {
+    ++duplicates_;
+    return false;  // Duplicate: already folded.
+  }
+  state = State::kDone;
+  ++completed_;
+  return true;
+}
+
+std::size_t ShardScheduler::reissueWorker(std::uint64_t worker) {
+  std::size_t requeued = 0;
+  for (const SeedRange& range : ranges_) {
+    const std::size_t i = static_cast<std::size_t>(range.index);
+    if (states_[i] == State::kAssigned && assignee_[i] == worker) {
+      states_[i] = State::kPending;
+      pending_.push_back(range.index);
+      ++requeued;
+    }
+  }
+  // Lowest-index-first keeps re-issue deterministic given the same claim
+  // sequence (and the fold never depends on it either way).
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()), pending_.end());
+  reissued_ += requeued;
+  return requeued;
+}
+
+std::size_t ShardScheduler::outstandingFor(std::uint64_t worker) const {
+  std::size_t count = 0;
+  for (const SeedRange& range : ranges_) {
+    const std::size_t i = static_cast<std::size_t>(range.index);
+    if (states_[i] == State::kAssigned && assignee_[i] == worker) ++count;
+  }
+  return count;
+}
+
+}  // namespace dip::sim

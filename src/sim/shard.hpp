@@ -1,0 +1,90 @@
+// Seed-range sharding and the coordinator's exactly-once bookkeeping.
+//
+// ShardScheduler is a plain deterministic state machine — no sockets, no
+// clocks, no threads — so the re-issue/dedup logic the fold's correctness
+// hangs on is unit-testable in isolation (including the heartbeat-timeout
+// re-issue race: a suspected worker's range re-issued to a healthy worker,
+// then BOTH completions arriving; exactly one may fold).
+//
+// Range lifecycle:
+//
+//   pending --claim--> assigned(worker) --complete--> done
+//       ^                    |
+//       +---- reissueWorker -+   (worker died or missed its heartbeat;
+//                                 the range returns to the pending queue,
+//                                 re-issued lowest-index-first)
+//
+// complete() is the exactly-once gate: the FIRST completion of a range
+// wins and returns true (fold it); every later completion of the same
+// range — a duplicate from a superseded assignment, a late worker that was
+// wrongly suspected — returns false (drop it). Out-of-range indices throw:
+// a peer sending them is faulty and the transport layer fails it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace dip::sim {
+
+// Global trial indices [lo, hi) with the range's position in the shard
+// order (index 0 covers the lowest trials). The fold concatenates ranges
+// by `index`, which is exactly trial-index order.
+struct SeedRange {
+  std::uint64_t index = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const SeedRange& other) const = default;
+};
+
+// Splits [0, trials) into grain-sized ranges (the last may be short).
+std::vector<SeedRange> shardRanges(std::uint64_t trials, std::uint64_t grain);
+
+class ShardScheduler {
+ public:
+  ShardScheduler(std::uint64_t trials, std::uint64_t grain);
+
+  std::uint64_t trials() const { return trials_; }
+  std::size_t rangeCount() const { return ranges_.size(); }
+  const SeedRange& range(std::uint64_t index) const;
+
+  // Claims the lowest-index issuable range for `worker`; nullopt when
+  // nothing is pending (everything is assigned or done).
+  std::optional<SeedRange> claim(std::uint64_t worker);
+
+  // Records a completion. True: first completion, fold the outcomes.
+  // False: duplicate or stale, drop them. Throws std::out_of_range for an
+  // index no range carries.
+  bool complete(std::uint64_t rangeIndex);
+
+  // Returns every incomplete range currently assigned to `worker` to the
+  // pending queue (worker death or heartbeat timeout). Returns how many
+  // ranges were re-queued. Idempotent.
+  std::size_t reissueWorker(std::uint64_t worker);
+
+  bool finished() const { return completed_ == ranges_.size(); }
+  std::uint64_t completedCount() const { return completed_; }
+  std::size_t pendingCount() const { return pending_.size(); }
+  // Incomplete ranges currently assigned to `worker`.
+  std::size_t outstandingFor(std::uint64_t worker) const;
+  // Observability for the fault tier: completions dropped by the
+  // exactly-once gate, and ranges ever re-queued by reissueWorker.
+  std::uint64_t duplicateCount() const { return duplicates_; }
+  std::uint64_t reissueCount() const { return reissued_; }
+
+ private:
+  enum class State : std::uint8_t { kPending, kAssigned, kDone };
+
+  std::uint64_t trials_;
+  std::vector<SeedRange> ranges_;
+  std::vector<State> states_;
+  std::vector<std::uint64_t> assignee_;
+  std::deque<std::uint64_t> pending_;  // Range indices, lowest first.
+  std::uint64_t completed_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reissued_ = 0;
+};
+
+}  // namespace dip::sim

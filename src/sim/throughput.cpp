@@ -1,30 +1,15 @@
 #include "sim/throughput.hpp"
 
 #include <array>
-#include <memory>
+#include <string>
 #include <utility>
 
-#include "core/dsym_dam.hpp"
-#include "core/gni_amam.hpp"
-#include "core/gni_general.hpp"
-#include "core/sym_dam.hpp"
-#include "core/sym_dmam.hpp"
-#include "core/sym_input.hpp"
-#include "graph/generators.hpp"
 #include "hash/batch_eval.hpp"
-#include "hash/linear_hash.hpp"
-#include "sim/acceptance.hpp"
-#include "util/rng.hpp"
+#include "sim/workload.hpp"
 
 namespace dip::sim {
 
 namespace {
-
-TrialConfig cellConfig(const TrialConfig& base, std::uint64_t offset) {
-  TrialConfig config = base;
-  config.masterSeed = base.masterSeed + offset;
-  return config;
-}
 
 // The no-win list behind scalarPreferred(): protocols whose committed
 // baseline speedup fell below 1.0 run scalar even under the batch engine.
@@ -32,19 +17,6 @@ TrialConfig cellConfig(const TrialConfig& base, std::uint64_t offset) {
 // stable identifier added here (and check_throughput.py enforces that a
 // sub-1.0 cell is either pinned or fixed).
 constexpr std::array<std::string_view, 0> kScalarPreferred{};
-
-// Runs one cell body with the per-protocol engine choice applied and
-// records which engine actually ran.
-template <typename Body>
-void runCell(std::vector<ThroughputCell>& cells, const char* name, Body&& body) {
-  const bool wantBatch = hash::batchEnabled();
-  const bool fallback = wantBatch && scalarPreferred(name);
-  if (fallback) hash::setBatchEnabled(false);
-  TrialStats stats = std::forward<Body>(body)();
-  if (fallback) hash::setBatchEnabled(true);
-  cells.push_back({name, std::move(stats),
-                   fallback ? "scalar-fallback" : (wantBatch ? "batch" : "scalar")});
-}
 
 }  // namespace
 
@@ -57,97 +29,21 @@ bool scalarPreferred(std::string_view protocol) {
 
 std::vector<ThroughputCell> runThroughputWorkload(const TrialConfig& config,
                                                   ThroughputSelection select) {
+  // The cells themselves live in the workload registry (sim/workload.*) so
+  // the distributed substrate shards the very same workloads; this function
+  // keeps the per-cell engine-choice bookkeeping that the throughput bench
+  // and its regression gate report on.
   std::vector<ThroughputCell> cells;
-  cells.reserve(6);
-  if (select.fast) {
-    // Large enough that hashing the n x n matrix dominates the trial; this
-    // is the cell where the batch engine's row factorization shows up most.
-    const std::size_t n = 48;
-    util::Rng rng(701);
-    core::SymDmamProtocol protocol(hash::makeProtocol1FamilyCached(n));
-    graph::Graph g = graph::randomSymmetricConnected(n, rng);
-    runCell(cells, "sym_dmam_p1", [&] {
-      return estimateAcceptance(
-          protocol, g,
-          [&](std::size_t) {
-            return std::make_unique<core::HonestSymDmamProver>(protocol.family());
-          },
-          200, cellConfig(config, 70101));
-    });
-  }
-  if (select.fast) {
-    const std::size_t n = 6;
-    util::Rng rng(702);
-    core::SymDamProtocol protocol(hash::makeProtocol2FamilyCached(n));
-    graph::Graph g = graph::randomSymmetricConnected(n, rng);
-    runCell(cells, "sym_dam_p2", [&] {
-      return estimateAcceptance(
-          protocol, g,
-          [&](std::size_t) {
-            return std::make_unique<core::HonestSymDamProver>(protocol.family());
-          },
-          4000, cellConfig(config, 70201));
-    });
-  }
-  if (select.fast) {
-    const std::size_t side = 8;
-    util::Rng rng(703);
-    graph::DSymLayout layout = graph::dsymLayout(side, 1);
-    core::DSymDamProtocol protocol(layout,
-                                   hash::makeProtocol1FamilyCached(layout.numVertices));
-    graph::Graph f = graph::randomRigidConnected(side, rng);
-    graph::Graph yes = graph::dsymInstance(f, 1);
-    runCell(cells, "dsym_dam", [&] {
-      return estimateAcceptance(
-          protocol, yes,
-          [&](std::size_t) {
-            return std::make_unique<core::HonestDSymProver>(layout, protocol.family());
-          },
-          1500, cellConfig(config, 70301));
-    });
-  }
-  if (select.fast) {
-    const std::size_t n = 8;
-    util::Rng rng(704);
-    core::SymInputProtocol protocol(hash::makeProtocol1FamilyCached(n));
-    core::SymInputInstance instance{graph::randomConnected(n, n / 2, rng),
-                                    graph::randomSymmetricConnected(n, rng)};
-    runCell(cells, "sym_input", [&] {
-      return estimateAcceptance(
-          protocol, instance,
-          [&](std::size_t) {
-            return std::make_unique<core::HonestSymInputProver>(protocol.family());
-          },
-          1200, cellConfig(config, 70401));
-    });
-  }
-  if (select.gni) {
-    util::Rng setup(705);
-    core::GniParams params = core::GniParams::choose(6, setup);
-    core::GniAmamProtocol protocol(params);
-    util::Rng rng(70599);
-    core::GniInstance yes = core::gniYesInstance(6, rng);
-    runCell(cells, "gni_amam", [&] {
-      return estimateAcceptance(
-          protocol, yes,
-          [&](std::size_t) { return std::make_unique<core::HonestGniProver>(params); },
-          4, cellConfig(config, 70501));
-    });
-  }
-  if (select.gni) {
-    util::Rng setup(706);
-    core::GniGeneralParams params = core::GniGeneralParams::choose(6, setup);
-    core::GniGeneralProtocol protocol(params);
-    util::Rng rng(70699);
-    core::GniInstance yes = core::gniGeneralYesInstance(6, rng);
-    runCell(cells, "gni_general", [&] {
-      return estimateAcceptance(
-          protocol, yes,
-          [&](std::size_t) {
-            return std::make_unique<core::HonestGniGeneralProver>(params);
-          },
-          2, cellConfig(config, 70601));
-    });
+  cells.reserve(workload::cells().size());
+  for (const workload::CellInfo& info : workload::cells()) {
+    if (info.gni ? !select.gni : !select.fast) continue;
+    const bool wantBatch = hash::batchEnabled();
+    const bool fallback = wantBatch && scalarPreferred(info.name);
+    if (fallback) hash::setBatchEnabled(false);
+    TrialStats stats = workload::makeCell(info.name)->run(config);
+    if (fallback) hash::setBatchEnabled(true);
+    cells.push_back({std::string(info.name), std::move(stats),
+                     fallback ? "scalar-fallback" : (wantBatch ? "batch" : "scalar")});
   }
   return cells;
 }

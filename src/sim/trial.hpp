@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "util/mathutil.hpp"
 
@@ -54,6 +55,27 @@ struct TrialStats {
 inline std::uint64_t digestCombine(std::uint64_t acc, std::uint64_t value) {
   acc ^= value + 0x9E3779B97F4A7C15ull + (acc << 6) + (acc >> 2);
   return acc;
+}
+
+// THE index-ordered deterministic merge. Both execution substrates — the
+// in-process TrialRunner and the multi-process DistributedRunner — produce a
+// per-trial outcome vector ordered by global trial index and fold it through
+// this one function, so stats are byte-identical regardless of thread count,
+// worker count, or arrival order. wallSeconds is measurement and is set by
+// the caller, not here.
+inline TrialStats foldOutcomes(const std::vector<TrialOutcome>& outcomes) {
+  TrialStats stats;
+  stats.trials = outcomes.size();
+  for (const TrialOutcome& outcome : outcomes) {
+    if (outcome.accepted) ++stats.accepts;
+    if (outcome.maxPerNodeBits > stats.maxPerNodeBits) {
+      stats.maxPerNodeBits = outcome.maxPerNodeBits;
+    }
+    stats.digest = digestCombine(stats.digest, outcome.digest);
+    stats.digest = digestCombine(stats.digest, outcome.accepted ? 1 : 0);
+    stats.digest = digestCombine(stats.digest, outcome.maxPerNodeBits);
+  }
+  return stats;
 }
 
 }  // namespace dip::sim

@@ -27,33 +27,33 @@ unsigned resolveThreads(unsigned requested) {
 TrialRunner::TrialRunner(TrialConfig config)
     : config_(config), threads_(resolveThreads(config.threads)) {}
 
-TrialStats TrialRunner::run(std::size_t trials,
-                            const std::function<TrialOutcome(TrialContext&)>& body,
-                            std::vector<TrialOutcome>* outcomes) const {
-  const auto started = std::chrono::steady_clock::now();
-  std::vector<TrialOutcome> results(trials);
+std::vector<TrialOutcome> TrialRunner::runRange(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<TrialOutcome(TrialContext&)>& body) const {
+  const std::uint64_t count = hi > lo ? hi - lo : 0;
+  std::vector<TrialOutcome> results(count);
   const util::Rng master(config_.masterSeed);
 
   // Work is claimed from a shared counter (dynamic load balancing — trials
   // can have very different costs, e.g. adaptive-search provers), but every
-  // per-trial input and output depends only on the claimed index.
-  std::atomic<std::size_t> next{0};
+  // per-trial input and output depends only on the claimed GLOBAL index.
+  std::atomic<std::uint64_t> next{lo};
 
   // First failure by trial index wins, so the surfaced error is stable
   // across schedules too.
   std::mutex failureLock;
-  std::size_t failureIndex = trials;
+  std::uint64_t failureIndex = hi;
   std::exception_ptr failure;
 
   auto worker = [&] {
     util::Arena arena;  // Per-worker: reset per trial, capacity reused.
     for (;;) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= trials) return;
+      const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= hi) return;
       arena.reset();
-      TrialContext ctx{index, master.child(index), &arena};
+      TrialContext ctx{static_cast<std::size_t>(index), master.child(index), &arena};
       try {
-        results[index] = body(ctx);
+        results[index - lo] = body(ctx);
       } catch (...) {
         std::lock_guard<std::mutex> guard(failureLock);
         if (index < failureIndex) {
@@ -64,8 +64,8 @@ TrialStats TrialRunner::run(std::size_t trials,
     }
   };
 
-  const unsigned poolSize = trials == 0 ? 0 : static_cast<unsigned>(
-      std::min<std::size_t>(threads_, trials));
+  const unsigned poolSize = count == 0 ? 0 : static_cast<unsigned>(
+      std::min<std::uint64_t>(threads_, count));
   if (poolSize <= 1) {
     worker();
   } else {
@@ -77,19 +77,15 @@ TrialStats TrialRunner::run(std::size_t trials,
   }
 
   if (failure) std::rethrow_exception(failure);
+  return results;
+}
 
-  TrialStats stats;
-  stats.trials = trials;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const TrialOutcome& outcome = results[t];
-    if (outcome.accepted) ++stats.accepts;
-    if (outcome.maxPerNodeBits > stats.maxPerNodeBits) {
-      stats.maxPerNodeBits = outcome.maxPerNodeBits;
-    }
-    stats.digest = digestCombine(stats.digest, outcome.digest);
-    stats.digest = digestCombine(stats.digest, outcome.accepted ? 1 : 0);
-    stats.digest = digestCombine(stats.digest, outcome.maxPerNodeBits);
-  }
+TrialStats TrialRunner::run(std::size_t trials,
+                            const std::function<TrialOutcome(TrialContext&)>& body,
+                            std::vector<TrialOutcome>* outcomes) const {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<TrialOutcome> results = runRange(0, trials, body);
+  TrialStats stats = foldOutcomes(results);
   stats.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   if (outcomes) *outcomes = std::move(results);

@@ -72,6 +72,18 @@ class TrialRunner {
                  const std::function<TrialOutcome(TrialContext&)>& body,
                  std::vector<TrialOutcome>* outcomes = nullptr) const;
 
+  // Runs the GLOBAL trial indices [lo, hi) and returns their outcomes, with
+  // outcome i corresponding to global index lo + i. ctx.index and the
+  // counter-derived stream both use the global index, so a range run is a
+  // verbatim slice of the full run: run(n, body) is runRange(0, n, body)
+  // folded through sim::foldOutcomes. This is the seed-range primitive the
+  // distributed workers execute — any partition of [0, n) into ranges,
+  // concatenated back in index order, reproduces the single-process fold
+  // bit for bit.
+  std::vector<TrialOutcome> runRange(
+      std::uint64_t lo, std::uint64_t hi,
+      const std::function<TrialOutcome(TrialContext&)>& body) const;
+
  private:
   TrialConfig config_;
   unsigned threads_;

@@ -1,0 +1,220 @@
+#include "sim/workload.hpp"
+
+#include <array>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/dsym_dam.hpp"
+#include "core/gni_amam.hpp"
+#include "core/gni_general.hpp"
+#include "core/sym_dam.hpp"
+#include "core/sym_dmam.hpp"
+#include "core/sym_input.hpp"
+#include "graph/generators.hpp"
+#include "hash/linear_hash.hpp"
+#include "sim/acceptance.hpp"
+#include "util/rng.hpp"
+
+namespace dip::sim::workload {
+
+namespace {
+
+// Registry rows. Seeds, sizes and trial counts are COMMITTED values: the
+// stats_regression goldens and BENCH_throughput.json pin the resulting
+// digests, so changing any number here is a baseline-regenerating change.
+constexpr std::array<CellInfo, 6> kCells{{
+    {"sym_dmam_p1", 200, 70101, false},
+    {"sym_dam_p2", 4000, 70201, false},
+    {"dsym_dam", 1500, 70301, false},
+    {"sym_input", 1200, 70401, false},
+    {"gni_amam", 4, 70501, true},
+    {"gni_general", 2, 70601, true},
+}};
+
+TrialConfig cellConfig(const TrialConfig& base, std::uint64_t offset) {
+  TrialConfig config = base;
+  config.masterSeed = base.masterSeed + offset;
+  return config;
+}
+
+// Type-erased cell: construction captures the protocol/instance state in a
+// range closure once; both substrates call through it.
+class LambdaCell : public Cell {
+ public:
+  using RangeFn = std::function<std::vector<TrialOutcome>(
+      std::uint64_t, std::uint64_t, const TrialConfig&)>;
+
+  LambdaCell(const CellInfo& info, RangeFn range)
+      : Cell(info), range_(std::move(range)) {}
+
+  std::vector<TrialOutcome> runRange(std::uint64_t lo, std::uint64_t hi,
+                                     const TrialConfig& config) const override {
+    return range_(lo, hi, config);
+  }
+
+ private:
+  RangeFn range_;
+};
+
+std::unique_ptr<Cell> makeSymDmamP1(const CellInfo& info) {
+  // Large enough that hashing the n x n matrix dominates the trial; this
+  // is the cell where the batch engine's row factorization shows up most.
+  const std::size_t n = 48;
+  util::Rng rng(701);
+  auto protocol =
+      std::make_shared<core::SymDmamProtocol>(hash::makeProtocol1FamilyCached(n));
+  auto g = std::make_shared<graph::Graph>(graph::randomSymmetricConnected(n, rng));
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [protocol, g, offset](std::uint64_t lo, std::uint64_t hi,
+                                  const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *g,
+            [&](std::size_t) {
+              return std::make_unique<core::HonestSymDmamProver>(protocol->family());
+            },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+std::unique_ptr<Cell> makeSymDamP2(const CellInfo& info) {
+  const std::size_t n = 6;
+  util::Rng rng(702);
+  auto protocol =
+      std::make_shared<core::SymDamProtocol>(hash::makeProtocol2FamilyCached(n));
+  auto g = std::make_shared<graph::Graph>(graph::randomSymmetricConnected(n, rng));
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [protocol, g, offset](std::uint64_t lo, std::uint64_t hi,
+                                  const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *g,
+            [&](std::size_t) {
+              return std::make_unique<core::HonestSymDamProver>(protocol->family());
+            },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+std::unique_ptr<Cell> makeDsymDam(const CellInfo& info) {
+  const std::size_t side = 8;
+  util::Rng rng(703);
+  auto layout = std::make_shared<graph::DSymLayout>(graph::dsymLayout(side, 1));
+  auto protocol = std::make_shared<core::DSymDamProtocol>(
+      *layout, hash::makeProtocol1FamilyCached(layout->numVertices));
+  graph::Graph f = graph::randomRigidConnected(side, rng);
+  auto yes = std::make_shared<graph::Graph>(graph::dsymInstance(f, 1));
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [layout, protocol, yes, offset](std::uint64_t lo, std::uint64_t hi,
+                                            const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *yes,
+            [&](std::size_t) {
+              return std::make_unique<core::HonestDSymProver>(*layout,
+                                                              protocol->family());
+            },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+std::unique_ptr<Cell> makeSymInput(const CellInfo& info) {
+  const std::size_t n = 8;
+  util::Rng rng(704);
+  auto protocol =
+      std::make_shared<core::SymInputProtocol>(hash::makeProtocol1FamilyCached(n));
+  auto instance = std::make_shared<core::SymInputInstance>(core::SymInputInstance{
+      graph::randomConnected(n, n / 2, rng), graph::randomSymmetricConnected(n, rng)});
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [protocol, instance, offset](std::uint64_t lo, std::uint64_t hi,
+                                         const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *instance,
+            [&](std::size_t) {
+              return std::make_unique<core::HonestSymInputProver>(protocol->family());
+            },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+std::unique_ptr<Cell> makeGniAmam(const CellInfo& info) {
+  util::Rng setup(705);
+  auto params = std::make_shared<core::GniParams>(core::GniParams::choose(6, setup));
+  auto protocol = std::make_shared<core::GniAmamProtocol>(*params);
+  util::Rng rng(70599);
+  auto yes = std::make_shared<core::GniInstance>(core::gniYesInstance(6, rng));
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [params, protocol, yes, offset](std::uint64_t lo, std::uint64_t hi,
+                                            const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *yes,
+            [&](std::size_t) { return std::make_unique<core::HonestGniProver>(*params); },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+std::unique_ptr<Cell> makeGniGeneral(const CellInfo& info) {
+  util::Rng setup(706);
+  auto params = std::make_shared<core::GniGeneralParams>(
+      core::GniGeneralParams::choose(6, setup));
+  auto protocol = std::make_shared<core::GniGeneralProtocol>(*params);
+  util::Rng rng(70699);
+  auto yes = std::make_shared<core::GniInstance>(core::gniGeneralYesInstance(6, rng));
+  const std::uint64_t offset = info.seedOffset;
+  return std::make_unique<LambdaCell>(
+      info, [params, protocol, yes, offset](std::uint64_t lo, std::uint64_t hi,
+                                            const TrialConfig& config) {
+        return estimateAcceptanceRange(
+            *protocol, *yes,
+            [&](std::size_t) {
+              return std::make_unique<core::HonestGniGeneralProver>(*params);
+            },
+            lo, hi, cellConfig(config, offset));
+      });
+}
+
+}  // namespace
+
+std::span<const CellInfo> cells() { return kCells; }
+
+const CellInfo* findCell(std::string_view name) {
+  for (const CellInfo& cell : kCells) {
+    if (cell.name == name) return &cell;
+  }
+  return nullptr;
+}
+
+TrialStats Cell::run(const TrialConfig& config, std::size_t trialLimit,
+                     std::vector<TrialOutcome>* outcomes) const {
+  const std::size_t trials =
+      trialLimit > 0 ? trialLimit : info_.trials;
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<TrialOutcome> results = runRange(0, trials, config);
+  TrialStats stats = foldOutcomes(results);
+  stats.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (outcomes) *outcomes = std::move(results);
+  return stats;
+}
+
+std::unique_ptr<Cell> makeCell(std::string_view name) {
+  const CellInfo* info = findCell(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("workload::makeCell: unknown cell '" +
+                                std::string(name) + "'");
+  }
+  if (name == "sym_dmam_p1") return makeSymDmamP1(*info);
+  if (name == "sym_dam_p2") return makeSymDamP2(*info);
+  if (name == "dsym_dam") return makeDsymDam(*info);
+  if (name == "sym_input") return makeSymInput(*info);
+  if (name == "gni_amam") return makeGniAmam(*info);
+  return makeGniGeneral(*info);
+}
+
+}  // namespace dip::sim::workload

@@ -1,0 +1,321 @@
+// Adversarial bytes against the dipd frame codec, in the seeded-corpus
+// style of tests/fuzz_seed.hpp: every iteration derives its mutations from
+// a counter-based child stream and failures print a repro line naming
+// (seed, trial). The contract under attack: truncated frames, bad verb
+// tags, oversized length prefixes, trailing garbage and corrupt payloads
+// must all surface as rpc::CodecError (or a clean "need more bytes"
+// nullopt) — never a crash, never UB (the asan job runs this suite), and
+// duplicate or stale range indices must never double-fold.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fuzz_seed.hpp"
+#include "rpc/frame.hpp"
+#include "sim/shard.hpp"
+#include "sim/trial.hpp"
+
+namespace dip::rpc {
+namespace {
+
+constexpr std::uint64_t kFuzzSeed = 0xD12DF8A3ull;
+
+std::vector<sim::TrialOutcome> sampleOutcomes(std::size_t count) {
+  std::vector<sim::TrialOutcome> outcomes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    outcomes[i].accepted = (i % 3) != 0;
+    outcomes[i].maxPerNodeBits = 100 + i;
+    outcomes[i].digest = 0x9E3779B97F4A7C15ull * (i + 1);
+  }
+  return outcomes;
+}
+
+AssignMsg sampleAssign() {
+  AssignMsg msg;
+  msg.epoch = 3;
+  msg.rangeIndex = 7;
+  msg.lo = 112;
+  msg.hi = 128;
+  msg.masterSeed = 0xDEADBEEFCAFEF00Dull;
+  msg.cell = "sym_dmam_p1";
+  return msg;
+}
+
+PartialMsg samplePartial(bool done, std::size_t count) {
+  PartialMsg msg;
+  msg.workerId = 2;
+  msg.epoch = 3;
+  msg.rangeIndex = 7;
+  msg.done = done;
+  msg.outcomes = sampleOutcomes(count);
+  return msg;
+}
+
+// Every well-formed frame the protocol can produce, encoded.
+std::vector<std::vector<std::uint8_t>> corpus() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  auto add = [&frames](Verb verb, const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> bytes;
+    encodeFrame(verb, payload, bytes);
+    frames.push_back(std::move(bytes));
+  };
+  add(Verb::kHello, encodeHello(HelloMsg{kProtocolVersion, 4242, 4}));
+  add(Verb::kHello, encodeHelloAck(HelloAckMsg{kProtocolVersion, 1}));
+  add(Verb::kAssign, encodeAssign(sampleAssign()));
+  add(Verb::kPartial, encodePartial(samplePartial(true, 16)));
+  add(Verb::kPartial, encodePartial(samplePartial(false, 0)));
+  add(Verb::kRetire, encodeRetire(RetireMsg{9}));
+  add(Verb::kRetire, {});
+  add(Verb::kShutdown, {});
+  return frames;
+}
+
+// Runs the full coordinator-side decode pipeline over a byte buffer:
+// extract frames and decode each with its verb's decoder. Anything other
+// than CodecError escaping is a bug.
+void decodeAll(std::vector<std::uint8_t> buffer) {
+  while (true) {
+    std::optional<Frame> frame = extractFrame(buffer);
+    if (!frame) return;
+    switch (frame->verb) {
+      case Verb::kHello:
+        (void)decodeHello(*frame);
+        break;
+      case Verb::kAssign:
+        (void)decodeAssign(*frame);
+        break;
+      case Verb::kPartial:
+        (void)decodePartial(*frame);
+        break;
+      case Verb::kRetire:
+        if (!frame->payload.empty()) (void)decodeRetire(*frame);
+        break;
+      case Verb::kShutdown:
+        break;
+    }
+  }
+}
+
+TEST(rpc_fuzz, RoundtripsAllVerbs) {
+  const HelloMsg hello{kProtocolVersion, 77, 8};
+  std::vector<std::uint8_t> buffer;
+  encodeFrame(Verb::kHello, encodeHello(hello), buffer);
+  std::optional<Frame> frame = extractFrame(buffer);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(buffer.empty());
+  const HelloMsg hello2 = decodeHello(*frame);
+  EXPECT_EQ(hello2.pid, hello.pid);
+  EXPECT_EQ(hello2.threads, hello.threads);
+
+  const AssignMsg assign = sampleAssign();
+  buffer.clear();
+  encodeFrame(Verb::kAssign, encodeAssign(assign), buffer);
+  const AssignMsg assign2 = decodeAssign(*extractFrame(buffer));
+  EXPECT_EQ(assign2.epoch, assign.epoch);
+  EXPECT_EQ(assign2.rangeIndex, assign.rangeIndex);
+  EXPECT_EQ(assign2.lo, assign.lo);
+  EXPECT_EQ(assign2.hi, assign.hi);
+  EXPECT_EQ(assign2.masterSeed, assign.masterSeed);
+  EXPECT_EQ(assign2.cell, assign.cell);
+
+  const PartialMsg partial = samplePartial(true, 16);
+  buffer.clear();
+  encodeFrame(Verb::kPartial, encodePartial(partial), buffer);
+  const PartialMsg partial2 = decodePartial(*extractFrame(buffer));
+  EXPECT_EQ(partial2.workerId, partial.workerId);
+  EXPECT_EQ(partial2.epoch, partial.epoch);
+  EXPECT_EQ(partial2.rangeIndex, partial.rangeIndex);
+  EXPECT_EQ(partial2.done, partial.done);
+  EXPECT_EQ(partial2.outcomes, partial.outcomes);
+
+  buffer.clear();
+  encodeFrame(Verb::kRetire, encodeRetire(RetireMsg{5}), buffer);
+  EXPECT_EQ(decodeRetire(*extractFrame(buffer)).rangesCompleted, 5u);
+}
+
+TEST(rpc_fuzz, TruncatedFramesWaitForMoreBytes) {
+  // A prefix of a valid frame is not an error — it is an incomplete read.
+  // extractFrame must return nullopt and leave the bytes untouched.
+  for (const std::vector<std::uint8_t>& frame : corpus()) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      std::vector<std::uint8_t> buffer(frame.begin(),
+                                       frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      const std::vector<std::uint8_t> before = buffer;
+      EXPECT_FALSE(extractFrame(buffer).has_value()) << "cut=" << cut;
+      EXPECT_EQ(buffer, before) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(rpc_fuzz, OversizedLengthPrefixRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> buffer{0xFF, 0xFF, 0xFF, 0xFF, 1};  // ~4 GiB claim.
+  EXPECT_THROW((void)extractFrame(buffer), CodecError);
+  EXPECT_TRUE(buffer.empty());  // Poison consumed: the peer can be failed.
+}
+
+TEST(rpc_fuzz, UnknownVerbTagRejected) {
+  for (std::uint8_t verb : {std::uint8_t{0}, std::uint8_t{6}, std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> buffer{0, 0, 0, 0, verb};
+    EXPECT_THROW((void)extractFrame(buffer), CodecError) << int(verb);
+    EXPECT_TRUE(buffer.empty());
+  }
+}
+
+TEST(rpc_fuzz, TruncatedPayloadsRejected) {
+  // Chop bytes off the PAYLOAD (fixing up the length prefix so the frame
+  // layer accepts it): the verb decoder must throw, not read past the end.
+  for (const std::vector<std::uint8_t>& frame : corpus()) {
+    const std::size_t payloadBytes = frame.size() - 5;
+    for (std::size_t keep = 0; keep < payloadBytes; ++keep) {
+      std::vector<std::uint8_t> buffer(frame.begin(),
+                                       frame.begin() + 5 + static_cast<std::ptrdiff_t>(keep));
+      buffer[0] = static_cast<std::uint8_t>(keep & 0xFF);
+      buffer[1] = static_cast<std::uint8_t>((keep >> 8) & 0xFF);
+      buffer[2] = 0;
+      buffer[3] = 0;
+      std::optional<Frame> extracted;
+      try {
+        extracted = extractFrame(buffer);
+      } catch (const CodecError&) {
+        continue;  // Frame layer already rejected it: fine.
+      }
+      ASSERT_TRUE(extracted.has_value());
+      Frame frameCopy = *extracted;
+      if (frameCopy.payload == std::vector<std::uint8_t>(
+                                   frame.begin() + 5, frame.end())) {
+        continue;  // keep == payloadBytes edge: nothing actually truncated.
+      }
+      switch (frameCopy.verb) {
+        case Verb::kHello:
+          EXPECT_THROW((void)decodeHello(frameCopy), CodecError);
+          break;
+        case Verb::kAssign:
+          EXPECT_THROW((void)decodeAssign(frameCopy), CodecError);
+          break;
+        case Verb::kPartial:
+          EXPECT_THROW((void)decodePartial(frameCopy), CodecError);
+          break;
+        default:
+          break;  // RETIRE/SHUTDOWN truncations can still be valid (empty).
+      }
+    }
+  }
+}
+
+TEST(rpc_fuzz, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> payload = encodeAssign(sampleAssign());
+  payload.push_back(0xAB);
+  Frame frame{Verb::kAssign, payload};
+  EXPECT_THROW((void)decodeAssign(frame), CodecError);
+}
+
+TEST(rpc_fuzz, VersionMismatchRejected) {
+  HelloMsg hello;
+  hello.version = kProtocolVersion + 1;
+  Frame frame{Verb::kHello, encodeHello(hello)};
+  EXPECT_THROW((void)decodeHello(frame), CodecError);
+}
+
+TEST(rpc_fuzz, ImplausibleAssignsRejected) {
+  AssignMsg inverted = sampleAssign();
+  inverted.hi = inverted.lo;  // Empty range.
+  EXPECT_THROW((void)decodeAssign(Frame{Verb::kAssign, encodeAssign(inverted)}),
+               CodecError);
+  AssignMsg wide = sampleAssign();
+  wide.hi = wide.lo + (1u << 20);  // Wider than any shard grain may be.
+  EXPECT_THROW((void)decodeAssign(Frame{Verb::kAssign, encodeAssign(wide)}),
+               CodecError);
+  AssignMsg nameless = sampleAssign();
+  nameless.cell.clear();
+  EXPECT_THROW((void)decodeAssign(Frame{Verb::kAssign, encodeAssign(nameless)}),
+               CodecError);
+}
+
+TEST(rpc_fuzz, BeaconWithOutcomesRejected) {
+  const PartialMsg beacon = samplePartial(false, 4);  // Liveness + payload: no.
+  EXPECT_THROW((void)decodePartial(Frame{Verb::kPartial, encodePartial(beacon)}),
+               CodecError);
+}
+
+TEST(rpc_fuzz, DuplicateAndStalePartialsNeverDoubleFold) {
+  // The coordinator-side fold pipeline against hostile PARTIAL replays: a
+  // duplicate done-frame must fold zero additional outcomes, and a stale
+  // range index must be rejected before touching the outcome store.
+  sim::ShardScheduler sched(32, 16);
+  (void)sched.claim(0);
+  (void)sched.claim(0);
+  std::vector<sim::TrialOutcome> store(32);
+  std::size_t folds = 0;
+  auto deliver = [&](const PartialMsg& msg) {
+    std::vector<std::uint8_t> buffer;
+    encodeFrame(Verb::kPartial, encodePartial(msg), buffer);
+    const PartialMsg decoded = decodePartial(*extractFrame(buffer));
+    const sim::SeedRange& range = sched.range(decoded.rangeIndex);
+    ASSERT_EQ(decoded.outcomes.size(), range.hi - range.lo);
+    if (sched.complete(decoded.rangeIndex)) {
+      std::copy(decoded.outcomes.begin(), decoded.outcomes.end(),
+                store.begin() + static_cast<std::ptrdiff_t>(range.lo));
+      ++folds;
+    }
+  };
+  PartialMsg done = samplePartial(true, 16);
+  done.rangeIndex = 0;
+  deliver(done);
+  deliver(done);  // Exact replay: deduped.
+  EXPECT_EQ(folds, 1u);
+
+  PartialMsg stale = samplePartial(true, 16);
+  stale.rangeIndex = 99;  // No shard carries this index.
+  std::vector<std::uint8_t> buffer;
+  encodeFrame(Verb::kPartial, encodePartial(stale), buffer);
+  const PartialMsg decoded = decodePartial(*extractFrame(buffer));
+  EXPECT_THROW((void)sched.range(decoded.rangeIndex), std::out_of_range);
+  EXPECT_EQ(folds, 1u);
+}
+
+TEST(rpc_fuzz, MutatedFramesNeverCrash) {
+  // The seeded mutation loop: flip, truncate, extend and splice corpus
+  // frames; the decode pipeline may reject (CodecError) or accept, but must
+  // never crash, leak, or read out of bounds (asan enforces the latter).
+  const std::vector<std::vector<std::uint8_t>> frames = corpus();
+  constexpr std::uint64_t kIterations = 4000;
+  for (std::uint64_t trial = 0; trial < kIterations; ++trial) {
+    SCOPED_TRACE(testutil::seedLine(kFuzzSeed, trial));
+    util::Rng rng = testutil::fuzzStream(kFuzzSeed, trial);
+    std::vector<std::uint8_t> buffer = frames[rng.nextBelow(frames.size())];
+    const std::uint64_t mutations = 1 + rng.nextBelow(4);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.nextBelow(4)) {
+        case 0:  // Flip a byte.
+          if (!buffer.empty()) {
+            buffer[rng.nextBelow(buffer.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.nextBelow(255));
+          }
+          break;
+        case 1:  // Truncate.
+          buffer.resize(rng.nextBelow(buffer.size() + 1));
+          break;
+        case 2:  // Extend with noise.
+          for (std::uint64_t i = 0, n = rng.nextBelow(16); i < n; ++i) {
+            buffer.push_back(static_cast<std::uint8_t>(rng.nextBelow(256)));
+          }
+          break;
+        case 3: {  // Splice another corpus frame on the back.
+          const std::vector<std::uint8_t>& other = frames[rng.nextBelow(frames.size())];
+          buffer.insert(buffer.end(), other.begin(), other.end());
+          break;
+        }
+      }
+    }
+    try {
+      decodeAll(std::move(buffer));
+    } catch (const CodecError&) {
+      // The only exception the pipeline may surface.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dip::rpc

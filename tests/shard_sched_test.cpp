@@ -1,0 +1,115 @@
+// ShardScheduler: the coordinator's exactly-once bookkeeping, tested as the
+// pure state machine it is — including the heartbeat-timeout re-issue race
+// that the fault tier then reproduces end-to-end with real processes. Runs
+// under the tsan preset alongside the bounded-queue suite.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/shard.hpp"
+
+namespace dip::sim {
+namespace {
+
+TEST(shard_sched, RangesPartitionTrials) {
+  const auto ranges = shardRanges(37, 10);
+  ASSERT_EQ(ranges.size(), 4u);
+  std::uint64_t expectLo = 0;
+  for (const SeedRange& range : ranges) {
+    EXPECT_EQ(range.lo, expectLo);
+    EXPECT_EQ(range.index, expectLo / 10);
+    expectLo = range.hi;
+  }
+  EXPECT_EQ(expectLo, 37u);
+  EXPECT_EQ(ranges.back().hi - ranges.back().lo, 7u);  // Last range short.
+}
+
+TEST(shard_sched, ZeroGrainCoercedToOne) {
+  EXPECT_EQ(shardRanges(5, 0).size(), 5u);
+  EXPECT_TRUE(shardRanges(0, 0).empty());
+}
+
+TEST(shard_sched, ClaimsLowestIndexFirst) {
+  ShardScheduler sched(30, 10);
+  EXPECT_EQ(sched.rangeCount(), 3u);
+  EXPECT_EQ(sched.claim(0)->index, 0u);
+  EXPECT_EQ(sched.claim(1)->index, 1u);
+  EXPECT_EQ(sched.claim(0)->index, 2u);
+  EXPECT_FALSE(sched.claim(1).has_value());  // Everything assigned.
+  EXPECT_EQ(sched.outstandingFor(0), 2u);
+  EXPECT_EQ(sched.outstandingFor(1), 1u);
+}
+
+TEST(shard_sched, CompleteIsExactlyOnce) {
+  ShardScheduler sched(20, 10);
+  (void)sched.claim(0);
+  (void)sched.claim(0);
+  EXPECT_TRUE(sched.complete(0));   // First completion folds.
+  EXPECT_FALSE(sched.complete(0));  // Duplicate drops.
+  EXPECT_FALSE(sched.finished());
+  EXPECT_TRUE(sched.complete(1));
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.completedCount(), 2u);
+}
+
+TEST(shard_sched, StaleRangeIndexThrows) {
+  ShardScheduler sched(20, 10);
+  EXPECT_THROW((void)sched.complete(2), std::out_of_range);
+  EXPECT_THROW((void)sched.range(99), std::out_of_range);
+}
+
+TEST(shard_sched, ReissueRequeuesOnlyThatWorkersRanges) {
+  ShardScheduler sched(40, 10);
+  (void)sched.claim(0);  // range 0
+  (void)sched.claim(1);  // range 1
+  (void)sched.claim(0);  // range 2
+  ASSERT_TRUE(sched.complete(0));
+  EXPECT_EQ(sched.reissueWorker(0), 1u);  // Only range 2 (0 is done).
+  EXPECT_EQ(sched.pendingCount(), 2u);    // Range 2 back + range 3 never claimed.
+  EXPECT_EQ(sched.outstandingFor(0), 0u);
+  EXPECT_EQ(sched.outstandingFor(1), 1u);
+  EXPECT_EQ(sched.reissueWorker(0), 0u);  // Idempotent.
+  // Re-issue hands out the lowest index first.
+  EXPECT_EQ(sched.claim(1)->index, 2u);
+  EXPECT_EQ(sched.claim(1)->index, 3u);
+}
+
+TEST(shard_sched, TimeoutReissueRaceFoldsExactlyOnce) {
+  // The heartbeat-timeout race end to end: worker 0 is suspected, its range
+  // re-issues to worker 1, then BOTH completions arrive (the suspect was
+  // merely slow). Exactly one may fold, whichever lands first.
+  ShardScheduler sched(10, 10);
+  ASSERT_EQ(sched.claim(0)->index, 0u);
+  EXPECT_EQ(sched.reissueWorker(0), 1u);       // Timeout: back to pending.
+  ASSERT_EQ(sched.claim(1)->index, 0u);        // Re-issued to worker 1.
+  EXPECT_TRUE(sched.complete(0));              // Worker 1 finishes...
+  EXPECT_FALSE(sched.complete(0));             // ...then worker 0's late copy.
+  EXPECT_TRUE(sched.finished());
+}
+
+TEST(shard_sched, LateCompletionBeforeReclaimSkipsStaleQueueEntry) {
+  // Reverse interleaving: the suspect completes while its range still sits
+  // in the pending queue. The stale queue entry must not be claimable.
+  ShardScheduler sched(20, 10);
+  ASSERT_EQ(sched.claim(0)->index, 0u);
+  EXPECT_EQ(sched.reissueWorker(0), 1u);
+  EXPECT_TRUE(sched.complete(0));          // Late completion wins the fold.
+  ASSERT_EQ(sched.claim(1)->index, 1u);    // Claim skips the done range 0.
+  EXPECT_FALSE(sched.claim(1).has_value());
+}
+
+TEST(shard_sched, DeadWorkerRangesRecoverable) {
+  ShardScheduler sched(50, 10);
+  for (int i = 0; i < 5; ++i) (void)sched.claim(0);
+  EXPECT_EQ(sched.outstandingFor(0), 5u);
+  EXPECT_EQ(sched.reissueWorker(0), 5u);  // Worker died: everything back.
+  std::uint64_t next = 0;
+  while (auto range = sched.claim(1)) {
+    EXPECT_EQ(range->index, next++);
+    EXPECT_TRUE(sched.complete(range->index));
+  }
+  EXPECT_TRUE(sched.finished());
+}
+
+}  // namespace
+}  // namespace dip::sim

@@ -1,17 +1,30 @@
 #!/usr/bin/env python3
-"""CI gate for bench_throughput: flag >10% speedup regressions.
+"""CI gate for the benchmark JSON documents: flag regressions.
 
-Compares a fresh bench_throughput --json run against the committed
-BENCH_throughput.json baseline. Absolute trials/sec are machine-dependent,
-so the gate compares the batch/scalar *speedup ratio* per protocol — a
-dimensionless number that survives moving between CI runners. A cell
-regresses when its current speedup falls more than TOLERANCE below the
-baseline speedup.
+Compares a fresh --json run against its committed baseline. The document's
+"benchmark" field selects the rule set:
 
-Independently of the baseline comparison, any cell whose current speedup is
-below 1.0 fails outright: a no-win cell must either be fixed or pinned to
-the scalar path via the no-win list in sim/throughput.cpp, in which case its
-"engine" field reads "scalar-fallback" and the sub-1.0 ratio is exempt.
+bench_throughput (BENCH_throughput.json)
+    Absolute trials/sec are machine-dependent, so the gate compares the
+    batch/scalar *speedup ratio* per protocol — a dimensionless number that
+    survives moving between CI runners. A cell regresses when its current
+    speedup falls more than TOLERANCE below the baseline speedup.
+
+    Independently of the baseline comparison, any cell whose current speedup
+    is below 1.0 fails outright: a no-win cell must either be fixed or
+    pinned to the scalar path via the no-win list in sim/throughput.cpp, in
+    which case its "engine" field reads "scalar-fallback" and the sub-1.0
+    ratio is exempt.
+
+bench_e16_distributed (BENCH_distributed.json)
+    Rows are keyed by (protocol, workers). Digests are machine-independent
+    and must match the baseline EXACTLY — a digest drift means the sharded
+    fold is no longer byte-identical to the committed results. The
+    scaling_vs_1 ratio (again dimensionless) must stay at or above the
+    baseline row's committed min_scaling floor.
+
+In both modes a baseline row missing from the current run is a failure —
+silently dropping a cell is how coverage rots.
 
 Usage: check_throughput.py BASELINE.json CURRENT.json
 Exit 0 when every cell is within tolerance, 1 otherwise.
@@ -22,54 +35,106 @@ import sys
 TOLERANCE = 0.10
 
 
-def load_cells(path):
+def load_doc(path):
     with open(path) as handle:
-        doc = json.load(handle)
-    return {cell["protocol"]: cell for cell in doc["cells"]}
+        return json.load(handle)
+
+
+def row_key(doc, cell):
+    if doc.get("benchmark") == "bench_e16_distributed":
+        return (cell["protocol"], int(cell["workers"]))
+    return cell["protocol"]
+
+
+def key_str(key):
+    if isinstance(key, tuple):
+        return f"{key[0]} @ {key[1]}w"
+    return key
+
+
+def load_cells(doc):
+    return {row_key(doc, cell): cell for cell in doc["cells"]}
+
+
+def check_throughput(key, base, cur, failed):
+    base_speedup = float(base["speedup"])
+    cur_speedup = float(cur["speedup"])
+    floor = base_speedup * (1.0 - TOLERANCE)
+    status = "ok" if cur_speedup >= floor else "REGRESSED"
+    print(
+        f"{key_str(key):18s}  baseline {base_speedup:5.2f}x  "
+        f"current {cur_speedup:5.2f}x  floor {floor:5.2f}x  {status}"
+    )
+    if cur_speedup < floor:
+        failed.append(
+            f"{key_str(key)}: speedup {cur_speedup:.3f} below floor {floor:.3f} "
+            f"(baseline {base_speedup:.3f}, tolerance {TOLERANCE:.0%})"
+        )
+    if cur_speedup < 1.0 and cur.get("engine") != "scalar-fallback":
+        failed.append(
+            f"{key_str(key)}: batch engine loses to scalar "
+            f"(speedup {cur_speedup:.3f} < 1.0) and the cell is not pinned "
+            f"to the scalar path — fix it or add it to the no-win list in "
+            f"sim/throughput.cpp"
+        )
+
+
+def check_distributed(key, base, cur, failed):
+    floor = float(base["min_scaling"])
+    scaling = float(cur["scaling_vs_1"])
+    digest_ok = cur.get("digest") == base["digest"]
+    status = "ok" if digest_ok and scaling >= floor else "REGRESSED"
+    print(
+        f"{key_str(key):18s}  digest {'match' if digest_ok else 'MISMATCH':8s}  "
+        f"scaling {scaling:5.2f}x  floor {floor:5.2f}x  {status}"
+    )
+    if not digest_ok:
+        failed.append(
+            f"{key_str(key)}: digest {cur.get('digest')} != baseline "
+            f"{base['digest']} — the distributed fold is no longer "
+            f"byte-identical to the committed results"
+        )
+    if scaling < floor:
+        failed.append(
+            f"{key_str(key)}: scaling_vs_1 {scaling:.3f} below committed "
+            f"floor {floor:.3f}"
+        )
 
 
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    baseline = load_cells(argv[1])
-    current = load_cells(argv[2])
+    base_doc = load_doc(argv[1])
+    cur_doc = load_doc(argv[2])
+    kind = base_doc.get("benchmark", "bench_throughput")
+    if cur_doc.get("benchmark", "bench_throughput") != kind:
+        print(
+            f"baseline is {kind} but current run is "
+            f"{cur_doc.get('benchmark')!r} — wrong file pairing",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_cells(base_doc)
+    current = load_cells(cur_doc)
+    check = check_distributed if kind == "bench_e16_distributed" else check_throughput
 
     failed = []
-    for protocol, base in sorted(baseline.items()):
-        cur = current.get(protocol)
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key)
         if cur is None:
-            failed.append(f"{protocol}: missing from current run")
+            failed.append(f"{key_str(key)}: missing from current run")
             continue
-        base_speedup = float(base["speedup"])
-        cur_speedup = float(cur["speedup"])
-        floor = base_speedup * (1.0 - TOLERANCE)
-        status = "ok" if cur_speedup >= floor else "REGRESSED"
-        print(
-            f"{protocol:12s}  baseline {base_speedup:5.2f}x  "
-            f"current {cur_speedup:5.2f}x  floor {floor:5.2f}x  {status}"
-        )
-        if cur_speedup < floor:
-            failed.append(
-                f"{protocol}: speedup {cur_speedup:.3f} below floor {floor:.3f} "
-                f"(baseline {base_speedup:.3f}, tolerance {TOLERANCE:.0%})"
-            )
-        if cur_speedup < 1.0 and cur.get("engine") != "scalar-fallback":
-            failed.append(
-                f"{protocol}: batch engine loses to scalar "
-                f"(speedup {cur_speedup:.3f} < 1.0) and the cell is not pinned "
-                f"to the scalar path — fix it or add it to the no-win list in "
-                f"sim/throughput.cpp"
-            )
-    for protocol in sorted(set(current) - set(baseline)):
-        print(f"{protocol:12s}  new cell (not in baseline) — add it to the baseline")
+        check(key, base, cur, failed)
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key_str(key):18s}  new cell (not in baseline) — add it to the baseline")
 
     if failed:
-        print("\nThroughput regression gate FAILED:", file=sys.stderr)
+        print(f"\n{kind} regression gate FAILED:", file=sys.stderr)
         for line in failed:
             print(f"  - {line}", file=sys.stderr)
         return 1
-    print("\nThroughput regression gate passed.")
+    print(f"\n{kind} regression gate passed.")
     return 0
 
 

@@ -1,0 +1,137 @@
+// dipd — verification-as-a-service from the command line.
+//
+// Runs named workload cells on the sharded multi-process runtime
+// (sim::DistributedRunner) and prints the same deterministic table the
+// in-process benches print: the stdout bytes are identical for ANY
+// --workers value (including 1) because both substrates share one trial
+// engine and one index-ordered fold. Timings and fleet info go to stderr.
+//
+//   dipd --list-cells
+//   dipd --cell sym_dam_p2 --workers 4
+//   dipd --workers 2 --grain 32 --trials 200        # all six cells
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "sim/distributed.hpp"
+#include "sim/workload.hpp"
+
+using namespace dip;
+
+namespace {
+
+struct Options {
+  std::string cell;  // Empty: every registered cell.
+  unsigned workers = 2;
+  unsigned threadsPerWorker = 1;
+  std::uint64_t grain = 16;
+  std::uint64_t seed = 0;
+  std::size_t trials = 0;  // 0: the cell's committed count.
+  bool listCells = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list-cells] [--cell NAME] [--workers N]\n"
+               "          [--threads-per-worker N] [--grain N] [--trials N] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+bool parseU64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 0);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--list-cells") == 0) {
+      opt.listCells = true;
+    } else if (std::strcmp(arg, "--cell") == 0 && i + 1 < argc) {
+      opt.cell = argv[++i];
+    } else if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc &&
+               parseU64(argv[++i], value)) {
+      opt.workers = static_cast<unsigned>(value);
+    } else if (std::strcmp(arg, "--threads-per-worker") == 0 && i + 1 < argc &&
+               parseU64(argv[++i], value)) {
+      opt.threadsPerWorker = static_cast<unsigned>(value);
+    } else if (std::strcmp(arg, "--grain") == 0 && i + 1 < argc &&
+               parseU64(argv[++i], value)) {
+      opt.grain = value;
+    } else if (std::strcmp(arg, "--trials") == 0 && i + 1 < argc &&
+               parseU64(argv[++i], value)) {
+      opt.trials = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc &&
+               parseU64(argv[++i], value)) {
+      opt.seed = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (opt.listCells) {
+    for (const sim::workload::CellInfo& info : sim::workload::cells()) {
+      std::printf("%-12s  %7zu trials  %s\n", std::string(info.name).c_str(),
+                  info.trials, info.gni ? "gni" : "fast");
+    }
+    return 0;
+  }
+
+  std::vector<std::string> names;
+  if (!opt.cell.empty()) {
+    if (sim::workload::findCell(opt.cell) == nullptr) {
+      std::fprintf(stderr, "dipd: unknown cell '%s' (try --list-cells)\n",
+                   opt.cell.c_str());
+      return 2;
+    }
+    names.push_back(opt.cell);
+  } else {
+    for (const sim::workload::CellInfo& info : sim::workload::cells()) {
+      names.emplace_back(info.name);
+    }
+  }
+
+  sim::TrialConfig base;
+  base.masterSeed = opt.seed;
+  base.threads = opt.threadsPerWorker;
+  sim::DistributedConfig dist;
+  dist.workers = opt.workers;
+  dist.threadsPerWorker = opt.threadsPerWorker;
+  dist.grain = opt.grain;
+
+  std::fprintf(stderr, "[dipd: %u worker(s) x %u thread(s), grain %llu]\n",
+               dist.workers, dist.threadsPerWorker,
+               static_cast<unsigned long long>(dist.grain));
+
+  try {
+    sim::DistributedRunner runner(base, dist);
+    std::printf("%-12s  %7s  %7s  %8s  %18s\n", "protocol", "trials", "accepts",
+                "maxBits", "digest");
+    for (const std::string& name : names) {
+      const sim::TrialStats stats = runner.runCell(name, opt.trials);
+      std::printf("%-12s  %7zu  %7zu  %8zu  0x%016llx\n", name.c_str(),
+                  stats.trials, stats.accepts, stats.maxPerNodeBits,
+                  static_cast<unsigned long long>(stats.digest));
+      std::fprintf(stderr, "%-12s  %10.1f trials/s  (%u live worker(s))\n",
+                   name.c_str(),
+                   stats.wallSeconds > 0.0
+                       ? static_cast<double>(stats.trials) / stats.wallSeconds
+                       : 0.0,
+                   runner.liveWorkers());
+    }
+    runner.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dipd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
